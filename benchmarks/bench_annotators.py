@@ -1,0 +1,32 @@
+"""Section 4.5 annotator experiment: perfect oracle vs. simulated crowd."""
+
+from __future__ import annotations
+
+from repro.experiments.annotators import annotator_experiment
+
+from bench_utils import extra_info_from, report_curves
+
+
+def test_annotator_quality(benchmark, directions_setting, bench_budget):
+    """Darwin under a perfect oracle, one noisy annotator, and a crowd of three."""
+    result = benchmark.pedantic(
+        annotator_experiment,
+        kwargs={"setting": directions_setting, "budget": bench_budget,
+                "flip_prob": 0.1, "num_annotators": 3},
+        rounds=1, iterations=1,
+    )
+    report_curves(result, "Section 4.5 directions: oracle vs. human annotators")
+    accepted = result.metadata["accepted_rules"]
+    imprecise = result.metadata["imprecise_accepted_rules"]
+    print("accepted rules per oracle:", accepted)
+    print("imprecise acceptances per oracle:", imprecise)
+    benchmark.extra_info.update(extra_info_from(result))
+    benchmark.extra_info["imprecise_accepted_rules"] = imprecise
+
+    finals = result.final_values()
+    # Paper shape: crowd answers (majority of 3, ~10% per-sentence error) keep
+    # Darwin close to the perfect-oracle run, and false acceptances stay rare.
+    assert finals["perfect oracle"] >= 0.6
+    assert finals["crowd (majority of 3)"] >= finals["perfect oracle"] * 0.6
+    assert imprecise["perfect oracle"] == 0
+    assert imprecise["crowd (majority of 3)"] <= max(3, accepted["crowd (majority of 3)"] // 3)

@@ -1,0 +1,43 @@
+"""Section 4.5 efficiency experiment: wall-clock breakdown vs. corpus size."""
+
+from __future__ import annotations
+
+from repro.config import ClassifierConfig, DarwinConfig
+from repro.experiments.efficiency import efficiency_experiment
+from repro.evaluation.reporting import format_table
+
+SCALES = (0.04, 0.08, 0.16)
+
+
+def test_efficiency_breakdown(benchmark):
+    """Index build / hierarchy generation / traversal timings at three corpus sizes."""
+    config = DarwinConfig(
+        budget=30, num_candidates=800, min_coverage=2,
+        classifier=ClassifierConfig(epochs=30, embedding_dim=40),
+    )
+    result = benchmark.pedantic(
+        efficiency_experiment,
+        kwargs={"dataset": "directions", "scales": SCALES, "budget": 30,
+                "config": config, "seed": 7},
+        rounds=1, iterations=1,
+    )
+    sizes = result.metadata["corpus_sizes"]
+    headers = ["#sentences"] + list(result.series.keys())
+    rows = []
+    for index, size in enumerate(sizes):
+        row = [size] + [result.series[phase][index] for phase in result.series]
+        rows.append(row)
+    print()
+    print(format_table(headers, rows,
+                       title="Section 4.5: wall-clock breakdown (seconds)"))
+    benchmark.extra_info["corpus_sizes"] = sizes
+    benchmark.extra_info["index_build_seconds"] = [
+        round(v, 3) for v in result.series["index_build"]
+    ]
+
+    index_times = result.series["index_build"]
+    # Index construction must grow roughly linearly with corpus size: going
+    # from the smallest to the largest corpus (4x) should cost well under the
+    # quadratic factor (16x), with slack for timer noise on small values.
+    if index_times[0] > 0.01:
+        assert index_times[-1] <= index_times[0] * (sizes[-1] / sizes[0]) * 3.0

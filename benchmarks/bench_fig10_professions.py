@@ -1,0 +1,44 @@
+"""Figure 10: coverage and F-score curves on the highly-imbalanced professions data."""
+
+from __future__ import annotations
+
+from repro.experiments.coverage_curves import coverage_experiment
+from repro.experiments.fscore_curves import fscore_experiment
+
+from bench_utils import extra_info_from, report_curves
+
+
+def test_fig10a_professions_coverage(benchmark, professions_setting, bench_budget):
+    """Figure 10(a): heuristic coverage on professions (LS vs US vs HS)."""
+    result = benchmark.pedantic(
+        coverage_experiment,
+        kwargs={
+            "setting": professions_setting,
+            "budget": bench_budget,
+            "methods": ("Darwin(HS)", "Darwin(US)", "Darwin(LS)"),
+        },
+        rounds=1, iterations=1,
+    )
+    report_curves(result, "Figure 10(a) professions: coverage vs. #questions")
+    benchmark.extra_info.update(extra_info_from(result))
+    assert result.final_values()["Darwin(HS)"] >= 0.5
+
+
+def test_fig10b_professions_fscore(benchmark, professions_setting, bench_budget):
+    """Figure 10(b): classifier F-score on professions (Darwin vs AL/KS/HighP)."""
+    result = benchmark.pedantic(
+        fscore_experiment,
+        kwargs={"setting": professions_setting, "budget": bench_budget},
+        rounds=1, iterations=1,
+    )
+    report_curves(result, "Figure 10(b) professions: F-score vs. #questions")
+    benchmark.extra_info.update(extra_info_from(result))
+    finals = result.final_values()
+    # Paper shape: Darwin beats active learning. Note: on the *synthetic*
+    # professions corpus the keyword-sampling baseline is stronger than in the
+    # paper because the generated positives are concentrated around the ten
+    # hint keywords (see EXPERIMENTS.md); we therefore only require Darwin to
+    # stay in the same range rather than dominate KS here.
+    assert finals["Darwin(HS)"] >= 0.5
+    assert finals["Darwin(HS)"] >= finals["AL"] - 0.05
+    assert finals["Darwin(HS)"] >= finals["KS"] - 0.3

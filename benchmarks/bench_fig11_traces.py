@@ -1,0 +1,39 @@
+"""Figure 11: example HybridSearch traversal traces on two datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.traversal_traces import traversal_trace_experiment
+
+from bench_utils import extra_info_from
+
+
+@pytest.mark.parametrize("dataset_fixture", ["cause_effect_setting", "directions_setting"])
+def test_fig11_traversal_trace(benchmark, request, dataset_fixture):
+    """Print the sequence of queried rules (the content of Figure 11)."""
+    setting = request.getfixturevalue(dataset_fixture)
+    result = benchmark.pedantic(
+        traversal_trace_experiment,
+        kwargs={"setting": setting, "budget": 40},
+        rounds=1, iterations=1,
+    )
+    print(f"\nFigure 11 ({setting.dataset}): HybridSearch traversal trace")
+    print(f"seed rule(s): {', '.join(result.metadata['seed_rules'])}")
+    for entry in result.metadata["trace"]:
+        marker = "+" if entry["answer"] == "YES" else "-"
+        print(f"  {entry['question']:>3} [{marker}] {entry['rule']}  "
+              f"(|C_r|={entry['coverage']})")
+    accepted = result.metadata["accepted_rules"]
+    print(f"accepted rule path: {' -> '.join(accepted) if accepted else '(none)'}")
+
+    benchmark.extra_info.update(extra_info_from(result))
+    benchmark.extra_info["accepted_rules"] = accepted
+    # The trace must contain accepted rules beyond the seed, including ones
+    # sharing no token with it (the paper's 'best way to get to' -> 'shuttle to'
+    # style jump).
+    assert accepted
+    seed_tokens = set()
+    for seed in result.metadata["seed_rules"]:
+        seed_tokens.update(seed.lower().split())
+    assert any(not (set(rule.split()) & seed_tokens) for rule in accepted)

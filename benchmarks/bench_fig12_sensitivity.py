@@ -1,0 +1,49 @@
+"""Figure 12: sensitivity to the HybridSearch parameter tau and to the seed rule."""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import seed_rule_sweep, tau_sweep
+
+from bench_utils import extra_info_from, report_curves
+
+TAUS = (3, 5, 7, 9)
+SEED_RULES = (
+    "composer",
+    "piano",
+    "beethoven taught piano to the daughters of a countess",
+)
+
+
+def test_fig12a_tau_sensitivity(benchmark, musicians_setting, bench_budget):
+    """Figure 12(a): Darwin(HS) coverage for tau in {3,5,7,9} on musicians."""
+    result = benchmark.pedantic(
+        tau_sweep,
+        kwargs={"setting": musicians_setting, "taus": TAUS, "budget": bench_budget},
+        rounds=1, iterations=1,
+    )
+    report_curves(result, "Figure 12(a) musicians: sensitivity to tau")
+    benchmark.extra_info.update(extra_info_from(result))
+    finals = result.final_values()
+    # Paper shape: performance is insensitive to tau.
+    assert max(finals.values()) - min(finals.values()) <= 0.35
+    assert all(value >= 0.4 for value in finals.values())
+
+
+def test_fig12b_seed_rule_sensitivity(benchmark, musicians_setting, bench_budget):
+    """Figure 12(b): Darwin(HS) coverage for three different seed rules."""
+    result = benchmark.pedantic(
+        seed_rule_sweep,
+        kwargs={
+            "setting": musicians_setting,
+            "seed_rules": SEED_RULES,
+            "budget": bench_budget,
+        },
+        rounds=1, iterations=1,
+    )
+    report_curves(result, "Figure 12(b) musicians: sensitivity to the seed rule")
+    for position, seed_rule in enumerate(SEED_RULES, start=1):
+        print(f"  Rule {position}: {seed_rule!r}")
+    benchmark.extra_info.update(extra_info_from(result))
+    finals = result.final_values()
+    # Paper shape: all three seeds converge to similar coverage.
+    assert all(value >= 0.4 for value in finals.values())

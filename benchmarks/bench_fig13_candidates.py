@@ -1,0 +1,28 @@
+"""Figure 13: sensitivity to the number of generated candidate rules."""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import candidate_sweep
+
+from bench_utils import extra_info_from, report_curves
+
+CANDIDATE_COUNTS = (500, 1000, 2000)
+
+
+def test_fig13_candidate_count_sensitivity(benchmark, musicians_setting, bench_budget):
+    """Darwin(HS) coverage for candidate pools of 0.5K / 1K / 2K rules."""
+    result = benchmark.pedantic(
+        candidate_sweep,
+        kwargs={
+            "setting": musicians_setting,
+            "candidate_counts": CANDIDATE_COUNTS,
+            "budget": bench_budget,
+        },
+        rounds=1, iterations=1,
+    )
+    report_curves(result, "Figure 13 musicians: sensitivity to #candidates")
+    benchmark.extra_info.update(extra_info_from(result))
+    finals = result.final_values()
+    # Paper shape: performance is consistently similar across pool sizes.
+    assert max(finals.values()) - min(finals.values()) <= 0.35
+    assert all(value >= 0.4 for value in finals.values())

@@ -1,0 +1,34 @@
+"""Figure 14: effect of classifier training epochs on Darwin(HS)."""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import epoch_sweep
+
+from bench_utils import extra_info_from, report_series_over
+
+EPOCHS = (4, 6, 8, 10, 12)
+TARGET_COVERAGE = 0.75
+
+
+def test_fig14_classifier_epochs(benchmark, musicians_setting, bench_budget):
+    """Questions needed to label 75% of the positives vs. training epochs."""
+    result = benchmark.pedantic(
+        epoch_sweep,
+        kwargs={
+            "setting": musicians_setting,
+            "epochs": EPOCHS,
+            "budget": bench_budget,
+            "target_coverage": TARGET_COVERAGE,
+        },
+        rounds=1, iterations=1,
+    )
+    report_series_over(
+        result, "epochs", EPOCHS,
+        title="Figure 14 musicians: #questions to reach 75% coverage vs. epochs",
+    )
+    benchmark.extra_info.update(extra_info_from(result))
+    questions = result.series["questions_to_target"]
+    # Paper shape: robust to classifier over/under-fitting — every setting
+    # reaches the target within the budget, with limited spread.
+    assert all(q <= bench_budget for q in questions)
+    assert max(questions) - min(questions) <= bench_budget * 0.75

@@ -1,0 +1,34 @@
+"""Figure 7: coverage vs. random seed-set size — Snuba vs. Darwin(HS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.seed_size import seed_size_experiment
+
+from bench_utils import extra_info_from, report_series_over
+
+SEED_SIZES = (25, 50, 125, 250)
+
+
+@pytest.mark.parametrize("dataset_fixture", ["directions_setting", "musicians_setting"])
+def test_fig7_seed_size(benchmark, request, dataset_fixture, bench_budget):
+    """Figure 7(a)/(b): fraction of positives identified vs. #seed sentences."""
+    setting = request.getfixturevalue(dataset_fixture)
+    result = benchmark.pedantic(
+        seed_size_experiment,
+        kwargs={"setting": setting, "seed_sizes": SEED_SIZES, "budget": bench_budget},
+        rounds=1, iterations=1,
+    )
+    report_series_over(
+        result, "#seed sentences", SEED_SIZES,
+        title=f"Figure 7 ({setting.dataset}): coverage vs. seed size",
+    )
+    benchmark.extra_info.update(extra_info_from(result))
+
+    darwin = result.series["Darwin(HS)"]
+    snuba = result.series["Snuba"]
+    # Paper shape: Darwin already finds the majority of positives with the
+    # smallest seed set, while Snuba needs far more labeled data to catch up.
+    assert darwin[0] >= 0.5
+    assert darwin[0] > snuba[0]

@@ -1,0 +1,44 @@
+"""Figure 8: coverage vs. *biased* seed-set size — Snuba vs. Darwin(HS).
+
+The seed pool excludes every sentence containing the dataset's characteristic
+token ("shuttle" for directions, "composer" for musicians), so Snuba has no
+evidence for that positive mode while Darwin can still reach it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.seed_size import seed_size_experiment
+
+from bench_utils import extra_info_from, report_series_over
+
+SEED_SIZES = (25, 50, 200)
+
+
+@pytest.mark.parametrize("dataset_fixture", ["directions_setting", "musicians_setting"])
+def test_fig8_biased_seed(benchmark, request, dataset_fixture, bench_budget):
+    """Figure 8(a)/(b): coverage vs. biased seed size."""
+    setting = request.getfixturevalue(dataset_fixture)
+    result = benchmark.pedantic(
+        seed_size_experiment,
+        kwargs={
+            "setting": setting,
+            "seed_sizes": SEED_SIZES,
+            "budget": bench_budget,
+            "biased": True,
+        },
+        rounds=1, iterations=1,
+    )
+    report_series_over(
+        result, "#seed sentences (biased)", SEED_SIZES,
+        title=f"Figure 8 ({setting.dataset}): coverage vs. biased seed size "
+              f"(excluding '{setting.biased_exclude_token}')",
+    )
+    benchmark.extra_info.update(extra_info_from(result))
+
+    darwin = result.series["Darwin(HS)"]
+    snuba = result.series["Snuba"]
+    # Paper shape: the bias barely affects Darwin while Snuba stays below it.
+    assert darwin[0] >= 0.5
+    assert all(d >= s for d, s in zip(darwin, snuba))

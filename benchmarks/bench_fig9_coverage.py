@@ -1,0 +1,38 @@
+"""Figure 9(a-d): rule coverage vs. #questions for Darwin(HS/US/LS) and HighP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.coverage_curves import coverage_experiment
+
+from bench_utils import extra_info_from, report_curves
+
+FIGURES = {
+    "musicians_setting": "Figure 9(a) musicians",
+    "cause_effect_setting": "Figure 9(b) cause-effect",
+    "directions_setting": "Figure 9(c) directions",
+    "tweets_setting": "Figure 9(d) food-tweets",
+}
+
+
+@pytest.mark.parametrize("dataset_fixture", sorted(FIGURES))
+def test_fig9_rule_coverage(benchmark, request, dataset_fixture, bench_budget):
+    """Coverage curves for all traversal strategies plus the HighP baseline."""
+    setting = request.getfixturevalue(dataset_fixture)
+    result = benchmark.pedantic(
+        coverage_experiment,
+        kwargs={"setting": setting, "budget": bench_budget},
+        rounds=1, iterations=1,
+    )
+    report_curves(result, f"{FIGURES[dataset_fixture]}: coverage vs. #questions")
+    benchmark.extra_info.update(extra_info_from(result))
+
+    finals = result.final_values()
+    # Paper shape: Darwin(HS) reaches high coverage within the budget and is
+    # never dominated by the HighP baseline at the end of the run.
+    assert finals["Darwin(HS)"] >= 0.6
+    assert finals["Darwin(HS)"] >= finals["highP"] - 0.05
+    # LocalSearch is the strategy that plateaus when precise rules are spread
+    # out; it should never end above HybridSearch by a large margin.
+    assert finals["Darwin(HS)"] >= finals["Darwin(LS)"] - 0.1

@@ -1,0 +1,36 @@
+"""Figure 9(e-h): classifier F-score vs. #questions for Darwin(HS), AL, KS, HighP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fscore_curves import fscore_experiment
+
+from bench_utils import extra_info_from, report_curves
+
+FIGURES = {
+    "musicians_setting": "Figure 9(e) musicians",
+    "cause_effect_setting": "Figure 9(f) cause-effect",
+    "directions_setting": "Figure 9(g) directions",
+    "tweets_setting": "Figure 9(h) food-tweets",
+}
+
+
+@pytest.mark.parametrize("dataset_fixture", sorted(FIGURES))
+def test_fig9_classifier_fscore(benchmark, request, dataset_fixture, bench_budget):
+    """F-score curves of the classifier trained with each technique's labels."""
+    setting = request.getfixturevalue(dataset_fixture)
+    result = benchmark.pedantic(
+        fscore_experiment,
+        kwargs={"setting": setting, "budget": bench_budget},
+        rounds=1, iterations=1,
+    )
+    report_curves(result, f"{FIGURES[dataset_fixture]}: F-score vs. #questions")
+    benchmark.extra_info.update(extra_info_from(result))
+
+    finals = result.final_values()
+    # Paper shape: Darwin(HS) dominates the instance-labeling baselines, whose
+    # classifiers are trained on only a handful of labeled sentences.
+    assert finals["Darwin(HS)"] >= 0.55
+    assert finals["Darwin(HS)"] >= finals["AL"] - 0.05
+    assert finals["Darwin(HS)"] >= finals["KS"] - 0.05

@@ -1,0 +1,25 @@
+"""Table 1: dataset statistics of the generated corpora."""
+
+from __future__ import annotations
+
+from repro.experiments.dataset_stats import format_table1, table1
+
+
+def test_table1_dataset_statistics(benchmark, bench_scale):
+    """Regenerate Table 1 and print generated-vs-paper statistics."""
+    rows = benchmark.pedantic(
+        table1, kwargs={"scale": bench_scale, "seed": 7}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(rows))
+    benchmark.extra_info["datasets"] = {
+        row["dataset"]: {
+            "num_sentences": row["num_sentences"],
+            "positive_fraction": round(float(row["positive_fraction"]), 4),
+        }
+        for row in rows
+    }
+    assert len(rows) == 5
+    for row in rows:
+        # The generated imbalance must track the paper's Table 1 ratios.
+        assert abs(row["positive_fraction"] - row["paper_positive_fraction"]) < 0.02

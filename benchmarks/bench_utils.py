@@ -1,0 +1,38 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.evaluation.reporting import format_curve_table, format_table
+from repro.evaluation.runner import ExperimentResult
+
+
+def report_curves(result: ExperimentResult, title: str, step: int = 10) -> None:
+    """Print an experiment's curves in the layout the paper's figures use."""
+    print()
+    print(format_curve_table(result.series, step=step, title=title))
+    finals = result.final_values()
+    print("final values: " + ", ".join(f"{k}={v:.3f}" for k, v in finals.items()))
+
+
+def report_series_over(result: ExperimentResult, x_label: str,
+                       x_values: Sequence[object], title: str) -> None:
+    """Print series measured over an explicit x-axis (seed sizes, epochs...)."""
+    headers = [x_label] + list(result.series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x]
+        for series in result.series.values():
+            row.append(series[index] if index < len(series) else "")
+        rows.append(row)
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def extra_info_from(result: ExperimentResult) -> Dict[str, object]:
+    """Compact summary attached to pytest-benchmark's JSON output."""
+    info: Dict[str, object] = {"experiment": result.name}
+    for label, value in result.final_values().items():
+        info[f"final::{label}"] = round(float(value), 4)
+    return info

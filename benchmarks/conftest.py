@@ -1,0 +1,89 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the corresponding rows/series. Datasets are generated at a reduced
+scale (the ``BENCH_SCALE`` constant) so the full harness completes in a few
+minutes on a laptop; pass ``--bench-scale`` to run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClassifierConfig, DarwinConfig
+from repro.experiments.common import ExperimentSetting, prepare_dataset
+
+DEFAULT_BENCH_SCALE = 0.06
+DEFAULT_BENCH_BUDGET = 60
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        type=float,
+        default=DEFAULT_BENCH_SCALE,
+        help="Fraction of each dataset's paper-scale size to generate "
+             f"(default {DEFAULT_BENCH_SCALE}).",
+    )
+    parser.addoption(
+        "--bench-budget",
+        action="store",
+        type=int,
+        default=DEFAULT_BENCH_BUDGET,
+        help=f"Oracle-query budget per run (default {DEFAULT_BENCH_BUDGET}).",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> float:
+    return float(request.config.getoption("--bench-scale"))
+
+
+@pytest.fixture(scope="session")
+def bench_budget(request) -> int:
+    return int(request.config.getoption("--bench-budget"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> DarwinConfig:
+    """Darwin configuration shared by all benchmark runs."""
+    return DarwinConfig(
+        budget=DEFAULT_BENCH_BUDGET,
+        num_candidates=1000,
+        min_coverage=2,
+        classifier=ClassifierConfig(epochs=40, embedding_dim=40),
+    )
+
+
+def _prepare(name: str, scale: float, config: DarwinConfig, seed: int = 7,
+             **kwargs) -> ExperimentSetting:
+    return prepare_dataset(name, scale=scale, seed=seed, config=config, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def directions_setting(bench_scale, bench_config) -> ExperimentSetting:
+    return _prepare("directions", bench_scale, bench_config)
+
+
+@pytest.fixture(scope="session")
+def musicians_setting(bench_scale, bench_config) -> ExperimentSetting:
+    return _prepare("musicians", bench_scale, bench_config)
+
+
+@pytest.fixture(scope="session")
+def cause_effect_setting(bench_scale, bench_config) -> ExperimentSetting:
+    return _prepare("cause-effect", bench_scale, bench_config)
+
+
+@pytest.fixture(scope="session")
+def tweets_setting(bench_scale, bench_config) -> ExperimentSetting:
+    # The tweets corpus is small (2130 sentences); keep at least half of it.
+    return _prepare("tweets", max(bench_scale, 0.5), bench_config)
+
+
+@pytest.fixture(scope="session")
+def professions_setting(bench_scale, bench_config) -> ExperimentSetting:
+    # professions defaults to 50K sentences; scale it down further but keep the
+    # 1.1% imbalance that makes it the hardest dataset.
+    return _prepare("professions", min(bench_scale, 0.05), bench_config)

@@ -1,0 +1,88 @@
+"""Interactive rule-verification session (the paper's Figure 2 workflow).
+
+Darwin proposes one candidate rule at a time together with a few matching
+sentences; you answer y/n. Run interactively::
+
+    python examples/interactive_session.py
+
+or let the built-in simulated annotator answer for you (no input needed)::
+
+    python examples/interactive_session.py --auto
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Darwin, DarwinConfig, LabelingSession
+from repro.datasets import load_dataset
+
+
+def ask_human(question) -> bool:
+    """Prompt the user for a YES/NO judgement on a candidate rule."""
+    print("\n" + "=" * 70)
+    print(f"Is the following rule useful for the 'directions' intent?\n")
+    print(f"    RULE: {question.rendered}\n")
+    print("Example sentences matching the rule:")
+    for text in question.example_texts:
+        print(f"    - {text}")
+    while True:
+        reply = input("\nUseful? [y/n] ").strip().lower()
+        if reply in {"y", "yes"}:
+            return True
+        if reply in {"n", "no"}:
+            return False
+        print("please answer 'y' or 'n'")
+
+
+def ask_simulated(question, corpus) -> bool:
+    """Auto-answer like the paper's oracle: YES iff coverage is 80% positive."""
+    positives = corpus.positive_ids()
+    precision = question.rule.precision(positives)
+    answer = precision >= 0.8
+    print(f"[auto] {question.rendered!r:40s} precision={precision:.2f} -> "
+          f"{'YES' if answer else 'NO'}")
+    return answer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--auto", action="store_true",
+                        help="answer questions with a simulated annotator")
+    parser.add_argument("--budget", type=int, default=25,
+                        help="number of questions to answer (default 25)")
+    args = parser.parse_args()
+
+    corpus = load_dataset("directions", num_sentences=1500, seed=7)
+    darwin = Darwin(corpus, config=DarwinConfig(budget=args.budget, num_candidates=800))
+    session = LabelingSession(
+        darwin, budget=args.budget, seed_rule_texts=["best way to get to"]
+    )
+
+    print(f"Loaded {len(corpus)} sentences; seed rule: 'best way to get to'")
+    print(f"You will be asked up to {args.budget} questions.\n")
+
+    while not session.is_done:
+        question = session.next_question()
+        if question is None:
+            print("Darwin has no more candidate rules to propose.")
+            break
+        if args.auto or not sys.stdin.isatty():
+            answer = ask_simulated(question, corpus)
+        else:
+            answer = ask_human(question)
+        record = session.submit_answer(answer)
+        print(f"    -> coverage now {record.covered} sentences "
+              f"(recall {record.recall:.2f})")
+
+    print("\n" + "=" * 70)
+    print(f"Accepted rules after {session.questions_asked} questions:")
+    for rule in session.accepted_rules():
+        print(f"  - {rule}")
+    result = session.result()
+    print(f"\nfinal coverage (recall over positives): {result.final_recall:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Relation extraction with the TreeMatch grammar and a Snorkel-style pipeline.
+
+This example exercises the parts of Darwin beyond simple phrase rules:
+
+1. the corpus is the cause-effect relation-extraction task,
+2. Darwin searches over *two* grammars at once — TokensRegex phrases and
+   TreeMatch patterns over dependency parse trees (Definition 3),
+3. the discovered rules are handed to the generative label model (the role
+   Snorkel plays in the paper's Table 2) and an end classifier is trained on
+   the de-noised labels.
+
+Run with::
+
+    python examples/relation_extraction_treematch.py
+"""
+
+from __future__ import annotations
+
+from repro import Darwin, DarwinConfig, GroundTruthOracle
+from repro.config import ClassifierConfig
+from repro.datasets import load_dataset
+from repro.grammars import TokensRegexGrammar, TreeMatchGrammar
+from repro.labeling import LabelMatrix, WeakSupervisionPipeline
+
+
+def main() -> None:
+    # Dependency trees are required by the TreeMatch grammar.
+    corpus = load_dataset("cause-effect", num_sentences=1500, seed=3, parse_trees=True)
+    print(f"cause-effect corpus: {len(corpus)} sentences, "
+          f"{100 * corpus.positive_fraction():.1f}% positive")
+
+    grammars = [
+        TokensRegexGrammar(max_phrase_len=4),
+        TreeMatchGrammar(max_pattern_size=3),
+    ]
+    config = DarwinConfig(
+        budget=60,
+        num_candidates=1200,
+        max_sketch_depth=6,
+        classifier=ClassifierConfig(epochs=40),
+    )
+    darwin = Darwin(corpus, grammars=grammars, config=config)
+    oracle = GroundTruthOracle(corpus)
+
+    result = darwin.run(oracle, seed_rule_texts=["was caused by"])
+    print(f"\nasked {result.queries_used} questions, "
+          f"accepted {len(result.rule_set)} rules, "
+          f"coverage {result.final_recall:.2f}")
+
+    print("\ndiscovered rules by grammar:")
+    for rule in result.rule_set.rules:
+        print(f"  [{rule.grammar.name:11s}] {rule.render()!r} "
+              f"covers {rule.coverage_size}")
+
+    # ----------------------------------------------------------- label model
+    matrix = LabelMatrix.from_rule_set(result.rule_set, corpus)
+    print("\nlabel matrix summary:", matrix.summary())
+
+    pipeline = WeakSupervisionPipeline(corpus, featurizer=darwin.featurizer)
+    direct = pipeline.train_end_classifier(result.rule_set, use_label_model=False)
+    denoised = pipeline.train_end_classifier(result.rule_set, use_label_model=True)
+    print(f"\nend classifier trained on raw rule labels:      F1 = {direct.f1:.2f}")
+    print(f"end classifier trained on de-noised labels:      F1 = {denoised.f1:.2f}")
+    print("(Table 2's observation: with precise rules, de-noising changes little)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65.x without the ``wheel`` package,
+so PEP 660 editable installs (which require ``bdist_wheel``) are unavailable.
+Keeping a ``setup.py`` and omitting the ``[build-system]`` table from
+``pyproject.toml`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` code path, which works offline. All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

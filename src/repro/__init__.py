@@ -1,0 +1,97 @@
+"""repro — a reproduction of "Adaptive Rule Discovery for Labeling Text Data".
+
+The package implements Darwin, an interactive system that discovers labeling
+heuristics (rules) for weakly-supervised text labeling, together with every
+substrate the paper relies on: a text-processing pipeline, heuristic grammars,
+a corpus index over derivation sketches, benefit classifiers, a Snorkel-style
+label model, the Snuba / active-learning / keyword-sampling baselines, five
+synthetic dataset generators mirroring the paper's corpora, and an experiment
+harness regenerating every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import Darwin, DarwinConfig, GroundTruthOracle
+    from repro.datasets import load_dataset
+
+    corpus = load_dataset("directions", scale=0.2, seed=7)
+    darwin = Darwin(corpus, config=DarwinConfig(budget=50))
+    oracle = GroundTruthOracle(corpus)
+    result = darwin.run(oracle, seed_rule_texts=["best way to get to"])
+    print(result.final_recall, result.accepted_rules()[:5])
+"""
+
+from .config import ClassifierConfig, DarwinConfig, DEFAULT_CONFIG
+from .errors import (
+    BudgetExhaustedError,
+    ClassifierError,
+    ConfigurationError,
+    CorpusIndexError,
+    DatasetError,
+    EvaluationError,
+    GrammarError,
+    OracleError,
+    ReproError,
+    RuleParseError,
+    TraversalError,
+)
+from .core import (
+    BenefitScorer,
+    BudgetedOracle,
+    Darwin,
+    DarwinResult,
+    GroundTruthOracle,
+    LabelingSession,
+    MajorityVoteOracle,
+    NoisyOracle,
+    Oracle,
+    OracleAnswer,
+    OracleQuery,
+    QueryRecord,
+    SampleBasedOracle,
+)
+from .grammars import TokensRegexGrammar, TreeMatchGrammar, TreePattern
+from .index import CorpusIndex, RuleHierarchy
+from .rules import LabelingHeuristic, RuleSet
+from .text import Corpus, Sentence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassifierConfig",
+    "DarwinConfig",
+    "DEFAULT_CONFIG",
+    "ReproError",
+    "ConfigurationError",
+    "GrammarError",
+    "RuleParseError",
+    "CorpusIndexError",
+    "TraversalError",
+    "OracleError",
+    "BudgetExhaustedError",
+    "ClassifierError",
+    "DatasetError",
+    "EvaluationError",
+    "Darwin",
+    "DarwinResult",
+    "QueryRecord",
+    "LabelingSession",
+    "BenefitScorer",
+    "Oracle",
+    "OracleQuery",
+    "OracleAnswer",
+    "GroundTruthOracle",
+    "SampleBasedOracle",
+    "NoisyOracle",
+    "MajorityVoteOracle",
+    "BudgetedOracle",
+    "TokensRegexGrammar",
+    "TreeMatchGrammar",
+    "TreePattern",
+    "CorpusIndex",
+    "RuleHierarchy",
+    "LabelingHeuristic",
+    "RuleSet",
+    "Corpus",
+    "Sentence",
+    "__version__",
+]

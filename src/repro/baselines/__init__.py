@@ -1,0 +1,25 @@
+"""Baseline techniques Darwin is compared against in the evaluation.
+
+* :class:`SnubaBaseline` — automatic heuristic synthesis from a labeled subset
+  (Figures 7 and 8),
+* :class:`HighPrecisionBaseline` (HighP) and :class:`HighCoverageBaseline`
+  (HighC) — simpler oracle-driven rule selectors (Figures 9 and 10),
+* :class:`ActiveLearningBaseline` (AL) — entropy-based instance labeling,
+* :class:`KeywordSamplingBaseline` (KS) — keyword-filtered random labeling.
+"""
+
+from .snuba import SnubaBaseline, SnubaResult
+from .rule_baselines import HighCoverageBaseline, HighPrecisionBaseline, RuleBaselineResult
+from .active_learning import ActiveLearningBaseline, InstanceLabelingResult
+from .keyword_sampling import KeywordSamplingBaseline
+
+__all__ = [
+    "SnubaBaseline",
+    "SnubaResult",
+    "HighPrecisionBaseline",
+    "HighCoverageBaseline",
+    "RuleBaselineResult",
+    "ActiveLearningBaseline",
+    "InstanceLabelingResult",
+    "KeywordSamplingBaseline",
+]

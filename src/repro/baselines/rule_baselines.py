@@ -1,0 +1,217 @@
+"""Oracle-driven rule-selection baselines: HighP and HighC (Section 4.3).
+
+Both reuse Darwin's corpus index, classifier and oracle, but replace the
+hierarchy traversal with a one-dimensional selection criterion:
+
+* **HighP** submits the candidate whose coverage the classifier believes is
+  most *precise* (highest mean predicted probability), ignoring how many
+  sentences it covers — so it tends to pick tiny, redundant rules.
+* **HighC** submits the candidate with the largest raw coverage, ignoring
+  expected precision — most of its suggestions get rejected by the oracle
+  (which is why the paper omits it from the plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..classifier.features import SentenceFeaturizer
+from ..classifier.trainer import ClassifierTrainer
+from ..config import DEFAULT_CONFIG, DarwinConfig
+from ..core.candidates import CandidateOptions, generate_candidates
+from ..core.oracle import BudgetedOracle, Oracle
+from ..errors import BudgetExhaustedError, ConfigurationError
+from ..grammars.base import HeuristicGrammar
+from ..grammars.tokensregex import TokensRegexGrammar
+from ..index.trie_index import CorpusIndex
+from ..rules.heuristic import LabelingHeuristic
+from ..rules.rule_set import RuleSet
+from ..text.corpus import Corpus
+
+
+@dataclass
+class RuleBaselineResult:
+    """History-compatible result for the rule-selection baselines.
+
+    Attributes:
+        rule_set: Accepted rules.
+        covered_ids: Union coverage ``P``.
+        recall_curve: Recall of ``P`` after each oracle question.
+        f1_curve: Classifier F1 after each oracle question.
+        queries_used: Oracle queries consumed.
+    """
+
+    rule_set: RuleSet
+    covered_ids: Set[int]
+    recall_curve: List[float] = field(default_factory=list)
+    f1_curve: List[float] = field(default_factory=list)
+    queries_used: int = 0
+
+    @property
+    def final_recall(self) -> float:
+        """Recall after the last question (0.0 with no questions)."""
+        return self.recall_curve[-1] if self.recall_curve else 0.0
+
+
+class _GreedyRuleBaseline:
+    """Shared loop: select a candidate by some criterion, ask the oracle."""
+
+    criterion: str = "abstract"
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        grammars: Optional[Sequence[HeuristicGrammar]] = None,
+        config: Optional[DarwinConfig] = None,
+        index: Optional[CorpusIndex] = None,
+        featurizer: Optional[SentenceFeaturizer] = None,
+    ) -> None:
+        self.corpus = corpus
+        self.config = config or DEFAULT_CONFIG
+        self.grammars = list(grammars or [TokensRegexGrammar(self.config.max_phrase_len)])
+        self.index = index or CorpusIndex.build(
+            corpus,
+            self.grammars,
+            max_depth=self.config.max_sketch_depth,
+            min_coverage=self.config.min_coverage,
+        )
+        self.featurizer = featurizer or SentenceFeaturizer.fit(
+            corpus,
+            embedding_dim=self.config.classifier.embedding_dim,
+            seed=self.config.classifier.seed,
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        oracle: Oracle,
+        seed_rule_texts: Sequence[str],
+        budget: Optional[int] = None,
+        evaluation_positive_ids: Optional[Set[int]] = None,
+    ) -> RuleBaselineResult:
+        """Run the greedy select-and-verify loop against ``oracle``."""
+        budget = budget or self.config.budget
+        budgeted = oracle if isinstance(oracle, BudgetedOracle) else BudgetedOracle(
+            base=oracle, budget=budget
+        )
+        grammar = self.grammars[0]
+        rule_set = RuleSet()
+        positives: Set[int] = set()
+        for text in seed_rule_texts:
+            expression = grammar.parse(text)
+            coverage = self.index.coverage_of_expression(grammar.name, expression, self.corpus)
+            rule = LabelingHeuristic(grammar=grammar, expression=expression).with_coverage(coverage)
+            rule_set.add(rule)
+            positives.update(coverage)
+        if not positives:
+            raise ConfigurationError("seed rules produced no coverage")
+
+        trainer = ClassifierTrainer(self.corpus, self.featurizer, config=self.config.classifier)
+        trainer.retrain(positives)
+
+        truth = evaluation_positive_ids
+        if truth is None and self.corpus.has_labels():
+            truth = self.corpus.positive_ids()
+        truth = truth or set()
+
+        queried: Set[LabelingHeuristic] = set()
+        recall_curve: List[float] = []
+        f1_curve: List[float] = []
+
+        options = CandidateOptions(
+            num_candidates=self.config.num_candidates,
+            min_coverage=self.config.min_coverage,
+        )
+        candidates = generate_candidates(self.index, positives, options)
+
+        while budgeted.queries_used < budget:
+            pool = [c for c in candidates if c not in queried]
+            if not pool:
+                break
+            scores = trainer.score_corpus()
+            rule = self._select(pool, scores, positives)
+            if rule is None:
+                break
+            queried.add(rule)
+            try:
+                answer = budgeted.ask(rule, sorted(rule.coverage)[: self.config.oracle_sample_size])
+            except BudgetExhaustedError:
+                break
+            if answer.is_useful:
+                new_positives = rule.new_positives(positives)
+                rule_set.add(rule)
+                positives.update(rule.coverage)
+                if new_positives:
+                    trainer.retrain(positives)
+                    candidates = generate_candidates(self.index, positives, options)
+            recall_curve.append(rule_set.recall(truth) if truth else 0.0)
+            f1_curve.append(trainer.f1_against(truth) if truth else 0.0)
+
+        return RuleBaselineResult(
+            rule_set=rule_set,
+            covered_ids=rule_set.covered_ids,
+            recall_curve=recall_curve,
+            f1_curve=f1_curve,
+            queries_used=budgeted.queries_used,
+        )
+
+    # ----------------------------------------------------------- selection
+    def _select(
+        self,
+        pool: List[LabelingHeuristic],
+        scores: np.ndarray,
+        positives: Set[int],
+    ) -> Optional[LabelingHeuristic]:
+        raise NotImplementedError
+
+
+class HighPrecisionBaseline(_GreedyRuleBaseline):
+    """HighP: pick the candidate with the highest expected precision."""
+
+    criterion = "high-precision"
+
+    def _select(
+        self,
+        pool: List[LabelingHeuristic],
+        scores: np.ndarray,
+        positives: Set[int],
+    ) -> Optional[LabelingHeuristic]:
+        best_rule = None
+        best_key = (-1.0, 0, "")
+        for rule in pool:
+            new_ids = [i for i in rule.coverage if i not in positives]
+            if not new_ids:
+                continue
+            expected_precision = float(scores[np.array(new_ids)].mean())
+            key = (expected_precision, -rule.coverage_size, rule.render())
+            # Prefer higher precision; among ties prefer *smaller* coverage,
+            # which is exactly HighP's failure mode.
+            if best_rule is None or key > best_key:
+                best_rule, best_key = rule, key
+        return best_rule
+
+
+class HighCoverageBaseline(_GreedyRuleBaseline):
+    """HighC: pick the candidate with the largest raw coverage."""
+
+    criterion = "high-coverage"
+
+    def _select(
+        self,
+        pool: List[LabelingHeuristic],
+        scores: np.ndarray,
+        positives: Set[int],
+    ) -> Optional[LabelingHeuristic]:
+        best_rule = None
+        best_key = (-1, "")
+        for rule in pool:
+            new_count = len([i for i in rule.coverage if i not in positives])
+            if new_count == 0:
+                continue
+            key = (new_count, rule.render())
+            if best_rule is None or key > best_key:
+                best_rule, best_key = rule, key
+        return best_rule

@@ -1,0 +1,190 @@
+"""A reimplementation of the Snuba baseline (Varma & Ré, VLDB 2019).
+
+Snuba automatically synthesizes labeling heuristics from a small *labeled*
+subset of the data: it enumerates candidate heuristics from cheap primitives,
+scores each on the labeled subset, and greedily selects a diverse committee.
+It never queries an oracle — its supervision budget is the labeled subset.
+
+The reproduction implements the parts that drive the paper's Figure 7/8
+comparison:
+
+* primitives are token n-grams drawn from the *labeled positive* sentences
+  (Snuba's text primitives are bag-of-words features; n-gram decision stumps
+  over them are the heuristics it ends up with),
+* each candidate is scored by F1 on the labeled subset, with an abstain-aware
+  precision estimate,
+* selection is iterative: the candidate with the best score on the labeled
+  points not yet covered is added until no candidate clears the precision
+  threshold or the committee size cap is reached.
+
+Because heuristics are induced only from evidence present in the labeled
+subset, Snuba cannot discover rules for positive modes absent from the seed —
+the behaviour Figure 8's biased-seed experiment isolates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DatasetError
+from ..evaluation.metrics import binary_f1, coverage_recall
+from ..grammars.tokensregex import TokensRegexGrammar
+from ..rules.heuristic import LabelingHeuristic
+from ..rules.rule_set import RuleSet
+from ..text.corpus import Corpus
+
+
+@dataclass
+class SnubaResult:
+    """Output of a Snuba run.
+
+    Attributes:
+        rule_set: The synthesized heuristics (with corpus-wide coverage).
+        covered_ids: Union coverage over the *full* corpus.
+        coverage: Recall of the union coverage over ground-truth positives.
+        labeled_subset_size: Number of labeled examples Snuba was given.
+        candidate_count: Number of candidate heuristics considered.
+    """
+
+    rule_set: RuleSet
+    covered_ids: Set[int]
+    coverage: float
+    labeled_subset_size: int
+    candidate_count: int
+
+
+class SnubaBaseline:
+    """Heuristic synthesis from a labeled subset.
+
+    Args:
+        corpus: The full corpus (used to compute corpus-wide coverage).
+        max_phrase_len: Maximum n-gram length of candidate heuristics.
+        precision_threshold: Candidates below this precision on the labeled
+            subset are never selected (Snuba's pruning).
+        max_heuristics: Committee size cap.
+        min_labeled_coverage: A candidate must match at least this many labeled
+            examples to have a reliable estimate.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        max_phrase_len: int = 3,
+        precision_threshold: float = 0.7,
+        max_heuristics: int = 25,
+        min_labeled_coverage: int = 2,
+    ) -> None:
+        self.corpus = corpus
+        self.grammar = TokensRegexGrammar(max_phrase_len=max_phrase_len)
+        self.max_phrase_len = max_phrase_len
+        self.precision_threshold = precision_threshold
+        self.max_heuristics = max_heuristics
+        self.min_labeled_coverage = min_labeled_coverage
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        labeled_ids: Sequence[int],
+        labels: Optional[Dict[int, bool]] = None,
+        evaluation_positive_ids: Optional[Set[int]] = None,
+    ) -> SnubaResult:
+        """Synthesize heuristics from the labeled subset ``labeled_ids``.
+
+        Args:
+            labeled_ids: Sentence ids of the labeled subset.
+            labels: Ground-truth labels for those ids; defaults to the corpus
+                labels when present.
+            evaluation_positive_ids: Positives used for the coverage metric
+                (defaults to the corpus positives).
+        """
+        labeled_ids = list(labeled_ids)
+        if not labeled_ids:
+            raise DatasetError("Snuba requires a non-empty labeled subset")
+        if labels is None:
+            if not self.corpus.has_labels():
+                raise DatasetError("labels are required when the corpus is unlabeled")
+            labels = {i: bool(self.corpus[i].label) for i in labeled_ids}
+        labeled_positives = {i for i in labeled_ids if labels.get(i)}
+        labeled_negatives = {i for i in labeled_ids if not labels.get(i)}
+
+        candidates = self._generate_candidates(labeled_positives)
+        selected = self._select_committee(candidates, labeled_positives, labeled_negatives)
+
+        rule_set = RuleSet()
+        for rule in selected:
+            rule_set.add(rule)
+        truth = evaluation_positive_ids
+        if truth is None and self.corpus.has_labels():
+            truth = self.corpus.positive_ids()
+        truth = truth or set()
+        coverage = coverage_recall(rule_set.covered_ids, truth)
+        return SnubaResult(
+            rule_set=rule_set,
+            covered_ids=rule_set.covered_ids,
+            coverage=coverage,
+            labeled_subset_size=len(labeled_ids),
+            candidate_count=len(candidates),
+        )
+
+    # -------------------------------------------------------------- internals
+    def _generate_candidates(
+        self, labeled_positives: Set[int]
+    ) -> List[LabelingHeuristic]:
+        """Candidate heuristics: n-grams occurring in labeled positive sentences.
+
+        Corpus-wide coverage of every candidate is computed in a single pass
+        over the corpus (an inverted n-gram list restricted to the candidate
+        expressions), keeping the run linear in corpus size.
+        """
+        expressions: Set[Tuple[str, ...]] = set()
+        for sentence_id in labeled_positives:
+            sentence = self.corpus[sentence_id]
+            for gram in sentence.ngrams(self.max_phrase_len):
+                expressions.add(gram)
+        coverage: Dict[Tuple[str, ...], Set[int]] = {expr: set() for expr in expressions}
+        for sentence in self.corpus:
+            for gram in set(sentence.ngrams(self.max_phrase_len)):
+                bucket = coverage.get(gram)
+                if bucket is not None:
+                    bucket.add(sentence.sentence_id)
+        candidates: List[LabelingHeuristic] = []
+        for expression in expressions:
+            rule = LabelingHeuristic(grammar=self.grammar, expression=expression)
+            candidates.append(rule.with_coverage(coverage[expression]))
+        return candidates
+
+    def _select_committee(
+        self,
+        candidates: List[LabelingHeuristic],
+        labeled_positives: Set[int],
+        labeled_negatives: Set[int],
+    ) -> List[LabelingHeuristic]:
+        """Greedy F1-and-diversity selection on the labeled subset."""
+        labeled = labeled_positives | labeled_negatives
+        selected: List[LabelingHeuristic] = []
+        covered_positives: Set[int] = set()
+
+        scored: List[Tuple[float, float, LabelingHeuristic]] = []
+        for rule in candidates:
+            labeled_coverage = set(rule.coverage) & labeled
+            if len(labeled_coverage) < self.min_labeled_coverage:
+                continue
+            hits = labeled_coverage & labeled_positives
+            precision = len(hits) / len(labeled_coverage)
+            if precision < self.precision_threshold:
+                continue
+            f1 = binary_f1(labeled_coverage, labeled_positives)
+            scored.append((f1, precision, rule))
+
+        scored.sort(key=lambda item: (-item[0], -item[1], item[2].render()))
+
+        for _, _, rule in scored:
+            if len(selected) >= self.max_heuristics:
+                break
+            new_hits = (set(rule.coverage) & labeled_positives) - covered_positives
+            if not new_hits and selected:
+                continue
+            selected.append(rule)
+            covered_positives.update(set(rule.coverage) & labeled_positives)
+        return selected

@@ -1,0 +1,32 @@
+"""Benefit-estimation classifiers (the paper's Kim-CNN substitute).
+
+Darwin trains a short-text classifier on the positives discovered so far (plus
+randomly-sampled presumed negatives) and uses its probability estimates to
+score how *beneficial* each candidate rule would be (Section 3.3). The paper
+uses a Kim (2014) convolutional network over SpaCy embeddings; this package
+provides three from-scratch numpy models with the same interface:
+
+* :class:`LogisticTextClassifier` — mean-embedding logistic regression
+  (default; fast enough to retrain after every oracle answer),
+* :class:`MLPTextClassifier` — one-hidden-layer network over the same features,
+* :class:`CNNTextClassifier` — 1-D convolution + max-pooling over the token
+  embedding matrix, the closest match to the paper's architecture.
+"""
+
+from .base import TextClassifier, TrainingSet
+from .features import SentenceFeaturizer
+from .logistic import LogisticTextClassifier
+from .mlp import MLPTextClassifier
+from .cnn import CNNTextClassifier
+from .trainer import ClassifierTrainer, make_classifier
+
+__all__ = [
+    "TextClassifier",
+    "TrainingSet",
+    "SentenceFeaturizer",
+    "LogisticTextClassifier",
+    "MLPTextClassifier",
+    "CNNTextClassifier",
+    "ClassifierTrainer",
+    "make_classifier",
+]

@@ -1,0 +1,90 @@
+"""Classifier interface and training-set container."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ClassifierError
+
+
+@dataclass(frozen=True)
+class TrainingSet:
+    """A featurized binary training set.
+
+    Attributes:
+        features: ``(n, d)`` feature matrix (or ``(n, max_len, d)`` token
+            matrices for the CNN).
+        labels: ``(n,)`` array of 0/1 labels.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ClassifierError("features and labels must have matching rows")
+        if self.labels.ndim != 1:
+            raise ClassifierError("labels must be one-dimensional")
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_positive(self) -> int:
+        """Number of positive (label 1) examples."""
+        return int(self.labels.sum())
+
+    @property
+    def num_negative(self) -> int:
+        """Number of negative (label 0) examples."""
+        return len(self) - self.num_positive
+
+
+class TextClassifier(ABC):
+    """Binary probabilistic classifier over featurized sentences."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has completed at least once."""
+        return self._fitted
+
+    @abstractmethod
+    def fit(self, training_set: TrainingSet) -> "TextClassifier":
+        """Train on ``training_set`` and return ``self``."""
+
+    @abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Return p(positive) for each row of ``features``."""
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at ``threshold``."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise ClassifierError(f"{type(self).__name__} used before fit()")
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic sigmoid."""
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def batches(
+    n: int, batch_size: int, rng: np.random.Generator
+) -> Sequence[np.ndarray]:
+    """Yield shuffled index batches covering ``range(n)``."""
+    order = rng.permutation(n)
+    return [order[start:start + batch_size] for start in range(0, n, batch_size)]

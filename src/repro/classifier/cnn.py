@@ -1,0 +1,169 @@
+"""A from-scratch numpy 1-D convolutional text classifier.
+
+This is the closest analogue to the Kim (2014) architecture the paper trains:
+word embeddings are stacked into an ``(max_len, dim)`` matrix, passed through
+1-D convolution filters of several widths, max-pooled over time, and fed to a
+dense sigmoid head. Gradients are derived by hand; the model is intentionally
+small so it can be retrained within a Darwin iteration on CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import derive_rng
+from .base import TextClassifier, TrainingSet, batches, sigmoid
+
+
+class CNNTextClassifier(TextClassifier):
+    """1-D CNN over token-embedding matrices.
+
+    Args:
+        filter_widths: Convolution window sizes (tokens per filter).
+        num_filters: Number of filters per width.
+        epochs: Training epochs.
+        learning_rate: SGD step size.
+        l2: L2 regularisation on all weights.
+        batch_size: Mini-batch size.
+        seed: RNG seed for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        filter_widths: Sequence[int] = (2, 3, 4),
+        num_filters: int = 8,
+        epochs: int = 10,
+        learning_rate: float = 0.05,
+        l2: float = 1e-4,
+        batch_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not filter_widths:
+            raise ValueError("at least one filter width is required")
+        if num_filters <= 0:
+            raise ValueError("num_filters must be positive")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.filter_widths = tuple(int(w) for w in filter_widths)
+        self.num_filters = num_filters
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.batch_size = batch_size
+        self.seed = seed
+        self.filters: Dict[int, np.ndarray] = {}
+        self.filter_bias: Dict[int, np.ndarray] = {}
+        self.dense_w: np.ndarray | None = None
+        self.dense_b: float = 0.0
+
+    # -------------------------------------------------------------- training
+    def fit(self, training_set: TrainingSet) -> "CNNTextClassifier":
+        tensors = np.asarray(training_set.features, dtype=np.float64)
+        labels = np.asarray(training_set.labels, dtype=np.float64)
+        if tensors.ndim != 3:
+            raise ValueError("CNNTextClassifier expects (n, max_len, dim) features")
+        n, max_len, dim = tensors.shape
+        rng = derive_rng(self.seed, "cnn-init")
+        self.filters = {}
+        self.filter_bias = {}
+        for width in self.filter_widths:
+            scale = 1.0 / np.sqrt(width * dim)
+            self.filters[width] = rng.standard_normal(
+                (self.num_filters, width, dim)
+            ) * scale
+            self.filter_bias[width] = np.zeros(self.num_filters)
+        total_filters = self.num_filters * len(self.filter_widths)
+        self.dense_w = rng.standard_normal(total_filters) / np.sqrt(total_filters)
+        self.dense_b = 0.0
+        if n == 0:
+            self._fitted = True
+            return self
+
+        positives = max(1.0, labels.sum())
+        negatives = max(1.0, n - labels.sum())
+        example_weights = np.where(labels > 0.5, n / (2 * positives), n / (2 * negatives))
+
+        for _ in range(self.epochs):
+            for batch in batches(n, self.batch_size, rng):
+                self._train_batch(tensors[batch], labels[batch], example_weights[batch])
+        self._fitted = True
+        return self
+
+    def _train_batch(
+        self, x: np.ndarray, y: np.ndarray, weights: np.ndarray
+    ) -> None:
+        pooled, caches = self._forward_features(x)
+        scores = pooled @ self.dense_w + self.dense_b
+        probs = sigmoid(scores)
+        error = (probs - y) * weights / max(len(y), 1)
+
+        grad_dense_w = pooled.T @ error + self.l2 * self.dense_w
+        grad_dense_b = float(error.sum())
+        grad_pooled = np.outer(error, self.dense_w)
+
+        offset = 0
+        for width in self.filter_widths:
+            windows, activation, argmax = caches[width]
+            grad_slice = grad_pooled[:, offset:offset + self.num_filters]
+            grad_filters = np.zeros_like(self.filters[width])
+            grad_bias = np.zeros(self.num_filters)
+            batch_size = x.shape[0]
+            for item in range(batch_size):
+                for filt in range(self.num_filters):
+                    position = argmax[item, filt]
+                    if activation[item, filt, position] <= 0.0:
+                        continue
+                    upstream = grad_slice[item, filt]
+                    grad_filters[filt] += upstream * windows[item, position]
+                    grad_bias[filt] += upstream
+            grad_filters += self.l2 * self.filters[width]
+            self.filters[width] -= self.learning_rate * grad_filters
+            self.filter_bias[width] -= self.learning_rate * grad_bias
+            offset += self.num_filters
+
+        self.dense_w -= self.learning_rate * grad_dense_w
+        self.dense_b -= self.learning_rate * grad_dense_b
+
+    # ------------------------------------------------------------- inference
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        tensors = np.asarray(features, dtype=np.float64)
+        if tensors.ndim == 2:
+            tensors = tensors[None, :, :]
+        pooled, _ = self._forward_features(tensors)
+        scores = pooled @ self.dense_w + self.dense_b
+        return sigmoid(scores)
+
+    # --------------------------------------------------------------- internals
+    def _forward_features(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]]:
+        """Convolution + ReLU + max-pool for every filter width.
+
+        Returns the pooled feature matrix ``(n, num_filters * widths)`` and a
+        cache per width holding (windows, activations, argmax positions) for
+        the backward pass.
+        """
+        batch_size, max_len, dim = x.shape
+        pooled_parts: List[np.ndarray] = []
+        caches: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for width in self.filter_widths:
+            positions = max(1, max_len - width + 1)
+            # windows: (n, positions, width, dim)
+            windows = np.zeros((batch_size, positions, width, dim))
+            for position in range(positions):
+                windows[:, position] = x[:, position:position + width, :]
+            flat_windows = windows.reshape(batch_size, positions, width * dim)
+            flat_filters = self.filters[width].reshape(self.num_filters, width * dim)
+            # conv: (n, num_filters, positions)
+            conv = np.einsum("npd,fd->nfp", flat_windows, flat_filters)
+            conv += self.filter_bias[width][None, :, None]
+            activation = np.maximum(conv, 0.0)
+            argmax = activation.argmax(axis=2)
+            pooled = activation.max(axis=2)
+            pooled_parts.append(pooled)
+            caches[width] = (windows, activation, argmax)
+        return np.concatenate(pooled_parts, axis=1), caches

@@ -1,0 +1,152 @@
+"""Sentence featurization for the benefit classifiers.
+
+The paper stacks word-embedding vectors into a matrix and feeds it to a CNN.
+Here the featurizer supports both views:
+
+* :meth:`SentenceFeaturizer.vector` — the mean embedding plus a few cheap
+  surface features (length, question mark, digit presence), used by the
+  logistic / MLP models,
+* :meth:`SentenceFeaturizer.matrix` — the padded ``(max_len, dim)`` embedding
+  matrix used by the CNN.
+
+Feature matrices for a whole corpus are cached because Darwin re-scores every
+sentence after each retrain (the paper's main efficiency bottleneck).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..text.corpus import Corpus
+from ..text.embeddings import EmbeddingModel, build_embeddings
+from ..text.sentence import Sentence
+from ..utils.rng import stable_hash
+
+_SURFACE_FEATURES = 4
+
+
+class SentenceFeaturizer:
+    """Maps sentences to dense feature vectors / embedding matrices.
+
+    The vector view concatenates three blocks:
+
+    * the mean word embedding (semantic generalization across related words,
+      the role SpaCy vectors play in the paper),
+    * a hashed bag-of-words block (sharp lexical evidence — with only a
+      handful of positives a linear model needs features it can latch onto),
+    * a few cheap surface features (length, question mark, digits).
+
+    Args:
+        embeddings: A fitted :class:`EmbeddingModel`. Use
+            :meth:`SentenceFeaturizer.fit` to train one from a corpus.
+        max_len: Token cut-off for the CNN's embedding matrices.
+        bow_dim: Width of the hashed bag-of-words block (0 disables it).
+    """
+
+    def __init__(
+        self, embeddings: EmbeddingModel, max_len: int = 30, bow_dim: int = 192
+    ) -> None:
+        if max_len <= 0:
+            raise ValueError("max_len must be positive")
+        if bow_dim < 0:
+            raise ValueError("bow_dim must be non-negative")
+        self.embeddings = embeddings
+        self.max_len = max_len
+        self.bow_dim = bow_dim
+        self._vector_cache: Dict[int, np.ndarray] = {}
+        self._matrix_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def vector_dim(self) -> int:
+        """Dimensionality of :meth:`vector` outputs."""
+        return self.embeddings.dim + self.bow_dim + _SURFACE_FEATURES
+
+    @classmethod
+    def fit(
+        cls,
+        corpus: Corpus,
+        embedding_dim: int = 50,
+        max_len: int = 30,
+        seed: int = 0,
+        bow_dim: int = 192,
+    ) -> "SentenceFeaturizer":
+        """Train embeddings on ``corpus`` and return a featurizer over them."""
+        embeddings = build_embeddings(
+            (s.tokens for s in corpus), dim=embedding_dim, seed=seed
+        )
+        return cls(embeddings, max_len=max_len, bow_dim=bow_dim)
+
+    # ------------------------------------------------------------ single-item
+    def vector(self, sentence: Sentence) -> np.ndarray:
+        """Mean-embedding + surface-feature vector for ``sentence``."""
+        cached = self._vector_cache.get(sentence.sentence_id)
+        if cached is not None:
+            return cached
+        embedding = self.embeddings.sentence_vector(sentence.tokens)
+        surface = np.array(
+            [
+                min(len(sentence.tokens), 40) / 40.0,
+                1.0 if "?" in sentence.tokens else 0.0,
+                1.0 if any(t.isdigit() for t in sentence.tokens) else 0.0,
+                len(set(sentence.tokens)) / (len(sentence.tokens) + 1.0),
+            ]
+        )
+        features = np.concatenate([embedding, self._bow(sentence.tokens), surface])
+        self._vector_cache[sentence.sentence_id] = features
+        return features
+
+    def _bow(self, tokens) -> np.ndarray:
+        """Hashed bag-of-words block (L2-normalised token-count buckets)."""
+        if self.bow_dim == 0:
+            return np.zeros(0)
+        bow = np.zeros(self.bow_dim)
+        for token in tokens:
+            bow[stable_hash("bow", token) % self.bow_dim] += 1.0
+        norm = np.linalg.norm(bow)
+        if norm > 0:
+            bow /= norm
+        return bow
+
+    def matrix(self, sentence: Sentence) -> np.ndarray:
+        """Padded ``(max_len, dim)`` embedding matrix for ``sentence``."""
+        cached = self._matrix_cache.get(sentence.sentence_id)
+        if cached is not None:
+            return cached
+        matrix = self.embeddings.sentence_matrix(sentence.tokens, self.max_len)
+        self._matrix_cache[sentence.sentence_id] = matrix
+        return matrix
+
+    # ------------------------------------------------------------------ batch
+    def vectors(self, sentences: Iterable[Sentence]) -> np.ndarray:
+        """Stack :meth:`vector` outputs for ``sentences`` into ``(n, d)``."""
+        rows = [self.vector(s) for s in sentences]
+        if not rows:
+            return np.zeros((0, self.vector_dim))
+        return np.stack(rows)
+
+    def matrices(self, sentences: Iterable[Sentence]) -> np.ndarray:
+        """Stack :meth:`matrix` outputs into ``(n, max_len, dim)``."""
+        mats = [self.matrix(s) for s in sentences]
+        if not mats:
+            return np.zeros((0, self.max_len, self.embeddings.dim))
+        return np.stack(mats)
+
+    def corpus_vectors(self, corpus: Corpus) -> np.ndarray:
+        """Feature matrix for the entire corpus, in sentence-id order."""
+        return self.vectors(corpus.sentences)
+
+    def corpus_matrices(self, corpus: Corpus) -> np.ndarray:
+        """Embedding tensors for the entire corpus, in sentence-id order."""
+        return self.matrices(corpus.sentences)
+
+    def invalidate(self, sentence_ids: Optional[Sequence[int]] = None) -> None:
+        """Drop cached features (all of them when ``sentence_ids`` is None)."""
+        if sentence_ids is None:
+            self._vector_cache.clear()
+            self._matrix_cache.clear()
+            return
+        for sentence_id in sentence_ids:
+            self._vector_cache.pop(sentence_id, None)
+            self._matrix_cache.pop(sentence_id, None)

@@ -1,0 +1,79 @@
+"""Logistic-regression text classifier (mean-embedding features)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import derive_rng
+from .base import TextClassifier, TrainingSet, batches, sigmoid
+
+
+class LogisticTextClassifier(TextClassifier):
+    """L2-regularised logistic regression trained by mini-batch SGD.
+
+    This is the default benefit classifier: with only a handful of positives
+    per Darwin iteration, a linear model over mean embeddings is both fast to
+    retrain and hard to overfit, which matters for the benefit estimates
+    (Section 3.8 assumes only that the classifier is better than random).
+    """
+
+    def __init__(
+        self,
+        epochs: int = 20,
+        learning_rate: float = 0.5,
+        l2: float = 1e-4,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.batch_size = batch_size
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def fit(self, training_set: TrainingSet) -> "LogisticTextClassifier":
+        features = np.asarray(training_set.features, dtype=np.float64)
+        labels = np.asarray(training_set.labels, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("LogisticTextClassifier expects 2-D features")
+        n, d = features.shape
+        rng = derive_rng(self.seed, "logistic-init")
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+        if n == 0:
+            self._fitted = True
+            return self
+        # Balance classes through per-example weights so a single positive
+        # among many sampled negatives still moves the decision boundary.
+        positives = max(1.0, labels.sum())
+        negatives = max(1.0, n - labels.sum())
+        example_weights = np.where(labels > 0.5, n / (2 * positives), n / (2 * negatives))
+        for _ in range(self.epochs):
+            for batch in batches(n, self.batch_size, rng):
+                x = features[batch]
+                y = labels[batch]
+                w = example_weights[batch]
+                scores = x @ self.weights + self.bias
+                probs = sigmoid(scores)
+                error = (probs - y) * w
+                grad_w = x.T @ error / len(batch) + self.l2 * self.weights
+                grad_b = float(error.mean())
+                self.weights -= self.learning_rate * grad_w
+                self.bias -= self.learning_rate * grad_b
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        scores = features @ self.weights + self.bias
+        return sigmoid(scores)

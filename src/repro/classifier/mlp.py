@@ -1,0 +1,92 @@
+"""One-hidden-layer MLP text classifier (mean-embedding features)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import derive_rng
+from .base import TextClassifier, TrainingSet, batches, sigmoid
+
+
+class MLPTextClassifier(TextClassifier):
+    """A small feed-forward network: features -> ReLU hidden layer -> sigmoid.
+
+    Sits between the logistic model and the CNN in capacity. Used by the
+    classifier-quality sensitivity experiment (Figure 14) where the number of
+    epochs controls the degree of overfitting.
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int = 32,
+        epochs: int = 30,
+        learning_rate: float = 0.1,
+        l2: float = 1e-4,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if hidden_dim <= 0:
+            raise ValueError("hidden_dim must be positive")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.batch_size = batch_size
+        self.seed = seed
+        self.w1: np.ndarray | None = None
+        self.b1: np.ndarray | None = None
+        self.w2: np.ndarray | None = None
+        self.b2: float = 0.0
+
+    def fit(self, training_set: TrainingSet) -> "MLPTextClassifier":
+        features = np.asarray(training_set.features, dtype=np.float64)
+        labels = np.asarray(training_set.labels, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("MLPTextClassifier expects 2-D features")
+        n, d = features.shape
+        rng = derive_rng(self.seed, "mlp-init")
+        scale = 1.0 / np.sqrt(max(d, 1))
+        self.w1 = rng.standard_normal((d, self.hidden_dim)) * scale
+        self.b1 = np.zeros(self.hidden_dim)
+        self.w2 = rng.standard_normal(self.hidden_dim) / np.sqrt(self.hidden_dim)
+        self.b2 = 0.0
+        if n == 0:
+            self._fitted = True
+            return self
+        positives = max(1.0, labels.sum())
+        negatives = max(1.0, n - labels.sum())
+        example_weights = np.where(labels > 0.5, n / (2 * positives), n / (2 * negatives))
+        for _ in range(self.epochs):
+            for batch in batches(n, self.batch_size, rng):
+                x = features[batch]
+                y = labels[batch]
+                w = example_weights[batch]
+                hidden_pre = x @ self.w1 + self.b1
+                hidden = np.maximum(hidden_pre, 0.0)
+                scores = hidden @ self.w2 + self.b2
+                probs = sigmoid(scores)
+                error = (probs - y) * w / len(batch)
+                grad_w2 = hidden.T @ error + self.l2 * self.w2
+                grad_b2 = float(error.sum())
+                grad_hidden = np.outer(error, self.w2)
+                grad_hidden[hidden_pre <= 0.0] = 0.0
+                grad_w1 = x.T @ grad_hidden + self.l2 * self.w1
+                grad_b1 = grad_hidden.sum(axis=0)
+                self.w2 -= self.learning_rate * grad_w2
+                self.b2 -= self.learning_rate * grad_b2
+                self.w1 -= self.learning_rate * grad_w1
+                self.b1 -= self.learning_rate * grad_b1
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        hidden = np.maximum(features @ self.w1 + self.b1, 0.0)
+        scores = hidden @ self.w2 + self.b2
+        return sigmoid(scores)

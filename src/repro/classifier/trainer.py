@@ -1,0 +1,181 @@
+"""Training / scoring orchestration for the benefit classifier.
+
+The trainer reproduces how Darwin uses its classifier (Sections 3.3 and 4.5):
+
+* the training set is the positives discovered so far plus randomly-sampled
+  sentences presumed negative,
+* the classifier is retrained (from scratch) whenever the oracle confirms a
+  rule that adds new positives,
+* after retraining, every corpus sentence gets a probability score ``p_s``
+  used by the benefit function. The paper's optimization — only re-score
+  sentences whose previous score exceeded a confidence floor, with a full
+  refresh every few retrains — is implemented in :meth:`score_corpus`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+import numpy as np
+
+from ..config import ClassifierConfig
+from ..errors import ClassifierError
+from ..text.corpus import Corpus
+from ..utils.rng import derive_rng
+from .base import TextClassifier, TrainingSet
+from .cnn import CNNTextClassifier
+from .features import SentenceFeaturizer
+from .logistic import LogisticTextClassifier
+from .mlp import MLPTextClassifier
+
+
+def make_classifier(config: ClassifierConfig) -> TextClassifier:
+    """Instantiate the classifier selected by ``config.model``."""
+    if config.model == "logistic":
+        return LogisticTextClassifier(
+            epochs=config.epochs,
+            learning_rate=config.learning_rate,
+            l2=config.l2,
+            batch_size=config.batch_size,
+            seed=config.seed,
+        )
+    if config.model == "mlp":
+        return MLPTextClassifier(
+            hidden_dim=config.hidden_dim,
+            epochs=config.epochs,
+            learning_rate=config.learning_rate,
+            l2=config.l2,
+            batch_size=config.batch_size,
+            seed=config.seed,
+        )
+    if config.model == "cnn":
+        return CNNTextClassifier(
+            epochs=config.epochs,
+            learning_rate=config.learning_rate,
+            l2=config.l2,
+            batch_size=config.batch_size,
+            seed=config.seed,
+        )
+    raise ClassifierError(f"unknown classifier model {config.model!r}")
+
+
+class ClassifierTrainer:
+    """Retrains the benefit classifier and maintains per-sentence scores.
+
+    Args:
+        corpus: The corpus being labeled.
+        featurizer: Sentence featurizer (embeddings trained on the corpus).
+        config: Classifier hyper-parameters.
+        score_floor: Sentences whose previous score is below this floor are
+            skipped during incremental re-scoring (0.3 in the paper).
+        full_rescore_every: Do a full corpus re-score every this many retrains.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        featurizer: SentenceFeaturizer,
+        config: Optional[ClassifierConfig] = None,
+        score_floor: float = 0.3,
+        full_rescore_every: int = 3,
+        incremental_scoring: bool = False,
+    ) -> None:
+        self.corpus = corpus
+        self.featurizer = featurizer
+        self.config = config or ClassifierConfig()
+        self.score_floor = score_floor
+        self.full_rescore_every = max(1, full_rescore_every)
+        self.incremental_scoring = incremental_scoring
+        self.classifier: Optional[TextClassifier] = None
+        self._scores = np.full(len(corpus), 0.5, dtype=np.float64)
+        self._retrain_count = 0
+        self._rng = derive_rng(self.config.seed, "trainer-negatives", corpus.name)
+
+    # ---------------------------------------------------------------- training
+    def retrain(self, positive_ids: Set[int]) -> TextClassifier:
+        """Retrain from scratch on ``positive_ids`` plus sampled negatives."""
+        if not positive_ids:
+            raise ClassifierError("cannot train without at least one positive")
+        positives = sorted(positive_ids)
+        negatives = self._sample_negatives(positive_ids)
+        sentences = [self.corpus[i] for i in positives] + [
+            self.corpus[i] for i in negatives
+        ]
+        labels = np.array([1.0] * len(positives) + [0.0] * len(negatives))
+        features = self._featurize(sentences)
+        training_set = TrainingSet(features=features, labels=labels)
+        self.classifier = make_classifier(self.config)
+        self.classifier.fit(training_set)
+        self._retrain_count += 1
+        self._refresh_scores(positive_ids)
+        return self.classifier
+
+    def _sample_negatives(self, positive_ids: Set[int]) -> Sequence[int]:
+        pool = [i for i in range(len(self.corpus)) if i not in positive_ids]
+        if not pool:
+            return []
+        target = int(np.ceil(len(positive_ids) * self.config.negative_sample_ratio))
+        target = max(target, 5)
+        target = min(target, len(pool))
+        chosen = self._rng.choice(len(pool), size=target, replace=False)
+        return [pool[i] for i in chosen]
+
+    def _featurize(self, sentences: Iterable) -> np.ndarray:
+        if self.config.model == "cnn":
+            return self.featurizer.matrices(sentences)
+        return self.featurizer.vectors(sentences)
+
+    # ----------------------------------------------------------------- scoring
+    def _refresh_scores(self, positive_ids: Set[int]) -> None:
+        if self.classifier is None:
+            return
+        full = (
+            not self.incremental_scoring
+            or self._retrain_count % self.full_rescore_every == 0
+        )
+        if full:
+            targets = list(range(len(self.corpus)))
+        else:
+            targets = [
+                i
+                for i in range(len(self.corpus))
+                if self._scores[i] >= self.score_floor or i in positive_ids
+            ]
+        if not targets:
+            return
+        sentences = [self.corpus[i] for i in targets]
+        features = self._featurize(sentences)
+        probs = self.classifier.predict_proba(features)
+        self._scores[np.array(targets)] = probs
+
+    def score_corpus(self) -> np.ndarray:
+        """Current per-sentence positive-probability estimates (id order)."""
+        return self._scores.copy()
+
+    def score(self, sentence_id: int) -> float:
+        """Probability estimate for one sentence."""
+        return float(self._scores[sentence_id])
+
+    def scores_for(self, sentence_ids: Iterable[int]) -> Dict[int, float]:
+        """Probability estimates for specific sentences."""
+        return {i: float(self._scores[i]) for i in sentence_ids}
+
+    @property
+    def retrain_count(self) -> int:
+        """How many times the classifier has been retrained."""
+        return self._retrain_count
+
+    # -------------------------------------------------------------- evaluation
+    def f1_against(self, positive_ids: Set[int], threshold: float = 0.5) -> float:
+        """F1 of the current classifier against ground-truth ``positive_ids``."""
+        predictions = self._scores >= threshold
+        truth = np.zeros(len(self.corpus), dtype=bool)
+        truth[list(positive_ids)] = True
+        true_positive = int(np.sum(predictions & truth))
+        predicted_positive = int(predictions.sum())
+        actual_positive = int(truth.sum())
+        if predicted_positive == 0 or actual_positive == 0 or true_positive == 0:
+            return 0.0
+        precision = true_positive / predicted_positive
+        recall = true_positive / actual_positive
+        return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,172 @@
+"""Command-line interface for the Darwin reproduction.
+
+Provides a small set of subcommands so the system can be exercised without
+writing Python:
+
+* ``python -m repro datasets`` — list the available corpora (Table 1 view),
+* ``python -m repro run`` — run Darwin on one dataset with a simulated oracle
+  and print the discovered rules plus the coverage curve,
+* ``python -m repro compare`` — run Darwin against the Snuba baseline with the
+  same labeled seed subset (the Figure 7 comparison at one seed size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .baselines.snuba import SnubaBaseline
+from .config import ClassifierConfig, DarwinConfig
+from .core.darwin import Darwin
+from .core.oracle import GroundTruthOracle
+from .datasets.registry import DATASET_NAMES, load_bank, load_dataset, table1_rows
+from .evaluation.reporting import format_curve_table, format_table
+from .experiments.common import prepare_dataset
+from .experiments.seed_size import sample_labeled_subset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Darwin: adaptive rule discovery for labeling text data",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="list the synthetic corpora and their statistics"
+    )
+    datasets_parser.add_argument("--scale", type=float, default=0.05,
+                                 help="fraction of paper-scale size to generate")
+    datasets_parser.add_argument("--seed", type=int, default=0)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run Darwin on one dataset with a simulated oracle"
+    )
+    run_parser.add_argument("--dataset", choices=sorted(DATASET_NAMES),
+                            default="directions")
+    run_parser.add_argument("--budget", type=int, default=60,
+                            help="oracle-question budget")
+    run_parser.add_argument("--traversal", choices=("hybrid", "universal", "local"),
+                            default="hybrid")
+    run_parser.add_argument("--num-sentences", type=int, default=2000)
+    run_parser.add_argument("--seed-rule", default=None,
+                            help="seed rule text (dataset default when omitted)")
+    run_parser.add_argument("--seed", type=int, default=7)
+    run_parser.add_argument("--epochs", type=int, default=40,
+                            help="benefit-classifier training epochs")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare Darwin against Snuba for one seed-set size"
+    )
+    compare_parser.add_argument("--dataset", choices=sorted(DATASET_NAMES),
+                                default="musicians")
+    compare_parser.add_argument("--seed-size", type=int, default=25,
+                                help="number of labeled seed sentences")
+    compare_parser.add_argument("--budget", type=int, default=60)
+    compare_parser.add_argument("--scale", type=float, default=0.08)
+    compare_parser.add_argument("--biased", action="store_true",
+                                help="exclude the dataset's characteristic token "
+                                     "from the seed pool (Figure 8)")
+    compare_parser.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = table1_rows(scale=args.scale, seed=args.seed)
+    print(format_table(
+        ["dataset", "task", "#sentences", "%positives", "paper #sentences",
+         "paper %positives"],
+        [
+            [row["dataset"], row["task"], row["num_sentences"],
+             100.0 * float(row["positive_fraction"]),
+             row["paper_num_sentences"],
+             100.0 * float(row["paper_positive_fraction"])]
+            for row in rows
+        ],
+        title="Available datasets (generated at --scale vs. paper Table 1)",
+    ))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    corpus = load_dataset(args.dataset, num_sentences=args.num_sentences,
+                          seed=args.seed, parse_trees=False)
+    bank = load_bank(args.dataset)
+    seed_rule = args.seed_rule or bank.default_seed_rules[0]
+    config = DarwinConfig(
+        budget=args.budget,
+        traversal=args.traversal,
+        num_candidates=1000,
+        classifier=ClassifierConfig(epochs=args.epochs),
+    )
+    print(f"dataset={args.dataset} sentences={len(corpus)} "
+          f"positives={len(corpus.positive_ids())} seed rule={seed_rule!r}")
+    darwin = Darwin(corpus, config=config)
+    oracle = GroundTruthOracle(corpus)
+    result = darwin.run(oracle, seed_rule_texts=[seed_rule])
+
+    print(f"\nasked {result.queries_used} questions, accepted "
+          f"{len(result.rule_set)} rules")
+    print(f"coverage (recall over positives): {result.final_recall:.3f}")
+    print(f"benefit-classifier F1:            {result.final_f1:.3f}")
+    print("\naccepted rules:")
+    for rule in result.rule_set.rules:
+        print(f"  - {rule.render()!r:40s} |C_r| = {rule.coverage_size}")
+    print()
+    print(format_curve_table(
+        {"coverage": result.recall_curve(), "F1": result.f1_curve()},
+        step=10, title="progress by #questions",
+    ))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    config = DarwinConfig(
+        budget=args.budget, num_candidates=1000,
+        classifier=ClassifierConfig(epochs=40),
+    )
+    setting = prepare_dataset(args.dataset, scale=args.scale, seed=args.seed,
+                              config=config)
+    subset = sample_labeled_subset(setting, size=args.seed_size, seed=args.seed,
+                                   biased=args.biased)
+    labels = {i: bool(setting.corpus[i].label) for i in subset}
+
+    snuba = SnubaBaseline(setting.corpus).run(subset, labels=labels)
+    darwin = setting.run_darwin(
+        traversal="hybrid", budget=args.budget,
+        seed_positive_ids=[i for i in subset if labels[i]],
+    )
+    print(format_table(
+        ["system", "supervision", "coverage of positives", "#rules"],
+        [
+            ["Snuba", f"{len(subset)} labeled sentences", snuba.coverage,
+             len(snuba.rule_set)],
+            ["Darwin(HS)", f"{sum(labels.values())} seed positives + "
+                           f"{darwin.queries_used} YES/NO questions",
+             darwin.final_recall, len(darwin.rule_set)],
+        ],
+        title=f"Darwin vs Snuba on {args.dataset} "
+              f"({'biased ' if args.biased else ''}seed size {args.seed_size})",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _command_datasets,
+    "run": _command_run,
+    "compare": _command_compare,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

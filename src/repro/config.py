@@ -1,0 +1,150 @@
+"""Global configuration objects for the Darwin reproduction.
+
+The paper exposes a handful of knobs (Section 3 and Appendix D):
+
+* the oracle precision threshold used when simulating annotators (0.8),
+* the HybridSearch switching parameter ``tau`` (default 5),
+* the UniversalSearch benefit-per-instance cutoff (0.5),
+* the number of candidate heuristics generated per iteration (10K),
+* the maximum derivation-sketch depth (10),
+* classifier training epochs.
+
+:class:`DarwinConfig` groups these so that experiments can sweep them without
+threading a dozen keyword arguments through every component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Hyper-parameters of the benefit-estimation classifier.
+
+    Attributes:
+        model: One of ``"logistic"``, ``"mlp"`` or ``"cnn"``. The paper uses a
+            Kim-style CNN; the cheaper models are provided because benefit
+            estimation only needs rough probability rankings.
+        epochs: Number of passes over the (small) training set per retrain.
+        learning_rate: SGD/Adam step size.
+        hidden_dim: Hidden width for the MLP / dense head of the CNN.
+        embedding_dim: Dimensionality of word embeddings fed to the model.
+        negative_sample_ratio: How many random "presumed negative" sentences to
+            sample per known positive when forming a training set (Section 3.3).
+        batch_size: Mini-batch size.
+        l2: L2 regularisation strength.
+        seed: RNG seed for weight init and negative sampling.
+    """
+
+    model: str = "logistic"
+    epochs: int = 60
+    learning_rate: float = 0.5
+    hidden_dim: int = 32
+    embedding_dim: int = 50
+    negative_sample_ratio: float = 5.0
+    batch_size: int = 32
+    l2: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model not in {"logistic", "mlp", "cnn"}:
+            raise ConfigurationError(f"unknown classifier model: {self.model!r}")
+        if self.epochs <= 0:
+            raise ConfigurationError("epochs must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.negative_sample_ratio <= 0:
+            raise ConfigurationError("negative_sample_ratio must be positive")
+
+
+@dataclass(frozen=True)
+class DarwinConfig:
+    """Top-level configuration for a Darwin run (Algorithm 1).
+
+    Attributes:
+        budget: Maximum number of oracle queries (``b`` in Problem 1).
+        traversal: ``"local"``, ``"universal"`` or ``"hybrid"`` (Sections 3.4-3.6).
+        tau: HybridSearch switching threshold (unsuccessful attempts before the
+            strategy toggles; default 5 per Section 3.6).
+        benefit_cutoff: UniversalSearch drops candidates whose benefit per
+            instance is below this value (0.5 per Section 3.5).
+        num_candidates: Number of candidate heuristics generated per hierarchy
+            build (10K in the paper's experiments; smaller defaults keep tests
+            fast).
+        max_sketch_depth: Maximum number of derivation rules applied when
+            enumerating sketches (10 in the paper).
+        max_phrase_len: Maximum n-gram length for TokensRegex heuristics.
+        min_coverage: Candidates covering fewer sentences than this are pruned.
+        oracle_precision_threshold: The simulated oracle answers YES iff the
+            candidate's precision is at least this value (0.8 in Section 4.1).
+        oracle_sample_size: Number of example sentences shown per query.
+        retrain_every: Retrain the classifier after this many accepted rules.
+        classifier: Nested :class:`ClassifierConfig`.
+        seed: Seed for all stochastic tie-breaking inside the search.
+    """
+
+    budget: int = 100
+    traversal: str = "hybrid"
+    tau: int = 5
+    benefit_cutoff: float = 0.5
+    num_candidates: int = 2000
+    max_sketch_depth: int = 10
+    max_phrase_len: int = 4
+    min_coverage: int = 2
+    oracle_precision_threshold: float = 0.8
+    oracle_sample_size: int = 5
+    retrain_every: int = 1
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ConfigurationError("budget must be positive")
+        if self.traversal not in {"local", "universal", "hybrid"}:
+            raise ConfigurationError(f"unknown traversal: {self.traversal!r}")
+        if self.tau <= 0:
+            raise ConfigurationError("tau must be positive")
+        if not 0.0 <= self.benefit_cutoff <= 1.0:
+            raise ConfigurationError("benefit_cutoff must be in [0, 1]")
+        if self.num_candidates <= 0:
+            raise ConfigurationError("num_candidates must be positive")
+        if self.max_sketch_depth <= 0:
+            raise ConfigurationError("max_sketch_depth must be positive")
+        if self.max_phrase_len <= 0:
+            raise ConfigurationError("max_phrase_len must be positive")
+        if self.min_coverage < 1:
+            raise ConfigurationError("min_coverage must be at least 1")
+        if not 0.0 < self.oracle_precision_threshold <= 1.0:
+            raise ConfigurationError("oracle_precision_threshold must be in (0, 1]")
+        if self.oracle_sample_size <= 0:
+            raise ConfigurationError("oracle_sample_size must be positive")
+        if self.retrain_every <= 0:
+            raise ConfigurationError("retrain_every must be positive")
+
+    def with_overrides(self, **overrides: Any) -> "DarwinConfig":
+        """Return a copy of this config with ``overrides`` applied.
+
+        Nested classifier options may be overridden by passing a mapping under
+        the ``classifier`` key or a :class:`ClassifierConfig` instance.
+        """
+        classifier = overrides.pop("classifier", None)
+        if isinstance(classifier, Mapping):
+            overrides["classifier"] = replace(self.classifier, **dict(classifier))
+        elif isinstance(classifier, ClassifierConfig):
+            overrides["classifier"] = classifier
+        elif classifier is not None:
+            raise ConfigurationError(
+                "classifier override must be a mapping or ClassifierConfig"
+            )
+        try:
+            return replace(self, **overrides)
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(str(exc)) from exc
+
+
+DEFAULT_CONFIG = DarwinConfig()
+"""A shared default configuration used when callers do not supply one."""

@@ -1,0 +1,39 @@
+"""Darwin's core: oracles, benefit scoring, candidate generation, traversal.
+
+The public entry point is :class:`repro.core.darwin.Darwin` (Algorithm 1),
+re-exported here together with the pieces experiments commonly need.
+"""
+
+from .oracle import (
+    Oracle,
+    OracleQuery,
+    OracleAnswer,
+    GroundTruthOracle,
+    SampleBasedOracle,
+    NoisyOracle,
+    MajorityVoteOracle,
+    BudgetedOracle,
+)
+from .benefit import BenefitScorer
+from .candidates import generate_candidates
+from .hierarchy_builder import build_hierarchy
+from .darwin import Darwin, DarwinResult, QueryRecord
+from .session import LabelingSession
+
+__all__ = [
+    "Oracle",
+    "OracleQuery",
+    "OracleAnswer",
+    "GroundTruthOracle",
+    "SampleBasedOracle",
+    "NoisyOracle",
+    "MajorityVoteOracle",
+    "BudgetedOracle",
+    "BenefitScorer",
+    "generate_candidates",
+    "build_hierarchy",
+    "Darwin",
+    "DarwinResult",
+    "QueryRecord",
+    "LabelingSession",
+]

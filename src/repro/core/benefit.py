@@ -1,0 +1,115 @@
+"""Benefit scoring (Section 3.3).
+
+The benefit of a heuristic ``r`` is the expected number of *new* positives its
+coverage would contribute:
+
+    benefit(r) = sum_{s in C_r \\ P} p_s
+
+where ``P`` is the set of positives discovered so far and ``p_s`` the benefit
+classifier's probability that sentence ``s`` is positive. The average benefit
+(benefit per new instance) drives UniversalSearch's 0.5 cutoff.
+
+Benefits for all candidates only change when the classifier is retrained or
+``P`` grows, so :class:`BenefitScorer` caches per-rule values against a
+version counter bumped by :meth:`BenefitScorer.invalidate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..rules.heuristic import LabelingHeuristic
+
+
+class BenefitScorer:
+    """Caches benefit computations for candidate rules.
+
+    Args:
+        scores: Per-sentence positive-probability estimates, indexed by
+            sentence id (the trainer's ``score_corpus()`` output).
+        covered_ids: The currently covered positive set ``P``.
+    """
+
+    def __init__(self, scores: np.ndarray, covered_ids: Set[int]) -> None:
+        self._scores = np.asarray(scores, dtype=np.float64)
+        self._covered: Set[int] = set(covered_ids)
+        self._version = 0
+        self._cache: Dict[Tuple[int, LabelingHeuristic], Tuple[float, int]] = {}
+
+    # ----------------------------------------------------------------- state
+    def update(self, scores: Optional[np.ndarray] = None,
+               covered_ids: Optional[Set[int]] = None) -> None:
+        """Replace scores and/or covered set, invalidating cached benefits."""
+        if scores is not None:
+            self._scores = np.asarray(scores, dtype=np.float64)
+        if covered_ids is not None:
+            self._covered = set(covered_ids)
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop all cached benefit values."""
+        self._version += 1
+        self._cache.clear()
+
+    @property
+    def covered_ids(self) -> Set[int]:
+        """The covered positive set ``P`` used for gain computation."""
+        return set(self._covered)
+
+    # --------------------------------------------------------------- scoring
+    def new_ids(self, rule: LabelingHeuristic) -> List[int]:
+        """Sentence ids the rule would newly cover (``C_r \\ P``)."""
+        return [sid for sid in rule.coverage if sid not in self._covered]
+
+    def benefit(self, rule: LabelingHeuristic) -> float:
+        """Total benefit of ``rule`` (expected number of new positives)."""
+        key = (self._version, rule)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached[0]
+        new_ids = self.new_ids(rule)
+        if not new_ids:
+            value = 0.0
+        else:
+            value = float(self._scores[np.array(new_ids)].sum())
+        self._cache[key] = (value, len(new_ids))
+        return value
+
+    def average_benefit(self, rule: LabelingHeuristic) -> float:
+        """Benefit per new instance (0.0 when the rule adds nothing)."""
+        key = (self._version, rule)
+        if key not in self._cache:
+            self.benefit(rule)
+        value, count = self._cache[key]
+        if count == 0:
+            return 0.0
+        return value / count
+
+    def most_beneficial(
+        self, rules: Iterable[LabelingHeuristic],
+        min_average: Optional[float] = None,
+    ) -> Optional[LabelingHeuristic]:
+        """The rule with maximum benefit, optionally filtered by average benefit.
+
+        Ties are broken by larger coverage, then by the rendered rule string so
+        selection is deterministic.
+        """
+        best_rule: Optional[LabelingHeuristic] = None
+        best_key: Tuple[float, int, str] = (-1.0, 0, "")
+        for rule in rules:
+            if min_average is not None and self.average_benefit(rule) <= min_average:
+                continue
+            key = (self.benefit(rule), rule.coverage_size, rule.render())
+            if best_rule is None or key > best_key:
+                best_rule = rule
+                best_key = key
+        return best_rule
+
+    def rank(self, rules: Iterable[LabelingHeuristic]) -> List[LabelingHeuristic]:
+        """Rules sorted by decreasing benefit (deterministic tie-breaks)."""
+        return sorted(
+            rules,
+            key=lambda r: (-self.benefit(r), -r.coverage_size, r.render()),
+        )

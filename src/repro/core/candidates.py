@@ -1,0 +1,141 @@
+"""Candidate-heuristic generation (Algorithm 2).
+
+Starting from the virtual root ``*`` of the corpus index, the generator
+repeatedly expands the children of the most recently selected candidate and
+greedily picks the candidate with the largest coverage over the positives
+discovered so far. The result is a set of ``k`` promising heuristics that at
+least partially overlap the known positives, which seeds the hierarchy.
+
+The paper sorts the candidate list each iteration; because the overlap of a
+fixed candidate with a fixed positive set never changes inside one invocation,
+an equivalent (and much faster) implementation uses a max-heap keyed by
+``(overlap with P, total coverage)``. Optional diversity constraints skip
+candidates that are near-duplicates of already selected ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..index.trie_index import ROOT_KEY, CorpusIndex
+from ..index.sketch import SketchKey
+from ..rules.heuristic import LabelingHeuristic
+
+
+@dataclass(frozen=True)
+class CandidateOptions:
+    """Knobs for candidate generation.
+
+    Attributes:
+        num_candidates: ``k``, the number of heuristics to return.
+        min_coverage: Skip heuristics covering fewer sentences than this.
+        min_positive_overlap: Skip heuristics overlapping fewer known positives
+            than this (1 keeps the paper's "at least partial overlap" notion).
+        max_children_per_expansion: Cap on children enqueued per expansion,
+            protecting against hub nodes with tens of thousands of children.
+        require_diversity: Skip a candidate whose coverage is identical to an
+            already-selected candidate's coverage (the paper's diversity
+            constraint in its simplest form).
+    """
+
+    num_candidates: int = 2000
+    min_coverage: int = 2
+    min_positive_overlap: int = 1
+    max_children_per_expansion: int = 5000
+    require_diversity: bool = True
+
+
+def generate_candidates(
+    index: CorpusIndex,
+    positive_ids: Set[int],
+    options: Optional[CandidateOptions] = None,
+    grammar_name: Optional[str] = None,
+) -> List[LabelingHeuristic]:
+    """Run Algorithm 2 over ``index`` and return candidate heuristics.
+
+    Args:
+        index: The corpus index built from derivation sketches.
+        positive_ids: The positives ``P`` discovered so far.
+        options: Generation knobs; defaults to :class:`CandidateOptions`.
+        grammar_name: Restrict candidates to one grammar (None = all).
+
+    Returns:
+        Candidate heuristics with coverage attached, in selection order
+        (highest positive-overlap first).
+    """
+    options = options or CandidateOptions()
+    positives = set(positive_ids)
+
+    # Max-heap entries: (-overlap, -coverage, tie_break, key)
+    heap: List[Tuple[int, int, str, SketchKey]] = []
+    seen: Set[SketchKey] = {ROOT_KEY}
+    selected: List[SketchKey] = []
+    selected_coverages: Set[frozenset] = set()
+
+    def push_children(of_key: SketchKey) -> None:
+        children = index.children_of(of_key)
+        if len(children) > options.max_children_per_expansion:
+            children = sorted(
+                children, key=lambda k: -index.count(k)
+            )[: options.max_children_per_expansion]
+        for child in children:
+            if child in seen:
+                continue
+            if grammar_name is not None and child[0] != grammar_name:
+                continue
+            seen.add(child)
+            node = index.node(child)
+            if node.count < options.min_coverage:
+                continue
+            overlap = len(node.sentence_ids & positives)
+            if overlap < options.min_positive_overlap:
+                continue
+            heapq.heappush(heap, (-overlap, -node.count, repr(child), child))
+
+    push_children(ROOT_KEY)
+    recent: SketchKey = ROOT_KEY
+
+    while heap and len(selected) < options.num_candidates:
+        _, _, _, key = heapq.heappop(heap)
+        node = index.node(key)
+        if options.require_diversity:
+            signature = frozenset(node.sentence_ids)
+            if signature in selected_coverages:
+                # Identical coverage to an already-selected rule: still expand
+                # its children (they may differ) but do not select it.
+                push_children(key)
+                continue
+            selected_coverages.add(signature)
+        selected.append(key)
+        recent = key
+        push_children(recent)
+
+    return [index.heuristic(key) for key in selected]
+
+
+def seed_candidates(
+    index: CorpusIndex,
+    seed_rules: Sequence[LabelingHeuristic],
+) -> List[LabelingHeuristic]:
+    """Ensure seed rules carry coverage from the index (or a corpus scan).
+
+    Seed rules supplied by the user may not correspond to an index node (for
+    example, a long phrase below the sketch depth limit). When they do, the
+    index's inverted list is reused; otherwise the caller must have evaluated
+    them already.
+    """
+    prepared: List[LabelingHeuristic] = []
+    for rule in seed_rules:
+        node = index.lookup(rule.grammar.name, rule.expression)
+        if node is not None:
+            prepared.append(rule.with_coverage(node.sentence_ids))
+        elif rule.coverage_ids is not None:
+            prepared.append(rule)
+        else:
+            raise ValueError(
+                f"seed rule {rule.render()!r} is not indexed and has no coverage; "
+                "call rule.evaluate(corpus) first"
+            )
+    return prepared

@@ -1,0 +1,395 @@
+"""The end-to-end Darwin system (Algorithm 1).
+
+:class:`Darwin` wires together the corpus index, candidate generation, the
+hierarchy, a traversal strategy, the benefit classifier, and an oracle into
+the interactive rule-discovery loop:
+
+1. index the corpus (derivation sketches merged into a trie-like DAG),
+2. initialize the positive set ``P`` from the seed rule(s) or seed sentences,
+3. train the benefit classifier on ``P`` plus sampled presumed negatives,
+4. repeat until the oracle budget is exhausted:
+   a. (re)generate the candidate hierarchy when new positives arrived,
+   b. let the traversal strategy pick the most beneficial candidate,
+   c. ask the oracle; on YES add the rule to ``R``, grow ``P``, retrain.
+
+Every query appends a :class:`QueryRecord` so experiments can plot coverage /
+F-score against the number of questions, exactly as Figures 9 and 10 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..classifier.features import SentenceFeaturizer
+from ..classifier.trainer import ClassifierTrainer
+from ..config import DEFAULT_CONFIG, DarwinConfig
+from ..errors import BudgetExhaustedError, ConfigurationError
+from ..grammars.base import HeuristicGrammar
+from ..grammars.tokensregex import TokensRegexGrammar
+from ..index.hierarchy import RuleHierarchy
+from ..index.trie_index import CorpusIndex
+from ..rules.heuristic import LabelingHeuristic
+from ..rules.rule_set import RuleSet
+from ..text.corpus import Corpus
+from ..utils.rng import derive_rng
+from ..utils.timing import Stopwatch
+from .benefit import BenefitScorer
+from .candidates import CandidateOptions, generate_candidates, seed_candidates
+from .hierarchy_builder import build_hierarchy, expand_rule_neighbourhood
+from .oracle import BudgetedOracle, Oracle
+from .score_update import ScoreUpdater
+from .traversal.base import TraversalContext, make_traversal
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One row of a Darwin run's history.
+
+    Attributes:
+        question_number: 1-based index of the oracle query.
+        rule: Human-readable rule string submitted to the oracle.
+        grammar: Name of the grammar the rule belongs to.
+        answer: True if the oracle answered YES.
+        rule_coverage: ``|C_r|`` of the submitted rule.
+        covered: ``|P|`` after processing the answer.
+        recall: Recall of ``P`` over ground-truth positives (0.0 if unknown).
+        precision: Precision of ``P`` over ground-truth (0.0 if unknown).
+        classifier_f1: F1 of the benefit classifier at this point (0.0 if
+            ground truth is unavailable).
+    """
+
+    question_number: int
+    rule: str
+    grammar: str
+    answer: bool
+    rule_coverage: int
+    covered: int
+    recall: float
+    precision: float
+    classifier_f1: float
+
+
+@dataclass
+class DarwinResult:
+    """Output of a Darwin run.
+
+    Attributes:
+        rule_set: The accepted rules ``R`` (with coverage).
+        covered_ids: The union coverage ``P``.
+        history: Per-query records (coverage / F-score curves).
+        queries_used: Number of oracle queries consumed.
+        timings: Wall-clock breakdown (index build, hierarchy, traversal...).
+        config: The configuration used for the run.
+    """
+
+    rule_set: RuleSet
+    covered_ids: Set[int]
+    history: List[QueryRecord]
+    queries_used: int
+    timings: Dict[str, float] = field(default_factory=dict)
+    config: DarwinConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+
+    @property
+    def final_recall(self) -> float:
+        """Recall of ``P`` after the last query (0.0 with no queries)."""
+        return self.history[-1].recall if self.history else 0.0
+
+    @property
+    def final_f1(self) -> float:
+        """Classifier F1 after the last query (0.0 with no queries)."""
+        return self.history[-1].classifier_f1 if self.history else 0.0
+
+    def recall_curve(self) -> List[float]:
+        """Recall after each question (Figures 9a-d / 10a)."""
+        return [record.recall for record in self.history]
+
+    def f1_curve(self) -> List[float]:
+        """Classifier F1 after each question (Figures 9e-h / 10b)."""
+        return [record.classifier_f1 for record in self.history]
+
+    def accepted_rules(self) -> List[str]:
+        """Rendered strings of the accepted rules in acceptance order."""
+        return self.rule_set.describe()
+
+
+class Darwin:
+    """Adaptive rule discovery over a text corpus.
+
+    Args:
+        corpus: The corpus to label.
+        grammars: Heuristic grammars to search over (default: TokensRegex).
+        config: Run configuration (:class:`DarwinConfig`).
+        index: Optionally a pre-built corpus index (reused across runs in the
+            experiments, mirroring the paper's one-off index construction).
+        featurizer: Optionally a pre-fitted sentence featurizer.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        grammars: Optional[Sequence[HeuristicGrammar]] = None,
+        config: Optional[DarwinConfig] = None,
+        index: Optional[CorpusIndex] = None,
+        featurizer: Optional[SentenceFeaturizer] = None,
+    ) -> None:
+        self.corpus = corpus
+        self.config = config or DEFAULT_CONFIG
+        self.grammars: List[HeuristicGrammar] = list(
+            grammars or [TokensRegexGrammar(max_phrase_len=self.config.max_phrase_len)]
+        )
+        if not self.grammars:
+            raise ConfigurationError("at least one grammar is required")
+        self.stopwatch = Stopwatch()
+        if index is not None:
+            self.index = index
+        else:
+            with self.stopwatch.measure("index_build"):
+                self.index = CorpusIndex.build(
+                    corpus,
+                    self.grammars,
+                    max_depth=self.config.max_sketch_depth,
+                    min_coverage=self.config.min_coverage,
+                )
+        if featurizer is not None:
+            self.featurizer = featurizer
+        else:
+            with self.stopwatch.measure("embeddings"):
+                self.featurizer = SentenceFeaturizer.fit(
+                    corpus,
+                    embedding_dim=self.config.classifier.embedding_dim,
+                    seed=self.config.classifier.seed,
+                )
+        self._rng = derive_rng(self.config.seed, "darwin", corpus.name)
+
+        # Mutable per-run state (populated by start()).
+        self.rule_set = RuleSet()
+        self.positive_ids: Set[int] = set()
+        self.trainer: Optional[ClassifierTrainer] = None
+        self.benefit: Optional[BenefitScorer] = None
+        self.updater: Optional[ScoreUpdater] = None
+        self.hierarchy: Optional[RuleHierarchy] = None
+        self.traversal = None
+        self.history: List[QueryRecord] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ setup
+    def parse_seed_rule(self, text: str, grammar_name: Optional[str] = None) -> LabelingHeuristic:
+        """Parse a human-written seed rule string into a labeling heuristic."""
+        grammar = self._grammar_by_name(grammar_name)
+        expression = grammar.parse(text)
+        coverage = self.index.coverage_of_expression(
+            grammar.name, expression, self.corpus
+        )
+        return LabelingHeuristic(grammar=grammar, expression=expression).with_coverage(coverage)
+
+    def _grammar_by_name(self, grammar_name: Optional[str]) -> HeuristicGrammar:
+        if grammar_name is None:
+            return self.grammars[0]
+        for grammar in self.grammars:
+            if grammar.name == grammar_name:
+                return grammar
+        raise ConfigurationError(f"unknown grammar {grammar_name!r}")
+
+    def start(
+        self,
+        seed_rules: Optional[Sequence[LabelingHeuristic]] = None,
+        seed_rule_texts: Optional[Sequence[str]] = None,
+        seed_positive_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Initialize a run from seed rules and/or seed positive sentences.
+
+        At least one source of seeds is required; the paper assumes the seed
+        generates at least two positive instances.
+        """
+        rules: List[LabelingHeuristic] = list(seed_rules or [])
+        for text in seed_rule_texts or []:
+            rules.append(self.parse_seed_rule(text))
+        rules = seed_candidates(self.index, rules) if rules else []
+
+        self.rule_set = RuleSet()
+        self.positive_ids = set()
+        for rule in rules:
+            self.rule_set.add(rule)
+            self.positive_ids.update(rule.coverage)
+        if seed_positive_ids:
+            self.positive_ids.update(int(i) for i in seed_positive_ids)
+        if not self.positive_ids:
+            raise ConfigurationError(
+                "seeds produced no positive instances; provide a seed rule with "
+                "non-empty coverage or explicit seed sentence ids"
+            )
+
+        self.trainer = ClassifierTrainer(
+            self.corpus, self.featurizer, config=self.config.classifier
+        )
+        self.benefit = BenefitScorer(
+            scores=self.trainer.score_corpus(), covered_ids=self.positive_ids
+        )
+        self.updater = ScoreUpdater(
+            self.trainer, self.benefit, retrain_every=self.config.retrain_every
+        )
+        with self.stopwatch.measure("initial_training"):
+            self.updater.initialize(self.positive_ids)
+
+        with self.stopwatch.measure("hierarchy_generation"):
+            self.hierarchy = self._build_hierarchy()
+
+        seeds_for_traversal = rules or self._fallback_seed_rules()
+        context = TraversalContext(
+            hierarchy=self.hierarchy,
+            benefit=self.benefit,
+            neighbours=self._neighbour_provider,
+            benefit_cutoff=self.config.benefit_cutoff,
+        )
+        self.traversal = make_traversal(
+            self.config.traversal, context, seeds_for_traversal, tau=self.config.tau
+        )
+        self.history = []
+        self._started = True
+
+    def _fallback_seed_rules(self) -> List[LabelingHeuristic]:
+        """When only seed sentences are given, derive seed rules from them."""
+        ranked = self.index.top_by_overlap(self.positive_ids, limit=5)
+        if not ranked:
+            raise ConfigurationError(
+                "could not derive seed rules from the given seed sentences"
+            )
+        return [self.index.heuristic(key) for key, _ in ranked]
+
+    # -------------------------------------------------------------- internals
+    def _build_hierarchy(self) -> RuleHierarchy:
+        options = CandidateOptions(
+            num_candidates=self.config.num_candidates,
+            min_coverage=self.config.min_coverage,
+        )
+        candidates = generate_candidates(self.index, self.positive_ids, options)
+        return build_hierarchy(
+            candidates, index=self.index, covered_ids=self.rule_set.covered_ids
+        )
+
+    def _neighbour_provider(self, rule: LabelingHeuristic, direction: str) -> List[LabelingHeuristic]:
+        return expand_rule_neighbourhood(
+            rule,
+            self.index,
+            direction,
+            corpus=self.corpus,
+            min_coverage=self.config.min_coverage,
+        )
+
+    def _sample_for_query(self, rule: LabelingHeuristic) -> List[int]:
+        coverage = sorted(rule.coverage)
+        if len(coverage) <= self.config.oracle_sample_size:
+            return coverage
+        chosen = self._rng.choice(
+            len(coverage), size=self.config.oracle_sample_size, replace=False
+        )
+        return [coverage[i] for i in sorted(chosen)]
+
+    # ------------------------------------------------------------------- step
+    def propose_next(self) -> Optional[LabelingHeuristic]:
+        """The next rule Darwin would submit to the oracle (None if exhausted)."""
+        self._require_started()
+        if self.updater.needs_hierarchy_refresh:
+            with self.stopwatch.measure("hierarchy_generation"):
+                self.hierarchy = self._build_hierarchy()
+            self.traversal.on_hierarchy_update(self.hierarchy)
+            self.updater.acknowledge_hierarchy_refresh()
+        with self.stopwatch.measure("traversal"):
+            return self.traversal.propose()
+
+    def record_answer(
+        self,
+        rule: LabelingHeuristic,
+        is_useful: bool,
+        evaluation_positive_ids: Optional[Set[int]] = None,
+    ) -> QueryRecord:
+        """Incorporate an oracle answer and append a history record."""
+        self._require_started()
+        self.traversal.context.queried.add(rule)
+        if is_useful:
+            new_positives = rule.new_positives(self.positive_ids)
+            self.rule_set.add(rule)
+            self.positive_ids.update(rule.coverage)
+            with self.stopwatch.measure("score_update"):
+                self.updater.on_accept(self.positive_ids, new_positives)
+        else:
+            self.updater.on_reject()
+        self.traversal.feedback(rule, is_useful)
+
+        truth = evaluation_positive_ids
+        if truth is None and self.corpus.has_labels():
+            truth = self.corpus.positive_ids()
+        recall = self.rule_set.recall(truth) if truth else 0.0
+        precision = self.rule_set.precision(truth) if truth else 0.0
+        f1 = self.updater.classifier_f1(truth) if truth else 0.0
+        record = QueryRecord(
+            question_number=len(self.history) + 1,
+            rule=rule.render(),
+            grammar=rule.grammar.name,
+            answer=is_useful,
+            rule_coverage=rule.coverage_size,
+            covered=self.rule_set.coverage_size(),
+            recall=recall,
+            precision=precision,
+            classifier_f1=f1,
+        )
+        self.history.append(record)
+        return record
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ConfigurationError("call start() with seeds before stepping Darwin")
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        oracle: Oracle,
+        seed_rules: Optional[Sequence[LabelingHeuristic]] = None,
+        seed_rule_texts: Optional[Sequence[str]] = None,
+        seed_positive_ids: Optional[Sequence[int]] = None,
+        budget: Optional[int] = None,
+        evaluation_positive_ids: Optional[Set[int]] = None,
+    ) -> DarwinResult:
+        """Run the full interactive loop against ``oracle``.
+
+        Args:
+            oracle: The rule verifier (wrapped in a budget tracker here).
+            seed_rules / seed_rule_texts / seed_positive_ids: Seeds; see
+                :meth:`start`.
+            budget: Overrides ``config.budget`` when given.
+            evaluation_positive_ids: Ground-truth positives used only for the
+                history records (defaults to the corpus labels when present).
+
+        Returns:
+            A :class:`DarwinResult` with the accepted rules and history.
+        """
+        self.start(
+            seed_rules=seed_rules,
+            seed_rule_texts=seed_rule_texts,
+            seed_positive_ids=seed_positive_ids,
+        )
+        query_budget = budget or self.config.budget
+        budgeted = oracle if isinstance(oracle, BudgetedOracle) else BudgetedOracle(
+            base=oracle, budget=query_budget
+        )
+        while budgeted.queries_used < query_budget:
+            rule = self.propose_next()
+            if rule is None:
+                break
+            samples = self._sample_for_query(rule)
+            try:
+                answer = budgeted.ask(rule, samples)
+            except BudgetExhaustedError:
+                break
+            self.record_answer(
+                rule, answer.is_useful, evaluation_positive_ids=evaluation_positive_ids
+            )
+        return DarwinResult(
+            rule_set=self.rule_set,
+            covered_ids=self.rule_set.covered_ids,
+            history=list(self.history),
+            queries_used=budgeted.queries_used,
+            timings=self.stopwatch.as_dict(),
+            config=self.config,
+        )

@@ -1,0 +1,147 @@
+"""Hierarchy construction from candidate heuristics (Section 3.2).
+
+Candidates returned by Algorithm 2 are arranged into a DAG whose edges follow
+the index's parent/child (generalization/specialization) relation. Building
+edges through the grammar's ``generalizations`` chains keeps construction
+linear in the number of candidates instead of quadratic pairwise subsumption
+checks.
+
+After arrangement, a cleanup pass removes heuristics that cannot add any new
+positive sentence beyond what the accepted rules already cover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..grammars.base import Expression
+from ..index.trie_index import CorpusIndex
+from ..index.hierarchy import RuleHierarchy
+from ..rules.heuristic import LabelingHeuristic
+
+
+def build_hierarchy(
+    candidates: Iterable[LabelingHeuristic],
+    index: Optional[CorpusIndex] = None,
+    covered_ids: Optional[Set[int]] = None,
+    max_generalization_hops: int = 3,
+) -> RuleHierarchy:
+    """Arrange ``candidates`` into a :class:`RuleHierarchy`.
+
+    Args:
+        candidates: Candidate rules with coverage computed.
+        index: The corpus index (used only to confirm expressions exist; edges
+            are derived from the grammars' generalization chains).
+        covered_ids: When given, run the cleanup pass dropping rules that add
+            no sentence beyond this set.
+        max_generalization_hops: How far up the generalization chain to look
+            for a parent present in the candidate set (a candidate's immediate
+            generalization may itself not have been selected).
+
+    Returns:
+        The populated hierarchy.
+    """
+    hierarchy = RuleHierarchy()
+    candidate_list = list(candidates)
+    for rule in candidate_list:
+        hierarchy.add(rule)
+
+    by_key: Dict[tuple, LabelingHeuristic] = {
+        (rule.grammar.name, rule.expression): rule for rule in candidate_list
+    }
+
+    for rule in candidate_list:
+        parents = _find_parents(rule, by_key, max_generalization_hops)
+        for parent in parents:
+            if parent.coverage_size >= rule.coverage_size:
+                hierarchy.add_edge(parent, rule)
+
+    if covered_ids is not None:
+        hierarchy.cleanup(set(covered_ids))
+    return hierarchy
+
+
+def _find_parents(
+    rule: LabelingHeuristic,
+    by_key: Dict[tuple, LabelingHeuristic],
+    max_hops: int,
+) -> List[LabelingHeuristic]:
+    """Walk up the generalization chain until candidates are found."""
+    grammar = rule.grammar
+    found: List[LabelingHeuristic] = []
+    frontier: List[Expression] = list(grammar.generalizations(rule.expression))
+    visited: Set[Expression] = set()
+    hops = 0
+    while frontier and hops < max_hops:
+        next_frontier: List[Expression] = []
+        for expression in frontier:
+            if expression in visited:
+                continue
+            visited.add(expression)
+            candidate = by_key.get((grammar.name, expression))
+            if candidate is not None and candidate != rule:
+                found.append(candidate)
+            else:
+                next_frontier.extend(grammar.generalizations(expression))
+        if found:
+            break
+        frontier = next_frontier
+        hops += 1
+    return found
+
+
+def expand_rule_neighbourhood(
+    rule: LabelingHeuristic,
+    index: CorpusIndex,
+    direction: str,
+    corpus=None,
+    min_coverage: int = 1,
+    limit: int = 50,
+) -> List[LabelingHeuristic]:
+    """On-the-fly parents/children of a rule, for LocalSearch's lazy expansion.
+
+    Args:
+        rule: The rule whose neighbourhood is requested.
+        index: Corpus index used to resolve coverage cheaply.
+        direction: ``"parents"`` (generalizations) or ``"children"``
+            (specializations).
+        corpus: Optional corpus used to evaluate expressions missing from the
+            index and to provide witness sentences for specialization.
+        min_coverage: Skip neighbours covering fewer sentences.
+        limit: Maximum number of neighbours returned.
+
+    Returns:
+        Neighbouring rules with coverage attached, largest coverage first.
+    """
+    if direction not in {"parents", "children"}:
+        raise ValueError("direction must be 'parents' or 'children'")
+    grammar = rule.grammar
+    expressions: List[Expression] = []
+    if direction == "parents":
+        expressions = list(grammar.generalizations(rule.expression))
+    else:
+        node = index.lookup(grammar.name, rule.expression)
+        if node is not None:
+            expressions = [
+                expr for (name, expr) in index.children_of(node.key) if name == grammar.name
+            ]
+        if not expressions and corpus is not None and rule.coverage_ids:
+            # Fall back to grammar specializations against witness sentences.
+            witness_ids = sorted(rule.coverage)[:5]
+            seen: Set[Expression] = set()
+            for witness_id in witness_ids:
+                for expr in grammar.specializations(rule.expression, corpus[witness_id]):
+                    if expr not in seen:
+                        seen.add(expr)
+                        expressions.append(expr)
+
+    neighbours: List[LabelingHeuristic] = []
+    for expression in expressions:
+        coverage = index.coverage_of_expression(grammar.name, expression, corpus)
+        if len(coverage) < min_coverage:
+            continue
+        neighbours.append(
+            LabelingHeuristic(grammar=grammar, expression=expression).with_coverage(coverage)
+        )
+    neighbours.sort(key=lambda r: (-r.coverage_size, r.render()))
+    return neighbours[:limit]

@@ -1,0 +1,77 @@
+"""Score update component (Section 3.7).
+
+After each oracle answer Darwin must (1) retrain the classifier when new
+positives were discovered, (2) refresh the benefit estimates of every
+candidate heuristic, and (3) signal the hierarchy generator that new
+candidates should be considered. :class:`ScoreUpdater` encapsulates that
+bookkeeping so the main loop and the interactive session share it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..classifier.trainer import ClassifierTrainer
+from .benefit import BenefitScorer
+
+
+class ScoreUpdater:
+    """Couples the classifier trainer with the benefit scorer."""
+
+    def __init__(
+        self,
+        trainer: ClassifierTrainer,
+        benefit: BenefitScorer,
+        retrain_every: int = 1,
+    ) -> None:
+        if retrain_every <= 0:
+            raise ValueError("retrain_every must be positive")
+        self.trainer = trainer
+        self.benefit = benefit
+        self.retrain_every = retrain_every
+        self._accepted_since_retrain = 0
+        self._needs_hierarchy_refresh = False
+
+    @property
+    def needs_hierarchy_refresh(self) -> bool:
+        """True when new positives arrived since the last hierarchy build."""
+        return self._needs_hierarchy_refresh
+
+    def acknowledge_hierarchy_refresh(self) -> None:
+        """Reset the refresh flag after the hierarchy has been regenerated."""
+        self._needs_hierarchy_refresh = False
+
+    def initialize(self, positive_ids: Set[int]) -> None:
+        """Initial classifier training on the seed positives."""
+        self.trainer.retrain(positive_ids)
+        self.benefit.update(
+            scores=self.trainer.score_corpus(), covered_ids=positive_ids
+        )
+
+    def on_accept(self, positive_ids: Set[int], new_positive_ids: Set[int]) -> None:
+        """Handle a YES answer: retrain (per policy) and refresh benefits."""
+        self._accepted_since_retrain += 1
+        retrained = False
+        if new_positive_ids and self._accepted_since_retrain >= self.retrain_every:
+            self.trainer.retrain(positive_ids)
+            self._accepted_since_retrain = 0
+            retrained = True
+        scores = self.trainer.score_corpus() if retrained else None
+        self.benefit.update(scores=scores, covered_ids=positive_ids)
+        if new_positive_ids:
+            self._needs_hierarchy_refresh = True
+
+    def on_reject(self) -> None:
+        """Handle a NO answer (no retraining; benefits stay valid)."""
+        # Rejected rules only shrink the candidate pools; nothing to update.
+        return None
+
+    def current_scores(self):
+        """The trainer's latest per-sentence probability estimates."""
+        return self.trainer.score_corpus()
+
+    def classifier_f1(self, positive_ids: Optional[Set[int]]) -> float:
+        """F1 of the current classifier against ground truth (0.0 if unknown)."""
+        if not positive_ids:
+            return 0.0
+        return self.trainer.f1_against(positive_ids)

@@ -1,0 +1,111 @@
+"""Interactive labeling session: Darwin with a human in the loop.
+
+:class:`LabelingSession` exposes Darwin's step API in the shape an annotation
+UI (or a command-line prompt, as in ``examples/interactive_session.py``) needs:
+ask for the next question, show the rule plus a few matching sentences, submit
+the YES/NO answer, repeat until the budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import BudgetExhaustedError
+from ..rules.heuristic import LabelingHeuristic
+from .darwin import Darwin, DarwinResult, QueryRecord
+
+
+@dataclass(frozen=True)
+class PendingQuestion:
+    """A question waiting for the annotator's answer.
+
+    Attributes:
+        rule: The candidate rule being verified.
+        rendered: The rule as a human-readable string.
+        example_texts: Texts of a few sentences matching the rule (what
+            Figure 2 shows the annotator).
+    """
+
+    rule: LabelingHeuristic
+    rendered: str
+    example_texts: Sequence[str]
+
+
+class LabelingSession:
+    """Step-by-step interactive wrapper around :class:`Darwin`."""
+
+    def __init__(
+        self,
+        darwin: Darwin,
+        budget: Optional[int] = None,
+        seed_rule_texts: Optional[Sequence[str]] = None,
+        seed_rules: Optional[Sequence[LabelingHeuristic]] = None,
+        seed_positive_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.darwin = darwin
+        self.budget = budget or darwin.config.budget
+        self._pending: Optional[PendingQuestion] = None
+        self._questions_asked = 0
+        darwin.start(
+            seed_rules=seed_rules,
+            seed_rule_texts=seed_rule_texts,
+            seed_positive_ids=seed_positive_ids,
+        )
+
+    # -------------------------------------------------------------- stepping
+    @property
+    def questions_asked(self) -> int:
+        """Number of questions answered so far."""
+        return self._questions_asked
+
+    @property
+    def questions_remaining(self) -> int:
+        """Questions left in the budget."""
+        return max(0, self.budget - self._questions_asked)
+
+    @property
+    def is_done(self) -> bool:
+        """True when the budget is exhausted."""
+        return self.questions_remaining == 0
+
+    def next_question(self) -> Optional[PendingQuestion]:
+        """The next question for the annotator (None when exhausted/done)."""
+        if self.is_done:
+            return None
+        if self._pending is not None:
+            return self._pending
+        rule = self.darwin.propose_next()
+        if rule is None:
+            return None
+        sample_ids = self.darwin._sample_for_query(rule)
+        examples = [self.darwin.corpus[sid].text for sid in sample_ids]
+        self._pending = PendingQuestion(
+            rule=rule, rendered=rule.render(), example_texts=tuple(examples)
+        )
+        return self._pending
+
+    def submit_answer(self, is_useful: bool) -> QueryRecord:
+        """Record the annotator's YES/NO answer to the pending question."""
+        if self._pending is None:
+            raise BudgetExhaustedError("no pending question; call next_question() first")
+        record = self.darwin.record_answer(self._pending.rule, is_useful)
+        self._pending = None
+        self._questions_asked += 1
+        return record
+
+    # --------------------------------------------------------------- results
+    def accepted_rules(self) -> List[str]:
+        """Rules accepted so far, rendered."""
+        return self.darwin.rule_set.describe()
+
+    def result(self) -> DarwinResult:
+        """Snapshot the session as a :class:`DarwinResult`."""
+        return DarwinResult(
+            rule_set=self.darwin.rule_set,
+            covered_ids=self.darwin.rule_set.covered_ids,
+            history=list(self.darwin.history),
+            queries_used=self._questions_asked,
+            timings=self.darwin.stopwatch.as_dict(),
+            config=self.darwin.config,
+        )

@@ -1,0 +1,15 @@
+"""Hierarchy traversal strategies (Sections 3.4-3.6)."""
+
+from .base import TraversalContext, TraversalStrategy, make_traversal
+from .local import LocalSearch
+from .universal import UniversalSearch
+from .hybrid import HybridSearch
+
+__all__ = [
+    "TraversalContext",
+    "TraversalStrategy",
+    "make_traversal",
+    "LocalSearch",
+    "UniversalSearch",
+    "HybridSearch",
+]

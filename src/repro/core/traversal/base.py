@@ -1,0 +1,161 @@
+"""Shared infrastructure for hierarchy-traversal strategies.
+
+A traversal strategy decides which candidate heuristic to submit to the oracle
+next. All three strategies share the same context object, which bundles the
+current hierarchy, the benefit scorer, and a neighbour provider used by
+LocalSearch to expand parents/children lazily (its "efficient implementation"
+in Section 3.4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from ...errors import TraversalError
+from ...index.hierarchy import RuleHierarchy
+from ...rules.heuristic import LabelingHeuristic
+from ..benefit import BenefitScorer
+
+NeighbourProvider = Callable[[LabelingHeuristic, str], List[LabelingHeuristic]]
+"""Callable returning the parents ("parents") or children ("children") of a rule."""
+
+
+@dataclass
+class TraversalContext:
+    """Mutable state shared between the Darwin loop and a traversal strategy.
+
+    Attributes:
+        hierarchy: The current candidate hierarchy ``H``.
+        benefit: Benefit scorer backed by the latest classifier scores.
+        neighbours: Provider for on-the-fly parents/children of a rule (used
+            when a rule's neighbourhood is not materialized in ``hierarchy``).
+        benefit_cutoff: UniversalSearch's average-benefit threshold (0.5).
+        queried: Rules already submitted to the oracle (never re-proposed).
+    """
+
+    hierarchy: RuleHierarchy
+    benefit: BenefitScorer
+    neighbours: NeighbourProvider
+    benefit_cutoff: float = 0.5
+    queried: Set[LabelingHeuristic] = field(default_factory=set)
+
+    def parents_of(self, rule: LabelingHeuristic) -> List[LabelingHeuristic]:
+        """Parents from the hierarchy, falling back to the neighbour provider."""
+        parents = self.hierarchy.parents(rule) if rule in self.hierarchy else []
+        if not parents:
+            parents = self.neighbours(rule, "parents")
+        return parents
+
+    def children_of(self, rule: LabelingHeuristic) -> List[LabelingHeuristic]:
+        """Children from the hierarchy, falling back to the neighbour provider."""
+        children = self.hierarchy.children(rule) if rule in self.hierarchy else []
+        if not children:
+            children = self.neighbours(rule, "children")
+        return children
+
+
+class TraversalStrategy(ABC):
+    """Interface implemented by LocalSearch, UniversalSearch and HybridSearch."""
+
+    name: str = "abstract"
+
+    def __init__(self, context: TraversalContext, seed_rules: List[LabelingHeuristic]) -> None:
+        if not seed_rules:
+            raise TraversalError("traversal requires at least one seed rule")
+        self.context = context
+        self.seed_rules = list(seed_rules)
+
+    @abstractmethod
+    def propose(self) -> Optional[LabelingHeuristic]:
+        """The next rule to submit to the oracle (None when exhausted)."""
+
+    @abstractmethod
+    def feedback(self, rule: LabelingHeuristic, is_useful: bool) -> None:
+        """Incorporate the oracle's answer for ``rule``."""
+
+    def on_hierarchy_update(self, hierarchy: RuleHierarchy) -> None:
+        """Called when Darwin regenerates the candidate hierarchy."""
+        self.context.hierarchy = hierarchy
+
+    # Shared helpers ---------------------------------------------------------
+    def _unqueried(self, rules: List[LabelingHeuristic]) -> List[LabelingHeuristic]:
+        return [rule for rule in rules if rule not in self.context.queried]
+
+    def _select_most_beneficial(
+        self,
+        rules: List[LabelingHeuristic],
+        apply_cutoff: bool = False,
+        require_gain: bool = True,
+    ) -> Optional[LabelingHeuristic]:
+        """Pick the unqueried rule with maximum benefit.
+
+        Args:
+            rules: Candidate pool.
+            apply_cutoff: Enforce the average-benefit cutoff (UniversalSearch's
+                0.5 rule); when no candidate clears it, return None rather than
+                falling back — the caller decides how to recover (HybridSearch
+                switches strategy, which is the paper's behaviour).
+            require_gain: Skip rules whose coverage adds no new sentence
+                (mirrors the hierarchy cleanup for lazily-expanded rules).
+        """
+        candidates = self._unqueried(rules)
+        if require_gain:
+            candidates = [
+                rule for rule in candidates if self.context.benefit.new_ids(rule)
+            ]
+        if not candidates:
+            return None
+        if apply_cutoff:
+            return self.context.benefit.most_beneficial(
+                candidates, min_average=self.context.benefit_cutoff
+            )
+        return self.context.benefit.most_beneficial(candidates)
+
+    def _select_most_precise(
+        self, rules: List[LabelingHeuristic]
+    ) -> Optional[LabelingHeuristic]:
+        """Pick the unqueried rule with the highest *average* benefit.
+
+        Used as a conservative fallback when nothing clears the cutoff: the
+        most-precise-looking candidate is a better query than the biggest one.
+        The average is bucketed (0.1 granularity) so that among similarly
+        precise-looking rules the one with the larger total benefit wins —
+        this keeps the fallback from collapsing into HighP's tiny-rule bias.
+        """
+        candidates = [
+            rule
+            for rule in self._unqueried(rules)
+            if self.context.benefit.new_ids(rule)
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda r: (
+                round(self.context.benefit.average_benefit(r), 1),
+                self.context.benefit.benefit(r),
+                r.render(),
+            ),
+        )
+
+
+def make_traversal(
+    kind: str,
+    context: TraversalContext,
+    seed_rules: List[LabelingHeuristic],
+    tau: int = 5,
+) -> TraversalStrategy:
+    """Factory for traversal strategies by name ("local"/"universal"/"hybrid")."""
+    from .local import LocalSearch
+    from .universal import UniversalSearch
+    from .hybrid import HybridSearch
+
+    if kind == "local":
+        return LocalSearch(context, seed_rules)
+    if kind == "universal":
+        return UniversalSearch(context, seed_rules)
+    if kind == "hybrid":
+        return HybridSearch(context, seed_rules, tau=tau)
+    raise TraversalError(f"unknown traversal strategy {kind!r}")

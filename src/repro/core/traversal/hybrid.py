@@ -1,0 +1,109 @@
+"""HybridSearch traversal (Algorithm 5).
+
+HybridSearch runs UniversalSearch and LocalSearch side by side: it starts in
+universal mode and switches strategy after ``tau`` consecutive unsuccessful
+attempts (rejected rules or rounds where no candidate clears the benefit
+cutoff), then switches back under the same condition. Oracle feedback updates
+*both* candidate pools so no information is lost across switches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ...errors import TraversalError
+from ...index.hierarchy import RuleHierarchy
+from ...rules.heuristic import LabelingHeuristic
+from .base import TraversalContext, TraversalStrategy
+
+
+class HybridSearch(TraversalStrategy):
+    """Alternating universal/local traversal with a switching threshold ``tau``."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        context: TraversalContext,
+        seed_rules: List[LabelingHeuristic],
+        tau: int = 5,
+    ) -> None:
+        super().__init__(context, seed_rules)
+        if tau <= 0:
+            raise TraversalError("tau must be positive")
+        self.tau = tau
+        self.universal_mode = True
+        self._attempts = 0
+        self._local_candidates: Set[LabelingHeuristic] = set(seed_rules)
+        for seed in seed_rules:
+            self._local_candidates.update(context.parents_of(seed))
+            self._local_candidates.update(context.children_of(seed))
+        self._universal_candidates: Set[LabelingHeuristic] = set(context.hierarchy.rules())
+        self._universal_candidates.update(seed_rules)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def mode(self) -> str:
+        """The currently active strategy ("universal" or "local")."""
+        return "universal" if self.universal_mode else "local"
+
+    @property
+    def local_candidates(self) -> Set[LabelingHeuristic]:
+        """Current local candidate pool."""
+        return set(self._local_candidates)
+
+    @property
+    def universal_candidates(self) -> Set[LabelingHeuristic]:
+        """Current universal candidate pool."""
+        return set(self._universal_candidates)
+
+    # -------------------------------------------------------------- lifecycle
+    def on_hierarchy_update(self, hierarchy: RuleHierarchy) -> None:
+        super().on_hierarchy_update(hierarchy)
+        for rule in hierarchy.rules():
+            if rule not in self.context.queried:
+                self._universal_candidates.add(rule)
+
+    def _maybe_switch(self) -> None:
+        if self._attempts >= self.tau:
+            self.universal_mode = not self.universal_mode
+            self._attempts = 0
+
+    def propose(self) -> Optional[LabelingHeuristic]:
+        self._maybe_switch()
+        self._attempts += 1
+        chosen = self._propose_from_mode(self.universal_mode)
+        if chosen is None:
+            # The active strategy has nothing worth querying (for universal:
+            # nothing clears the benefit cutoff; for local: the neighbourhood
+            # is exhausted). That counts as the unsuccessful streak ending —
+            # toggle immediately instead of burning oracle budget.
+            self.universal_mode = not self.universal_mode
+            self._attempts = 0
+            chosen = self._propose_from_mode(self.universal_mode)
+        if chosen is None:
+            # Both pools exhausted under their own criteria: query the most
+            # precise-looking candidate anywhere so the budget is still usable.
+            chosen = self._select_most_precise(
+                list(self._universal_candidates | self._local_candidates)
+            )
+        if chosen is None:
+            chosen = self._select_most_precise(self.context.hierarchy.rules())
+        return chosen
+
+    def _propose_from_mode(self, universal: bool) -> Optional[LabelingHeuristic]:
+        pool = list(self._universal_candidates if universal else self._local_candidates)
+        return self._select_most_beneficial(pool, apply_cutoff=True)
+
+    def feedback(self, rule: LabelingHeuristic, is_useful: bool) -> None:
+        self._universal_candidates.discard(rule)
+        self._local_candidates.discard(rule)
+        if is_useful:
+            self._attempts = 0
+            self._local_candidates.update(
+                r for r in self.context.parents_of(rule) if r not in self.context.queried
+            )
+        else:
+            self._local_candidates.update(
+                r for r in self.context.children_of(rule) if r not in self.context.queried
+            )

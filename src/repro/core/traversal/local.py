@@ -1,0 +1,58 @@
+"""LocalSearch traversal (Algorithm 3).
+
+LocalSearch explores the immediate neighbourhood of rules the oracle has
+already judged: a confirmed rule's *parents* (generalizations) join the
+candidate pool, a rejected rule's *children* (specializations) do. Because it
+only ever looks one hop away, it does not need the full hierarchy up front —
+the neighbour provider expands parents/children on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ...rules.heuristic import LabelingHeuristic
+from .base import TraversalContext, TraversalStrategy
+
+
+class LocalSearch(TraversalStrategy):
+    """Neighbourhood-based traversal seeded with the initial rule(s)."""
+
+    name = "local"
+
+    def __init__(self, context: TraversalContext, seed_rules: List[LabelingHeuristic]) -> None:
+        super().__init__(context, seed_rules)
+        self._candidates: Set[LabelingHeuristic] = set(seed_rules)
+        # The seeds themselves have effectively been confirmed, so their
+        # generalizations are immediately interesting.
+        for seed in seed_rules:
+            self._candidates.update(context.parents_of(seed))
+            self._candidates.update(context.children_of(seed))
+
+    @property
+    def candidates(self) -> Set[LabelingHeuristic]:
+        """The current local candidate pool (for inspection/tests)."""
+        return set(self._candidates)
+
+    def propose(self) -> Optional[LabelingHeuristic]:
+        # Prefer locally-reachable rules whose new coverage looks mostly
+        # positive; fall back to the most precise-looking neighbour, and only
+        # then widen to the hierarchy at large.
+        pool = list(self._candidates)
+        chosen = self._select_most_beneficial(pool, apply_cutoff=True)
+        if chosen is None:
+            chosen = self._select_most_precise(pool)
+        if chosen is None:
+            chosen = self._select_most_precise(self.context.hierarchy.rules())
+        return chosen
+
+    def feedback(self, rule: LabelingHeuristic, is_useful: bool) -> None:
+        self._candidates.discard(rule)
+        if is_useful:
+            self._candidates.update(
+                r for r in self.context.parents_of(rule) if r not in self.context.queried
+            )
+        else:
+            self._candidates.update(
+                r for r in self.context.children_of(rule) if r not in self.context.queried
+            )

@@ -1,0 +1,54 @@
+"""UniversalSearch traversal (Algorithm 4).
+
+UniversalSearch evaluates *every* rule in the hierarchy and submits the one
+with maximum benefit, skipping rules whose benefit per new instance falls
+below the 0.5 cutoff (a majority of their new coverage is expected to be
+negative). It ignores the hierarchy's structure entirely — its strength is
+finding semantically related rules that are structurally far from the seed,
+its weakness is relying on the classifier being decent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ...index.hierarchy import RuleHierarchy
+from ...rules.heuristic import LabelingHeuristic
+from .base import TraversalContext, TraversalStrategy
+
+
+class UniversalSearch(TraversalStrategy):
+    """Global benefit-greedy traversal over the whole hierarchy."""
+
+    name = "universal"
+
+    def __init__(self, context: TraversalContext, seed_rules: List[LabelingHeuristic]) -> None:
+        super().__init__(context, seed_rules)
+        self._candidates: Set[LabelingHeuristic] = set(context.hierarchy.rules())
+        self._candidates.update(seed_rules)
+
+    @property
+    def candidates(self) -> Set[LabelingHeuristic]:
+        """The current universal candidate pool (for inspection/tests)."""
+        return set(self._candidates)
+
+    def on_hierarchy_update(self, hierarchy: RuleHierarchy) -> None:
+        super().on_hierarchy_update(hierarchy)
+        for rule in hierarchy.rules():
+            if rule not in self.context.queried:
+                self._candidates.add(rule)
+
+    def propose(self) -> Optional[LabelingHeuristic]:
+        chosen = self._select_most_beneficial(list(self._candidates), apply_cutoff=True)
+        if chosen is None:
+            # Nothing clears the average-benefit cutoff (typically because the
+            # classifier is still weak). Rather than stalling, query the most
+            # precise-looking candidate — UniversalSearch's known weak spot in
+            # the low-data regime (Section 3.5).
+            chosen = self._select_most_precise(list(self._candidates))
+        return chosen
+
+    def feedback(self, rule: LabelingHeuristic, is_useful: bool) -> None:
+        # Queried rules leave the pool regardless of the answer; the Darwin
+        # loop retrains the classifier on YES, which refreshes all benefits.
+        self._candidates.discard(rule)

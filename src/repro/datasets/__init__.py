@@ -1,0 +1,31 @@
+"""Synthetic dataset generators mirroring the paper's five corpora (Table 1).
+
+The paper evaluates on cause-effect (relation extraction), directions (intent
+classification, internal dataset), musicians and professions (entity
+extraction) and tweets (intent classification). None of those corpora are
+available offline, so each module here generates a synthetic corpus with the
+properties that drive the paper's results: the same task type, a comparable
+class imbalance, and — crucially — many *distinct* positive "modes", each with
+its own characteristic phrases, so that adaptive rule discovery has a diverse
+rule space to explore while a labeled random sample only ever exposes a few
+modes.
+"""
+
+from .registry import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_spec,
+    load_dataset,
+    table1_rows,
+)
+from .templates import TemplateBank, TemplateMode
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "dataset_spec",
+    "load_dataset",
+    "table1_rows",
+    "TemplateBank",
+    "TemplateMode",
+]

@@ -1,0 +1,225 @@
+"""The ``cause-effect`` dataset: relation extraction (SemEval-style).
+
+Positive sentences describe a cause-and-effect relationship between two
+entities ("the outbreak was caused by contaminated water"); negatives describe
+other relationships (part-whole, containment, location, ownership, temporal).
+The paper's benchmark (Socher et al. 2012 subset) has 10.7K sentences with
+12.2% positives. Positive modes span the common causal connectives so the
+rule space is diverse: "caused by", "triggered by", "leads to", "results in",
+"due to", "induced by", "gives rise to", "stems from".
+"""
+
+from __future__ import annotations
+
+from .templates import TemplateBank, TemplateMode
+
+PAPER_NUM_SENTENCES = 10_700
+PAPER_POSITIVE_FRACTION = 0.122
+
+_FILLERS = {
+    "bad_event": [
+        "the outbreak", "the flooding", "the recession", "the blackout",
+        "the crash", "the epidemic", "the famine", "the wildfire",
+        "the landslide", "the shortage", "the collapse", "the crisis",
+    ],
+    "cause": [
+        "contaminated water", "heavy rainfall", "a faulty transformer",
+        "the heat wave", "a software bug", "poor maintenance",
+        "the virus", "a gas leak", "the drought", "rising prices",
+        "a design flaw", "human error", "the earthquake",
+    ],
+    "effect": [
+        "widespread damage", "severe delays", "a sharp drop in sales",
+        "massive protests", "a spike in prices", "power outages",
+        "crop failure", "health problems", "traffic congestion",
+        "water shortages", "school closures",
+    ],
+    "condition": [
+        "the infection", "the inflammation", "the allergy", "the fever",
+        "the migraine", "the fatigue", "the rash", "the anxiety",
+    ],
+    "agent": [
+        "the bacteria", "the medication", "the pollen", "the stress",
+        "the exposure", "the deficiency", "the mutation", "the toxin",
+    ],
+    "place": [
+        "the valley", "the coastal region", "the capital", "the province",
+        "the island", "the district", "the harbor", "the plateau",
+    ],
+    "object": [
+        "the engine", "the keyboard", "the bridge", "the cabinet",
+        "the telescope", "the turbine", "the antenna", "the pipeline",
+    ],
+    "part": [
+        "a piston", "several keys", "a steel beam", "two drawers",
+        "a mirror", "a rotor blade", "a receiver", "a valve",
+    ],
+    "container": ["the box", "the warehouse", "the crate", "the cellar",
+                  "the drawer", "the tank", "the shed"],
+    "content": ["old letters", "spare parts", "grain", "wine bottles",
+                "documents", "fuel", "tools"],
+    "org": ["the ministry", "the university", "the museum", "the council",
+            "the committee", "the foundation", "the institute"],
+    "year": ["1998", "2003", "2008", "2011", "2015", "2017", "2019"],
+}
+
+_POSITIVE_MODES = (
+    TemplateMode(
+        name="caused_by",
+        templates=(
+            "{bad_event} was caused by {cause}.",
+            "{bad_event} in {place} was caused by {cause}.",
+            "Investigators concluded that {bad_event} had been caused by {cause}.",
+            "Scientists say {bad_event} has been caused by {cause}.",
+            "{condition} is often caused by {agent}.",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="triggered_by",
+        templates=(
+            "{bad_event} was triggered by {cause}.",
+            "{condition} can be triggered by {agent}.",
+            "The alarm was triggered by {cause} late at night.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="leads_to",
+        templates=(
+            "{cause} often leads to {effect}.",
+            "Experts warned that {cause} leads to {effect} in {place}.",
+            "{cause} eventually led to {effect}.",
+        ),
+    ),
+    TemplateMode(
+        name="results_in",
+        templates=(
+            "{cause} resulted in {effect} across {place}.",
+            "{cause} results in {effect} when left unchecked.",
+            "The failure resulted in {effect} within hours.",
+        ),
+    ),
+    TemplateMode(
+        name="due_to",
+        templates=(
+            "{bad_event} occurred due to {cause}.",
+            "Flights were delayed due to {cause}.",
+            "{effect} was largely due to {cause}.",
+        ),
+    ),
+    TemplateMode(
+        name="induced",
+        templates=(
+            "{condition} was induced by {agent}.",
+            "{agent} induced {condition} in several patients.",
+        ),
+    ),
+    TemplateMode(
+        name="gives_rise",
+        templates=(
+            "{cause} gives rise to {effect}.",
+            "{cause} gave rise to {effect} throughout {place}.",
+        ),
+    ),
+    TemplateMode(
+        name="stems_from",
+        templates=(
+            "{effect} stems from {cause}.",
+            "Analysts believe {effect} stems from {cause}.",
+        ),
+    ),
+)
+
+_NEGATIVE_MODES = (
+    TemplateMode(
+        name="part_whole",
+        templates=(
+            "{object} contains {part} made of aluminum.",
+            "{part} was removed from {object} during the repair.",
+            "{object} consists of {part} and a frame.",
+            "{part} is a component of {object}.",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="content_container",
+        templates=(
+            "{container} was filled with {content}.",
+            "{content} were stored in {container} for years.",
+            "Workers moved {content} into {container}.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="location",
+        templates=(
+            "{org} is located in {place}.",
+            "The ceremony took place in {place} in {year}.",
+            "{object} was installed near {place}.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="ownership",
+        templates=(
+            "{org} acquired {object} in {year}.",
+            "{org} owns several buildings in {place}.",
+            "{object} belongs to {org}.",
+        ),
+    ),
+    TemplateMode(
+        name="temporal",
+        templates=(
+            "The exhibition opened in {place} in {year}.",
+            "{org} was founded in {year}.",
+            "The renovation of {object} finished in {year}.",
+        ),
+    ),
+    TemplateMode(
+        name="description",
+        templates=(
+            "{object} was painted bright red last summer.",
+            "{org} announced a new program for students in {place}.",
+            "{container} near the entrance is rarely used.",
+        ),
+    ),
+)
+
+_LEXICON = {
+    "caused": "VERB", "triggered": "VERB", "leads": "VERB", "led": "VERB",
+    "resulted": "VERB", "results": "VERB", "induced": "VERB", "stems": "VERB",
+    "outbreak": "NOUN", "flooding": "NOUN", "recession": "NOUN",
+    "blackout": "NOUN", "epidemic": "NOUN", "famine": "NOUN",
+    "wildfire": "NOUN", "landslide": "NOUN", "drought": "NOUN",
+    "infection": "NOUN", "inflammation": "NOUN", "bacteria": "NOUN",
+    "contains": "VERB", "consists": "VERB", "belongs": "VERB",
+    "acquired": "VERB", "founded": "VERB",
+}
+
+
+def build_bank() -> TemplateBank:
+    """The template bank for the cause-effect dataset."""
+    return TemplateBank(
+        name="cause-effect",
+        positive_modes=_POSITIVE_MODES,
+        negative_modes=_NEGATIVE_MODES,
+        fillers=_FILLERS,
+        lexicon=_LEXICON,
+        keyword_hints=(
+            "caused", "cause", "triggered", "leads", "results", "due",
+            "induced", "effect", "rise", "stems",
+        ),
+        default_seed_rules=("has been caused by",),
+        biased_exclude_token="triggered",
+    )
+
+
+def generate(num_sentences: int = PAPER_NUM_SENTENCES,
+             positive_fraction: float = PAPER_POSITIVE_FRACTION,
+             seed: int = 0,
+             parse_trees: bool = True):
+    """Generate the cause-effect corpus at the requested size."""
+    return build_bank().generate(
+        num_sentences, positive_fraction, seed=seed, parse_trees=parse_trees
+    )

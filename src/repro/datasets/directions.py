@@ -1,0 +1,259 @@
+"""The ``directions`` dataset: hotel-concierge intent classification (Example 1).
+
+Positive sentences ask for directions or means of transportation from one
+location to another; negatives are every other kind of guest question
+(food, check-in, amenities, billing...). The paper's internal corpus has
+15.3K sentences with 3.8% positives; the synthetic bank reproduces that
+imbalance and, importantly, spreads the positives over many lexical modes
+("best way to get", "shuttle", "bart", "uber/taxi", "walking distance",
+"how far", "bus/train", "directions to") so that no single rule — and no
+small random labeled sample — covers them all.
+"""
+
+from __future__ import annotations
+
+from .templates import TemplateBank, TemplateMode
+
+PAPER_NUM_SENTENCES = 15_300
+PAPER_POSITIVE_FRACTION = 0.038
+
+_FILLERS = {
+    "destination": [
+        "the airport", "SFO airport", "the convention center", "downtown",
+        "the train station", "union square", "the ferry building", "the pier",
+        "the stadium", "the museum", "golden gate park", "the mall",
+        "the beach", "chinatown", "the university", "the hospital",
+        "the aquarium", "the theater", "the zoo", "fisherman 's wharf",
+    ],
+    "origin": [
+        "the hotel", "here", "the lobby", "my room", "the conference hall",
+        "the restaurant", "the parking garage",
+    ],
+    "ride": ["uber", "lyft", "a taxi", "a cab", "a rideshare"],
+    "transit": ["bart", "the bus", "the train", "the subway", "the tram",
+                "the ferry", "caltrain", "the shuttle bus", "the cable car"],
+    "food": [
+        "pizza", "sushi", "a burger", "room service", "breakfast", "pasta",
+        "thai food", "a sandwich", "dessert", "coffee", "tacos", "ramen",
+    ],
+    "meal": ["breakfast", "lunch", "dinner", "brunch"],
+    "amenity": [
+        "the pool", "the gym", "the spa", "the business center",
+        "the rooftop bar", "the laundry room", "the ice machine",
+        "the vending machine", "the fitness center",
+    ],
+    "room_item": [
+        "extra towels", "more pillows", "a blanket", "a crib", "an iron",
+        "a hair dryer", "toiletries", "a bathrobe", "slippers",
+    ],
+    "time": ["tonight", "tomorrow morning", "this afternoon", "right now",
+             "later today", "this evening", "at noon", "before 9 am"],
+    "issue": [
+        "the air conditioning", "the wifi", "the television", "the shower",
+        "the heater", "the safe", "the minibar", "the key card",
+    ],
+    "event": ["a wedding", "a conference", "a birthday dinner",
+              "a business meeting", "an anniversary"],
+}
+
+_POSITIVE_MODES = (
+    TemplateMode(
+        name="best_way",
+        templates=(
+            "What is the best way to get to {destination}?",
+            "What would be the best way to get to {destination} from {origin}?",
+            "Could you tell me the best way to reach {destination}?",
+            "What is the quickest way to get to {destination} from {origin}?",
+            "What is the easiest way to get from {origin} to {destination}?",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="shuttle",
+        templates=(
+            "Is there a shuttle to {destination}?",
+            "Does the hotel run a shuttle to {destination}?",
+            "What time does the shuttle to {destination} leave?",
+            "Can I book the shuttle from {origin} to {destination}?",
+            "Is the shuttle to {destination} free for guests?",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="bart_transit",
+        templates=(
+            "Is there a bart from {destination} to {origin}?",
+            "Can I take {transit} to {destination} from {origin}?",
+            "Does {transit} stop near {destination}?",
+            "Which {transit} line goes to {destination}?",
+            "Do I need a ticket for {transit} to {destination}?",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="rideshare",
+        templates=(
+            "Is {ride} the fastest way to get to {destination}?",
+            "How much would {ride} cost to {destination}?",
+            "Should I take {ride} or {transit} to {destination}?",
+            "Can you call {ride} to take me to {destination}?",
+            "How long does {ride} take to {destination} from {origin}?",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="walking",
+        templates=(
+            "Is {destination} within walking distance from {origin}?",
+            "Can I walk to {destination} from {origin}?",
+            "How long is the walk from {origin} to {destination}?",
+            "Is it safe to walk to {destination} at night?",
+        ),
+    ),
+    TemplateMode(
+        name="how_far",
+        templates=(
+            "How far is {destination} from {origin}?",
+            "How long does it take to reach {destination} from {origin}?",
+            "How many miles is {destination} from {origin}?",
+        ),
+    ),
+    TemplateMode(
+        name="directions",
+        templates=(
+            "Can you give me directions to {destination}?",
+            "Could you print directions from {origin} to {destination}?",
+            "I need directions to {destination} please.",
+            "Which exit should I take for {destination}?",
+        ),
+    ),
+    TemplateMode(
+        name="airport_transfer",
+        templates=(
+            "How do I get to the airport from {origin}?",
+            "What time should I leave {origin} to catch my flight at the airport?",
+            "Do you arrange airport transfers from {origin}?",
+        ),
+    ),
+)
+
+_NEGATIVE_MODES = (
+    TemplateMode(
+        name="food_order",
+        templates=(
+            "What is the best way to order {food} from you?",
+            "Would Uber Eats be the fastest way to order {food}?",
+            "Can I order {food} to my room {time}?",
+            "Do you serve {meal} at the restaurant downstairs?",
+            "What time does the kitchen stop serving {food}?",
+            "Could you recommend a place for {meal} near the hotel?",
+            "Is {food} available on the room service menu?",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="check_in",
+        templates=(
+            "What is the best way to check in there?",
+            "Can I check in early {time}?",
+            "What time is check out {time}?",
+            "Can I get a late check out for my room?",
+            "Do you need my passport at check in?",
+            "Is there a fee for early check in?",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="amenities",
+        templates=(
+            "What time does {amenity} open {time}?",
+            "Is {amenity} free for hotel guests?",
+            "Where can I find {amenity} in the hotel?",
+            "Do I need to reserve {amenity} in advance?",
+            "Is {amenity} open {time}?",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="room_requests",
+        templates=(
+            "Could you send {room_item} to my room {time}?",
+            "Can I get {room_item} please?",
+            "We need {room_item} in room 512.",
+            "Is it possible to have {room_item} delivered {time}?",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="maintenance",
+        templates=(
+            "{issue} in my room is not working.",
+            "Can someone fix {issue} {time}?",
+            "There is a problem with {issue} in my room.",
+            "The password for {issue} is not working.",
+        ),
+    ),
+    TemplateMode(
+        name="billing",
+        templates=(
+            "Can I get an invoice for my stay emailed to me?",
+            "Why was my card charged twice for the room?",
+            "Do you accept cash for incidentals?",
+            "Can I split the bill between two cards?",
+        ),
+    ),
+    TemplateMode(
+        name="events",
+        templates=(
+            "Do you host {event} at the hotel?",
+            "How much does it cost to book the ballroom for {event}?",
+            "Can you recommend a florist for {event}?",
+        ),
+    ),
+    TemplateMode(
+        name="small_talk",
+        templates=(
+            "What is the weather supposed to be like {time}?",
+            "Can you recommend something fun to do {time}?",
+            "Is the hotel pet friendly?",
+            "Do you have adapters for european plugs?",
+            "What channel is the game on {time}?",
+        ),
+    ),
+)
+
+_LEXICON = {
+    "shuttle": "NOUN", "bart": "PROPN", "uber": "PROPN", "lyft": "PROPN",
+    "taxi": "NOUN", "cab": "NOUN", "airport": "NOUN", "hotel": "NOUN",
+    "downtown": "NOUN", "wifi": "NOUN", "pool": "NOUN", "gym": "NOUN",
+    "spa": "NOUN", "directions": "NOUN", "walk": "VERB", "sfo": "PROPN",
+    "caltrain": "PROPN", "bus": "NOUN", "train": "NOUN", "subway": "NOUN",
+    "ferry": "NOUN", "tram": "NOUN",
+}
+
+
+def build_bank() -> TemplateBank:
+    """The template bank for the directions dataset."""
+    return TemplateBank(
+        name="directions",
+        positive_modes=_POSITIVE_MODES,
+        negative_modes=_NEGATIVE_MODES,
+        fillers=_FILLERS,
+        lexicon=_LEXICON,
+        keyword_hints=(
+            "way", "get", "shuttle", "bart", "uber", "taxi", "bus",
+            "airport", "directions", "walk",
+        ),
+        default_seed_rules=("best way to get to",),
+        biased_exclude_token="shuttle",
+    )
+
+
+def generate(num_sentences: int = PAPER_NUM_SENTENCES,
+             positive_fraction: float = PAPER_POSITIVE_FRACTION,
+             seed: int = 0,
+             parse_trees: bool = True):
+    """Generate the directions corpus at the requested size."""
+    return build_bank().generate(
+        num_sentences, positive_fraction, seed=seed, parse_trees=parse_trees
+    )

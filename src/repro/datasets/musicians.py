@@ -1,0 +1,210 @@
+"""The ``musicians`` dataset: entity extraction over Wikipedia-style sentences.
+
+Positive sentences mention a musician (the paper's ground truth comes from
+NELL's knowledge base); negatives are Wikipedia-style sentences about other
+topics (cities, politicians, science, sports, companies). The paper's corpus
+has 15.8K sentences with 10% positives. Positive modes are spread across
+different musician roles ("composer", "pianist", "singer", "guitarist",
+"band", "album/recording", "symphony/opera") so that rules such as the seed
+keyword "composer" cover only one slice of the positives.
+"""
+
+from __future__ import annotations
+
+from .templates import TemplateBank, TemplateMode
+
+PAPER_NUM_SENTENCES = 15_800
+PAPER_POSITIVE_FRACTION = 0.10
+
+_FILLERS = {
+    "musician": [
+        "Beethoven", "Mozart", "Chopin", "Liszt", "Brahms", "Verdi",
+        "Stravinsky", "Debussy", "Coltrane", "Davis", "Hendrix", "Lennon",
+        "Dylan", "Armstrong", "Ellington", "Parker", "Clapton", "Mercury",
+        "Prince", "Bowie",
+    ],
+    "person": [
+        "Lincoln", "Curie", "Darwin", "Edison", "Tesla", "Roosevelt",
+        "Churchill", "Gandhi", "Newton", "Kepler", "Turing", "Lovelace",
+    ],
+    "city": [
+        "Vienna", "Paris", "London", "Berlin", "Prague", "Chicago",
+        "New Orleans", "Liverpool", "Detroit", "Nashville", "Seattle",
+    ],
+    "country": ["Austria", "Germany", "France", "England", "Italy",
+                "Hungary", "Poland", "Russia", "Spain", "America"],
+    "instrument": ["piano", "violin", "guitar", "trumpet", "cello",
+                   "saxophone", "drums", "organ", "flute", "bass"],
+    "work": [
+        "symphony", "concerto", "sonata", "opera", "nocturne", "quartet",
+        "requiem", "ballad", "overture", "suite",
+    ],
+    "album": [
+        "a debut album", "a live album", "a studio album", "a jazz record",
+        "a platinum record", "an acclaimed album",
+    ],
+    "band": [
+        "the quartet", "the orchestra", "the band", "the ensemble",
+        "the trio", "the philharmonic",
+    ],
+    "year": ["1804", "1824", "1887", "1923", "1956", "1969", "1975", "1984"],
+    "profession_other": [
+        "physicist", "politician", "novelist", "painter", "general",
+        "architect", "economist", "chemist", "mathematician", "explorer",
+    ],
+    "sport": ["football", "tennis", "baseball", "cricket", "basketball"],
+    "company": ["the railway company", "the steel works", "the trading house",
+                "the shipping firm", "the textile mill"],
+    "field": ["physics", "chemistry", "astronomy", "economics", "philosophy",
+              "medicine", "geology", "mathematics"],
+}
+
+_POSITIVE_MODES = (
+    TemplateMode(
+        name="composer",
+        templates=(
+            "{musician} was a celebrated composer from {country}.",
+            "The composer {musician} settled in {city} in {year}.",
+            "As a composer , {musician} wrote a famous {work} in {year}.",
+            "{musician} worked as a court composer in {city}.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="instrumentalist",
+        templates=(
+            "{musician} taught piano to the daughters of a countess.",
+            "{musician} played the {instrument} in {band} for many years.",
+            "{musician} was regarded as the finest {instrument} player in {city}.",
+            "{musician} began studying the {instrument} at the age of five.",
+            "{musician} performed a {instrument} recital in {city} in {year}.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="singer",
+        templates=(
+            "{musician} became a famous singer after touring {country}.",
+            "The singer {musician} performed at the opera house in {city}.",
+            "{musician} sang lead vocals for {band} during the tour.",
+        ),
+    ),
+    TemplateMode(
+        name="recording",
+        templates=(
+            "{musician} recorded {album} in {city} in {year}.",
+            "{musician} released {album} that topped the charts in {year}.",
+            "The musician {musician} recorded {album} with {band}.",
+        ),
+    ),
+    TemplateMode(
+        name="works",
+        templates=(
+            "{musician} composed the {work} that premiered in {city}.",
+            "The {work} by {musician} premiered in {year}.",
+            "{musician} conducted his own {work} with {band} in {city}.",
+        ),
+    ),
+    TemplateMode(
+        name="band_member",
+        templates=(
+            "{musician} founded {band} in {city} in {year}.",
+            "{musician} joined {band} as the lead guitarist in {year}.",
+            "{musician} toured {country} with {band} playing the {instrument}.",
+        ),
+    ),
+)
+
+_NEGATIVE_MODES = (
+    TemplateMode(
+        name="science",
+        templates=(
+            "{person} was a pioneering {profession_other} from {country}.",
+            "{person} made important discoveries in {field} in {year}.",
+            "{person} published a landmark paper on {field} while living in {city}.",
+            "The {profession_other} {person} lectured on {field} in {city}.",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="geography",
+        templates=(
+            "{city} is the largest city in {country} by population.",
+            "{city} became an important trading hub in {year}.",
+            "The river flows through {city} before reaching the sea.",
+            "{city} hosted the world exposition in {year}.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="politics",
+        templates=(
+            "{person} was elected to parliament in {year}.",
+            "{person} led the delegation from {country} in {year}.",
+            "The treaty was signed in {city} in {year}.",
+            "{person} served as governor of the province for a decade.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="sports",
+        templates=(
+            "The {sport} club from {city} won the championship in {year}.",
+            "{person} coached the national {sport} team of {country}.",
+            "The {sport} final was held in {city} in {year}.",
+        ),
+    ),
+    TemplateMode(
+        name="industry",
+        templates=(
+            "{company} opened a new factory near {city} in {year}.",
+            "{company} employed thousands of workers in {country}.",
+            "{person} founded {company} in {city}.",
+        ),
+    ),
+    TemplateMode(
+        name="history",
+        templates=(
+            "The old bridge in {city} was rebuilt in {year}.",
+            "A great fire destroyed much of {city} in {year}.",
+            "The university in {city} was founded in {year}.",
+        ),
+    ),
+)
+
+_LEXICON = {
+    "composer": "NOUN", "pianist": "NOUN", "singer": "NOUN", "guitarist": "NOUN",
+    "musician": "NOUN", "piano": "NOUN", "violin": "NOUN", "guitar": "NOUN",
+    "trumpet": "NOUN", "cello": "NOUN", "saxophone": "NOUN", "symphony": "NOUN",
+    "concerto": "NOUN", "sonata": "NOUN", "opera": "NOUN", "album": "NOUN",
+    "orchestra": "NOUN", "band": "NOUN", "premiered": "VERB", "toured": "VERB",
+    "conducted": "VERB", "vocals": "NOUN", "physicist": "NOUN",
+    "politician": "NOUN", "novelist": "NOUN",
+}
+
+
+def build_bank() -> TemplateBank:
+    """The template bank for the musicians dataset."""
+    return TemplateBank(
+        name="musicians",
+        positive_modes=_POSITIVE_MODES,
+        negative_modes=_NEGATIVE_MODES,
+        fillers=_FILLERS,
+        lexicon=_LEXICON,
+        keyword_hints=(
+            "composer", "piano", "singer", "guitar", "album", "band",
+            "symphony", "opera", "recorded", "musician",
+        ),
+        default_seed_rules=("composer",),
+        biased_exclude_token="composer",
+    )
+
+
+def generate(num_sentences: int = PAPER_NUM_SENTENCES,
+             positive_fraction: float = PAPER_POSITIVE_FRACTION,
+             seed: int = 0,
+             parse_trees: bool = True):
+    """Generate the musicians corpus at the requested size."""
+    return build_bank().generate(
+        num_sentences, positive_fraction, seed=seed, parse_trees=parse_trees
+    )

@@ -1,0 +1,201 @@
+"""The ``professions`` dataset: entity extraction over web-crawl style text.
+
+Positive sentences mention a profession (scientist, teacher, nurse, ...); the
+paper's corpus is a 1M-sentence ClueWeb sample with only 1.1% positives — the
+most imbalanced of the five tasks and the one used for the scalability
+discussion. The synthetic bank reproduces the extreme imbalance and the wide
+variety of profession mentions (job titles, "works as a ...", "hired as a ...",
+"X is a NOUN" patterns that the TreeMatch grammar captures as
+``/is/NOUN ∧ job``-style rules).
+
+Generating the full 1M sentences is supported (``scale=1.0`` in the registry)
+but slow in pure Python; the experiments default to a scaled-down corpus that
+keeps the imbalance.
+"""
+
+from __future__ import annotations
+
+from .templates import TemplateBank, TemplateMode
+
+PAPER_NUM_SENTENCES = 1_000_000
+PAPER_POSITIVE_FRACTION = 0.011
+DEFAULT_NUM_SENTENCES = 50_000
+
+_FILLERS = {
+    "profession": [
+        "scientist", "teacher", "engineer", "nurse", "lawyer", "architect",
+        "accountant", "journalist", "electrician", "plumber", "surgeon",
+        "pharmacist", "librarian", "firefighter", "carpenter", "translator",
+        "paramedic", "veterinarian", "economist", "dentist",
+    ],
+    "name": [
+        "Maria", "James", "Elena", "Robert", "Priya", "Ahmed", "Lucia",
+        "Daniel", "Sofia", "Miguel", "Anna", "David", "Fatima", "John",
+        "Wei", "Laura", "Omar", "Grace", "Ivan", "Nadia",
+    ],
+    "org": [
+        "the city hospital", "the public school", "the engineering firm",
+        "the law office", "the research institute", "the local clinic",
+        "the university", "the power company", "the fire department",
+        "the construction company", "the newspaper",
+    ],
+    "place": [
+        "the suburbs", "the old town", "the industrial district",
+        "the waterfront", "the north side", "the village", "the county",
+    ],
+    "product": [
+        "a new phone", "running shoes", "a coffee maker", "a used car",
+        "garden furniture", "a laptop", "winter tires", "a mattress",
+        "a headset", "board games",
+    ],
+    "topic": [
+        "the weather", "the election", "the traffic", "the new mall",
+        "the football match", "the holiday season", "the concert",
+        "the road works", "the festival", "the farmers market",
+    ],
+    "site_action": [
+        "sign up", "log in", "subscribe", "leave a comment",
+        "share this post", "read more", "download the app",
+    ],
+    "price": ["$19", "$49", "$99", "$129", "$250", "$15", "$75"],
+    "year": ["2005", "2009", "2012", "2014", "2016", "2018"],
+}
+
+_POSITIVE_MODES = (
+    TemplateMode(
+        name="is_a_profession",
+        templates=(
+            "{name} is a {profession} at {org}.",
+            "{name} is a {profession} who lives near {place}.",
+            "My neighbor {name} is a {profession} and a volunteer.",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="works_as",
+        templates=(
+            "{name} works as a {profession} at {org}.",
+            "{name} has worked as a {profession} for over ten years.",
+            "{name} worked as a {profession} before moving to {place}.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="hired",
+        templates=(
+            "{org} hired {name} as a {profession} in {year}.",
+            "{org} is looking to hire an experienced {profession}.",
+            "{name} was hired as the new {profession} at {org}.",
+        ),
+    ),
+    TemplateMode(
+        name="career",
+        templates=(
+            "{name} trained as a {profession} at {org}.",
+            "{name} retired after a long career as a {profession}.",
+            "{name} studied for years to become a {profession}.",
+        ),
+    ),
+    TemplateMode(
+        name="job_posting",
+        templates=(
+            "We are seeking a certified {profession} to join {org}.",
+            "The {profession} job at {org} pays well and includes benefits.",
+            "Apply today for the {profession} position at {org}.",
+        ),
+    ),
+)
+
+_NEGATIVE_MODES = (
+    TemplateMode(
+        name="shopping",
+        templates=(
+            "You can buy {product} online for {price}.",
+            "{product} is on sale this week for {price}.",
+            "I ordered {product} and it arrived in two days.",
+            "The store near {place} sells {product} at a discount.",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="chatter",
+        templates=(
+            "Everyone was talking about {topic} this morning.",
+            "I can not believe how long {topic} lasted this year.",
+            "Did you hear the news about {topic}?",
+            "People near {place} complained about {topic}.",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="web_boilerplate",
+        templates=(
+            "Click here to {site_action} and get updates.",
+            "Please {site_action} to continue reading this article.",
+            "You must {site_action} before posting a reply.",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="events",
+        templates=(
+            "The fair near {place} starts next weekend.",
+            "Tickets for the show at {org} go on sale in {year}.",
+            "The parade passed through {place} on Saturday.",
+        ),
+    ),
+    TemplateMode(
+        name="reviews",
+        templates=(
+            "The food at the diner near {place} was amazing.",
+            "Service was slow but the view of {place} made up for it.",
+            "Would not recommend the motel near {place} to anyone.",
+        ),
+    ),
+    TemplateMode(
+        name="howto",
+        templates=(
+            "Here is how to fix {product} without calling anyone.",
+            "This guide explains how to install {product} step by step.",
+            "Learn how to clean {product} with household items.",
+        ),
+    ),
+)
+
+_LEXICON = {
+    "scientist": "NOUN", "teacher": "NOUN", "engineer": "NOUN", "nurse": "NOUN",
+    "lawyer": "NOUN", "architect": "NOUN", "accountant": "NOUN",
+    "journalist": "NOUN", "electrician": "NOUN", "plumber": "NOUN",
+    "surgeon": "NOUN", "pharmacist": "NOUN", "librarian": "NOUN",
+    "firefighter": "NOUN", "carpenter": "NOUN", "translator": "NOUN",
+    "paramedic": "NOUN", "veterinarian": "NOUN", "economist": "NOUN",
+    "dentist": "NOUN", "job": "NOUN", "career": "NOUN", "hired": "VERB",
+    "works": "VERB", "worked": "VERB", "retired": "VERB", "studied": "VERB",
+}
+
+
+def build_bank() -> TemplateBank:
+    """The template bank for the professions dataset."""
+    return TemplateBank(
+        name="professions",
+        positive_modes=_POSITIVE_MODES,
+        negative_modes=_NEGATIVE_MODES,
+        fillers=_FILLERS,
+        lexicon=_LEXICON,
+        keyword_hints=(
+            "scientist", "teacher", "engineer", "nurse", "lawyer", "job",
+            "hired", "career", "works", "position",
+        ),
+        default_seed_rules=("works as a",),
+        biased_exclude_token="teacher",
+    )
+
+
+def generate(num_sentences: int = DEFAULT_NUM_SENTENCES,
+             positive_fraction: float = PAPER_POSITIVE_FRACTION,
+             seed: int = 0,
+             parse_trees: bool = True):
+    """Generate the professions corpus (scaled down from 1M by default)."""
+    return build_bank().generate(
+        num_sentences, positive_fraction, seed=seed, parse_trees=parse_trees
+    )

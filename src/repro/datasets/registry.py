@@ -1,0 +1,169 @@
+"""Dataset registry: one place to look up and load the five corpora."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DatasetError
+from ..text.corpus import Corpus
+from . import cause_effect, directions, musicians, professions, tweets
+from .templates import TemplateBank
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata about one of the paper's datasets (Table 1 row).
+
+    Attributes:
+        name: Registry key.
+        task: Labeling task type (Intents / Entities / Relations).
+        paper_num_sentences: Corpus size reported in Table 1.
+        paper_positive_fraction: Positive ratio reported in Table 1.
+        default_num_sentences: Size generated at ``scale=1.0`` (differs from
+            the paper only for professions, whose 1M sentences are optional).
+        bank_factory: Zero-argument callable building the template bank.
+    """
+
+    name: str
+    task: str
+    paper_num_sentences: int
+    paper_positive_fraction: float
+    default_num_sentences: int
+    bank_factory: Callable[[], TemplateBank]
+
+    def build_bank(self) -> TemplateBank:
+        """Construct the dataset's template bank."""
+        return self.bank_factory()
+
+
+_SPECS: Dict[str, DatasetSpec] = {
+    "cause-effect": DatasetSpec(
+        name="cause-effect",
+        task="Relations",
+        paper_num_sentences=cause_effect.PAPER_NUM_SENTENCES,
+        paper_positive_fraction=cause_effect.PAPER_POSITIVE_FRACTION,
+        default_num_sentences=cause_effect.PAPER_NUM_SENTENCES,
+        bank_factory=cause_effect.build_bank,
+    ),
+    "directions": DatasetSpec(
+        name="directions",
+        task="Intents",
+        paper_num_sentences=directions.PAPER_NUM_SENTENCES,
+        paper_positive_fraction=directions.PAPER_POSITIVE_FRACTION,
+        default_num_sentences=directions.PAPER_NUM_SENTENCES,
+        bank_factory=directions.build_bank,
+    ),
+    "musicians": DatasetSpec(
+        name="musicians",
+        task="Entities",
+        paper_num_sentences=musicians.PAPER_NUM_SENTENCES,
+        paper_positive_fraction=musicians.PAPER_POSITIVE_FRACTION,
+        default_num_sentences=musicians.PAPER_NUM_SENTENCES,
+        bank_factory=musicians.build_bank,
+    ),
+    "professions": DatasetSpec(
+        name="professions",
+        task="Entities",
+        paper_num_sentences=professions.PAPER_NUM_SENTENCES,
+        paper_positive_fraction=professions.PAPER_POSITIVE_FRACTION,
+        default_num_sentences=professions.DEFAULT_NUM_SENTENCES,
+        bank_factory=professions.build_bank,
+    ),
+    "tweets": DatasetSpec(
+        name="tweets",
+        task="Intents",
+        paper_num_sentences=tweets.PAPER_NUM_SENTENCES,
+        paper_positive_fraction=tweets.PAPER_POSITIVE_FRACTION,
+        default_num_sentences=tweets.PAPER_NUM_SENTENCES,
+        bank_factory=tweets.build_bank,
+    ),
+}
+
+DATASET_NAMES: Tuple[str, ...] = tuple(sorted(_SPECS))
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up the :class:`DatasetSpec` for ``name``."""
+    spec = _SPECS.get(name)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}"
+        )
+    return spec
+
+
+def load_dataset(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    num_sentences: Optional[int] = None,
+    positive_fraction: Optional[float] = None,
+    parse_trees: bool = True,
+    target_intent: str = "food",
+) -> Corpus:
+    """Generate one of the five corpora.
+
+    Args:
+        name: Dataset name (see :data:`DATASET_NAMES`).
+        scale: Multiplier on the dataset's default size (0.1 = a tenth of the
+            paper-scale corpus). Ignored when ``num_sentences`` is given.
+        seed: RNG seed; the same (name, scale, seed) always yields the same
+            corpus.
+        num_sentences: Explicit corpus size override.
+        positive_fraction: Explicit positive-ratio override (defaults to the
+            paper's Table 1 ratio).
+        parse_trees: Build dependency trees (disable for TokensRegex-only
+            experiments on very large corpora).
+        target_intent: For the tweets dataset, which intent is the positive
+            class ("food", "travel" or "career").
+
+    Returns:
+        A labeled :class:`Corpus`.
+    """
+    spec = dataset_spec(name)
+    if scale <= 0:
+        raise DatasetError("scale must be positive")
+    size = num_sentences if num_sentences is not None else max(
+        50, int(round(spec.default_num_sentences * scale))
+    )
+    fraction = (
+        positive_fraction
+        if positive_fraction is not None
+        else spec.paper_positive_fraction
+    )
+    if name == "tweets":
+        bank = tweets.build_bank(target_intent)
+    else:
+        bank = spec.build_bank()
+    return bank.generate(size, fraction, seed=seed, parse_trees=parse_trees)
+
+
+def load_bank(name: str, target_intent: str = "food") -> TemplateBank:
+    """The template bank for ``name`` (exposes seeds / keywords / lexicon)."""
+    if name == "tweets":
+        return tweets.build_bank(target_intent)
+    return dataset_spec(name).build_bank()
+
+
+def table1_rows(
+    scale: float = 1.0, seed: int = 0, names: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    """Regenerate Table 1: per-dataset statistics of the generated corpora."""
+    rows: List[Dict[str, object]] = []
+    for name in names or DATASET_NAMES:
+        spec = dataset_spec(name)
+        corpus = load_dataset(name, scale=scale, seed=seed, parse_trees=False)
+        description = corpus.describe()
+        rows.append(
+            {
+                "dataset": name,
+                "task": spec.task,
+                "num_sentences": description["num_sentences"],
+                "positive_fraction": description["positive_fraction"],
+                "paper_num_sentences": spec.paper_num_sentences,
+                "paper_positive_fraction": spec.paper_positive_fraction,
+                "vocabulary_size": description["vocabulary_size"],
+            }
+        )
+    return rows

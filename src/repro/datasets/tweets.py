@@ -1,0 +1,250 @@
+"""The ``tweets`` dataset: intent classification over short social posts.
+
+The paper uses the intent-mining benchmark of Wang et al. (2015) and focuses
+on the Food intent (11.4% of 2130 tweets), also reporting Travel and Career.
+The synthetic bank generates short, informal posts; the positive class is the
+Food intent by default, with Travel and Career available as alternative
+targets so the "similar behaviour for other intents" observation can be
+reproduced (``build_bank(target_intent=...)``).
+"""
+
+from __future__ import annotations
+
+from ..errors import DatasetError
+from .templates import TemplateBank, TemplateMode
+
+PAPER_NUM_SENTENCES = 2130
+PAPER_POSITIVE_FRACTION = 0.114
+
+INTENTS = ("food", "travel", "career")
+
+_FILLERS = {
+    "dish": [
+        "pizza", "tacos", "ramen", "sushi", "a burger", "pancakes",
+        "fried chicken", "pho", "dumplings", "ice cream", "bbq", "curry",
+    ],
+    "meal": ["breakfast", "lunch", "dinner", "brunch", "a late night snack"],
+    "restaurant": [
+        "that new taco place", "the diner downtown", "the ramen shop",
+        "the pizza joint on 5th", "the sushi bar", "the food truck",
+    ],
+    "city": [
+        "Tokyo", "Paris", "Lisbon", "Bali", "Iceland", "Mexico City",
+        "New York", "Rome", "Bangkok", "Hawaii",
+    ],
+    "transport": ["flight", "road trip", "train ride", "ferry", "red eye"],
+    "job_thing": [
+        "interview", "resume", "internship", "promotion", "new job",
+        "cover letter", "job offer", "first day", "performance review",
+    ],
+    "company_type": ["startup", "bank", "design studio", "nonprofit", "lab"],
+    "show": ["the new series", "the game", "the finale", "the playoffs",
+             "that movie", "the concert"],
+    "feeling": ["so tired", "super excited", "kind of bored", "really happy",
+                "a little stressed", "completely done"],
+    "weather": ["raining all day", "way too hot", "freezing", "finally sunny",
+                "so windy"],
+    "chore": ["laundry", "taxes", "the dishes", "grocery shopping",
+              "cleaning the garage"],
+}
+
+_FOOD_MODES = (
+    TemplateMode(
+        name="craving",
+        templates=(
+            "craving {dish} so bad right now",
+            "i could really go for {dish} tonight",
+            "all i can think about is {dish}",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="where_to_eat",
+        templates=(
+            "anyone know a good spot for {meal} near campus ?",
+            "where should we go for {meal} tomorrow ?",
+            "looking for the best {dish} in town , any tips ?",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="hungry",
+        templates=(
+            "so hungry i might order {dish} again",
+            "skipped {meal} and now i am starving",
+            "need {dish} immediately",
+        ),
+    ),
+    TemplateMode(
+        name="restaurant_plans",
+        templates=(
+            "trying {restaurant} for {meal} tonight",
+            "finally got a table at {restaurant}",
+            "meeting friends at {restaurant} for {meal}",
+        ),
+    ),
+    TemplateMode(
+        name="cooking",
+        templates=(
+            "making {dish} from scratch tonight , wish me luck",
+            "just learned how to cook {dish}",
+            "meal prep sunday : {dish} for the whole week",
+        ),
+    ),
+)
+
+_TRAVEL_MODES = (
+    TemplateMode(
+        name="trip_planning",
+        templates=(
+            "booking a {transport} to {city} next month",
+            "finally planning that trip to {city}",
+            "counting down the days until {city}",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="wanderlust",
+        templates=(
+            "i just want to be on a beach in {city} right now",
+            "dreaming about {city} again",
+            "someone take me to {city} please",
+        ),
+    ),
+    TemplateMode(
+        name="on_the_road",
+        templates=(
+            "airport wifi is terrible but {city} here we come",
+            "longest {transport} ever but we made it to {city}",
+            "packing for {city} at 2 am as usual",
+        ),
+    ),
+)
+
+_CAREER_MODES = (
+    TemplateMode(
+        name="job_search",
+        templates=(
+            "just sent my resume to a {company_type} , fingers crossed",
+            "third {job_thing} this week , exhausting",
+            "updating my {job_thing} for the hundredth time",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="work_life",
+        templates=(
+            "got the {job_thing} !!! so excited to start",
+            "my {job_thing} at the {company_type} went really well",
+            "big day tomorrow : {job_thing} at a {company_type}",
+        ),
+    ),
+    TemplateMode(
+        name="hustle",
+        templates=(
+            "grinding on my portfolio before the {job_thing}",
+            "negotiating salary is the worst part of any {job_thing}",
+        ),
+    ),
+)
+
+_MISC_MODES = (
+    TemplateMode(
+        name="tv_sports",
+        templates=(
+            "cannot believe how {show} ended last night",
+            "staying in to watch {show} again",
+            "who else is watching {show} right now ?",
+        ),
+        weight=2.0,
+    ),
+    TemplateMode(
+        name="mood",
+        templates=(
+            "feeling {feeling} today for no reason",
+            "monday mornings leave me {feeling}",
+            "{feeling} but pretending everything is fine",
+        ),
+        weight=1.5,
+    ),
+    TemplateMode(
+        name="weather",
+        templates=(
+            "it has been {weather} here , unreal",
+            "why is it {weather} in the middle of april",
+        ),
+    ),
+    TemplateMode(
+        name="chores",
+        templates=(
+            "spent the whole weekend doing {chore}",
+            "still putting off {chore} , oops",
+        ),
+    ),
+)
+
+_LEXICON = {
+    "craving": "VERB", "starving": "ADJ", "hungry": "ADJ", "pizza": "NOUN",
+    "tacos": "NOUN", "ramen": "NOUN", "sushi": "NOUN", "burger": "NOUN",
+    "brunch": "NOUN", "resume": "NOUN", "interview": "NOUN",
+    "internship": "NOUN", "flight": "NOUN", "trip": "NOUN", "wifi": "NOUN",
+    "airport": "NOUN", "booking": "VERB", "packing": "VERB",
+}
+
+_INTENT_MODES = {
+    "food": _FOOD_MODES,
+    "travel": _TRAVEL_MODES,
+    "career": _CAREER_MODES,
+}
+
+_INTENT_SEEDS = {
+    "food": ("craving",),
+    "travel": ("trip to",),
+    "career": ("my resume",),
+}
+
+_INTENT_KEYWORDS = {
+    "food": ("craving", "hungry", "pizza", "dinner", "lunch", "eat",
+             "restaurant", "cook", "snack", "brunch"),
+    "travel": ("trip", "flight", "airport", "beach", "booking", "packing",
+               "vacation", "city", "travel", "hotel"),
+    "career": ("resume", "interview", "job", "internship", "promotion",
+               "salary", "career", "offer", "hired", "portfolio"),
+}
+
+
+def build_bank(target_intent: str = "food") -> TemplateBank:
+    """The template bank for the tweets dataset targeting ``target_intent``.
+
+    Sentences of the two non-target intents become negatives alongside the
+    miscellaneous chatter, matching how the paper evaluates one intent at a
+    time.
+    """
+    if target_intent not in INTENTS:
+        raise DatasetError(f"unknown intent {target_intent!r}; choose from {INTENTS}")
+    positive_modes = _INTENT_MODES[target_intent]
+    negative_modes = list(_MISC_MODES)
+    for intent, modes in _INTENT_MODES.items():
+        if intent != target_intent:
+            negative_modes.extend(modes)
+    return TemplateBank(
+        name=f"tweets-{target_intent}",
+        positive_modes=positive_modes,
+        negative_modes=tuple(negative_modes),
+        fillers=_FILLERS,
+        lexicon=_LEXICON,
+        keyword_hints=_INTENT_KEYWORDS[target_intent],
+        default_seed_rules=_INTENT_SEEDS[target_intent],
+        biased_exclude_token="craving" if target_intent == "food" else "trip",
+    )
+
+
+def generate(num_sentences: int = PAPER_NUM_SENTENCES,
+             positive_fraction: float = PAPER_POSITIVE_FRACTION,
+             seed: int = 0,
+             target_intent: str = "food",
+             parse_trees: bool = True):
+    """Generate the tweets corpus for ``target_intent``."""
+    return build_bank(target_intent).generate(
+        num_sentences, positive_fraction, seed=seed, parse_trees=parse_trees
+    )

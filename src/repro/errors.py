@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Darwin reproduction.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch a single exception type at the API boundary while still being able to
+distinguish configuration problems from runtime/algorithmic problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or configuration value was supplied."""
+
+
+class GrammarError(ReproError):
+    """A grammar definition or derivation is malformed."""
+
+
+class RuleParseError(GrammarError):
+    """A rule expression could not be parsed under its grammar."""
+
+
+class IndexError_(ReproError):
+    """The corpus index is inconsistent or was used before being built.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``CorpusIndexError`` from the package root.
+    """
+
+
+class TraversalError(ReproError):
+    """A hierarchy traversal was asked to operate on an invalid state."""
+
+
+class OracleError(ReproError):
+    """The oracle received a malformed query or exhausted its budget."""
+
+
+class BudgetExhaustedError(OracleError):
+    """Raised when a component attempts to query past the oracle budget."""
+
+
+class ClassifierError(ReproError):
+    """A classifier was used before fitting or received invalid input."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received invalid parameters."""
+
+
+class EvaluationError(ReproError):
+    """An experiment or metric computation received inconsistent inputs."""
+
+
+# Public alias that reads better at call sites.
+CorpusIndexError = IndexError_

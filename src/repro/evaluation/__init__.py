@@ -1,0 +1,26 @@
+"""Evaluation metrics, experiment runner helpers, and reporting."""
+
+from .metrics import (
+    binary_f1,
+    binary_precision,
+    binary_recall,
+    coverage_recall,
+    f1_from_counts,
+    precision_recall_f1,
+)
+from .runner import ExperimentResult, average_curves, run_trials
+from .reporting import format_curve_table, format_table
+
+__all__ = [
+    "binary_f1",
+    "binary_precision",
+    "binary_recall",
+    "coverage_recall",
+    "f1_from_counts",
+    "precision_recall_f1",
+    "ExperimentResult",
+    "average_curves",
+    "run_trials",
+    "format_curve_table",
+    "format_table",
+]

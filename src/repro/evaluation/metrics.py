@@ -1,0 +1,62 @@
+"""Binary classification / coverage metrics used throughout the experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+
+def _as_sets(predicted: Iterable[int], actual: Iterable[int]) -> Tuple[Set[int], Set[int]]:
+    return set(predicted), set(actual)
+
+
+def binary_precision(predicted: Iterable[int], actual: Iterable[int]) -> float:
+    """Precision of ``predicted`` ids against ``actual`` positive ids."""
+    predicted_set, actual_set = _as_sets(predicted, actual)
+    if not predicted_set:
+        return 0.0
+    return len(predicted_set & actual_set) / len(predicted_set)
+
+
+def binary_recall(predicted: Iterable[int], actual: Iterable[int]) -> float:
+    """Recall of ``predicted`` ids against ``actual`` positive ids."""
+    predicted_set, actual_set = _as_sets(predicted, actual)
+    if not actual_set:
+        return 0.0
+    return len(predicted_set & actual_set) / len(actual_set)
+
+
+def binary_f1(predicted: Iterable[int], actual: Iterable[int]) -> float:
+    """F1 of ``predicted`` ids against ``actual`` positive ids."""
+    precision = binary_precision(predicted, actual)
+    recall = binary_recall(predicted, actual)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def precision_recall_f1(
+    predicted: Iterable[int], actual: Iterable[int]
+) -> Dict[str, float]:
+    """All three metrics at once."""
+    precision = binary_precision(predicted, actual)
+    recall = binary_recall(predicted, actual)
+    f1 = 0.0 if precision + recall == 0 else 2 * precision * recall / (precision + recall)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def f1_from_counts(true_positive: int, predicted_positive: int, actual_positive: int) -> float:
+    """F1 from raw counts (used where sets are too large to materialize)."""
+    if predicted_positive <= 0 or actual_positive <= 0 or true_positive <= 0:
+        return 0.0
+    precision = true_positive / predicted_positive
+    recall = true_positive / actual_positive
+    return 2 * precision * recall / (precision + recall)
+
+
+def coverage_recall(covered_ids: Iterable[int], positive_ids: Iterable[int]) -> float:
+    """The paper's "coverage": fraction of ground-truth positives covered.
+
+    This is the y-axis of Figures 7-10(a): recall of the union coverage ``P``
+    over the positive class.
+    """
+    return binary_recall(covered_ids, positive_ids)

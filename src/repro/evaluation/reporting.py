@@ -1,0 +1,66 @@
+"""Plain-text report formatting for experiment and benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple fixed-width table."""
+    columns = len(headers)
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i in range(min(columns, len(row))):
+            widths[i] = max(widths[i], len(row[i]))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(
+                (row[i] if i < len(row) else "").ljust(widths[i]) for i in range(columns)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_curve_table(
+    curves: Dict[str, Sequence[float]],
+    x_label: str = "#Questions",
+    x_values: Sequence[int] = (),
+    step: int = 10,
+    title: str = "",
+) -> str:
+    """Render curves (series over question counts) as a table sampled every ``step``."""
+    if not curves:
+        return title
+    length = max(len(v) for v in curves.values())
+    if not x_values:
+        x_values = list(range(step, length + 1, step))
+        if length not in x_values and length > 0:
+            x_values = list(x_values) + [length]
+    headers = [x_label] + list(curves.keys())
+    rows = []
+    for x in x_values:
+        row: List[object] = [x]
+        for series in curves.values():
+            index = min(x, len(series)) - 1
+            row.append(series[index] if 0 <= index < len(series) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

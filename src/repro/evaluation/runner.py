@@ -1,0 +1,58 @@
+"""Experiment-runner helpers: repeated trials and curve averaging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A named collection of measurement series.
+
+    Attributes:
+        name: Experiment identifier (e.g. ``"fig9a-musicians"``).
+        series: Mapping from series label (e.g. ``"Darwin(HS)"``) to the
+            measured values (e.g. recall after each question).
+        metadata: Free-form extra values (dataset sizes, parameters...).
+    """
+
+    name: str
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        """Add or replace a measurement series."""
+        self.series[label] = list(values)
+
+    def final_values(self) -> Dict[str, float]:
+        """The last value of every series (0.0 for empty series)."""
+        return {
+            label: (values[-1] if values else 0.0)
+            for label, values in self.series.items()
+        }
+
+
+def run_trials(
+    trial: Callable[[int], Sequence[float]],
+    num_trials: int,
+    base_seed: int = 0,
+) -> List[List[float]]:
+    """Run ``trial(seed)`` for ``num_trials`` different seeds."""
+    if num_trials <= 0:
+        raise ValueError("num_trials must be positive")
+    return [list(trial(base_seed + offset)) for offset in range(num_trials)]
+
+
+def average_curves(curves: Sequence[Sequence[float]]) -> List[float]:
+    """Point-wise mean of curves, padding shorter curves with their last value."""
+    curves = [list(c) for c in curves if c]
+    if not curves:
+        return []
+    length = max(len(c) for c in curves)
+    padded = []
+    for curve in curves:
+        if len(curve) < length:
+            curve = curve + [curve[-1]] * (length - len(curve))
+        padded.append(curve)
+    return [sum(curve[i] for curve in padded) / len(padded) for i in range(length)]

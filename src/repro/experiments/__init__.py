@@ -1,0 +1,39 @@
+"""Experiment drivers regenerating every table and figure of the evaluation.
+
+Each module corresponds to one experiment of Section 4 (see DESIGN.md's
+per-experiment index). All drivers accept a ``scale`` parameter so the same
+code runs both quickly in the benchmark harness and at paper scale.
+"""
+
+from .common import ExperimentSetting, prepare_dataset
+from .dataset_stats import table1
+from .seed_size import seed_size_experiment
+from .coverage_curves import coverage_experiment
+from .fscore_curves import fscore_experiment
+from .snorkel_table import snorkel_experiment
+from .sensitivity import (
+    candidate_sweep,
+    epoch_sweep,
+    seed_rule_sweep,
+    tau_sweep,
+)
+from .efficiency import efficiency_experiment
+from .annotators import annotator_experiment
+from .traversal_traces import traversal_trace_experiment
+
+__all__ = [
+    "ExperimentSetting",
+    "prepare_dataset",
+    "table1",
+    "seed_size_experiment",
+    "coverage_experiment",
+    "fscore_experiment",
+    "snorkel_experiment",
+    "tau_sweep",
+    "seed_rule_sweep",
+    "candidate_sweep",
+    "epoch_sweep",
+    "efficiency_experiment",
+    "annotator_experiment",
+    "traversal_trace_experiment",
+]

@@ -1,0 +1,153 @@
+"""Shared plumbing for the experiment drivers.
+
+Every experiment needs the same ingredients: a generated corpus, a corpus
+index, a fitted featurizer (all reusable across runs on the same dataset), the
+dataset's default seed rule and keyword hints, and a ground-truth oracle.
+:class:`ExperimentSetting` bundles them so individual drivers stay short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..classifier.features import SentenceFeaturizer
+from ..config import DarwinConfig
+from ..core.darwin import Darwin, DarwinResult
+from ..core.oracle import GroundTruthOracle, Oracle
+from ..datasets.registry import load_bank, load_dataset
+from ..grammars.base import HeuristicGrammar
+from ..grammars.tokensregex import TokensRegexGrammar
+from ..index.trie_index import CorpusIndex
+from ..text.corpus import Corpus
+
+DEFAULT_EXPERIMENT_SCALE = 0.12
+"""Default dataset scale for experiments (keeps full sweeps laptop-fast)."""
+
+
+@dataclass
+class ExperimentSetting:
+    """Everything needed to run Darwin and the baselines on one dataset.
+
+    Attributes:
+        dataset: Dataset name.
+        corpus: The generated labeled corpus.
+        index: Corpus index shared across runs (built once, as in the paper).
+        featurizer: Fitted sentence featurizer shared across runs.
+        config: Base Darwin configuration.
+        seed_rule_texts: The dataset's default seed rule(s).
+        keyword_hints: Keywords for the KS baseline.
+        biased_exclude_token: Token excluded in the biased-seed experiment.
+    """
+
+    dataset: str
+    corpus: Corpus
+    index: CorpusIndex
+    featurizer: SentenceFeaturizer
+    config: DarwinConfig
+    seed_rule_texts: Sequence[str]
+    keyword_hints: Sequence[str]
+    biased_exclude_token: str
+    grammars: Sequence[HeuristicGrammar] = field(default_factory=list)
+
+    def make_darwin(self, config: Optional[DarwinConfig] = None) -> Darwin:
+        """A Darwin instance reusing the shared index / featurizer."""
+        return Darwin(
+            self.corpus,
+            grammars=self.grammars or None,
+            config=config or self.config,
+            index=self.index,
+            featurizer=self.featurizer,
+        )
+
+    def make_oracle(self, precision_threshold: Optional[float] = None) -> Oracle:
+        """A ground-truth oracle for this corpus."""
+        return GroundTruthOracle(
+            self.corpus,
+            precision_threshold=(
+                precision_threshold
+                if precision_threshold is not None
+                else self.config.oracle_precision_threshold
+            ),
+        )
+
+    def run_darwin(
+        self,
+        traversal: str = "hybrid",
+        budget: Optional[int] = None,
+        seed_rule_texts: Optional[Sequence[str]] = None,
+        seed_positive_ids: Optional[Sequence[int]] = None,
+        config_overrides: Optional[Dict] = None,
+    ) -> DarwinResult:
+        """Run Darwin with the given traversal strategy on this setting."""
+        overrides = dict(config_overrides or {})
+        overrides.setdefault("traversal", traversal)
+        if budget is not None:
+            overrides.setdefault("budget", budget)
+        config = self.config.with_overrides(**overrides)
+        darwin = self.make_darwin(config)
+        return darwin.run(
+            self.make_oracle(),
+            seed_rule_texts=(
+                seed_rule_texts if seed_rule_texts is not None else self.seed_rule_texts
+            )
+            if seed_positive_ids is None
+            else None,
+            seed_positive_ids=seed_positive_ids,
+            budget=config.budget,
+        )
+
+
+def prepare_dataset(
+    dataset: str,
+    scale: float = DEFAULT_EXPERIMENT_SCALE,
+    seed: int = 0,
+    config: Optional[DarwinConfig] = None,
+    parse_trees: bool = False,
+    target_intent: str = "food",
+    grammars: Optional[Sequence[HeuristicGrammar]] = None,
+) -> ExperimentSetting:
+    """Generate a dataset and build the shared index / featurizer.
+
+    Args:
+        dataset: One of the five dataset names.
+        scale: Fraction of the dataset's default size to generate.
+        seed: RNG seed for generation.
+        config: Base Darwin config (a sensible experiment default otherwise).
+        parse_trees: Build dependency trees (only needed for TreeMatch runs).
+        target_intent: Intent used as the positive class for the tweets data.
+        grammars: Grammars to index (default: TokensRegex only).
+    """
+    config = config or DarwinConfig(
+        budget=100,
+        num_candidates=1500,
+        min_coverage=2,
+    )
+    corpus = load_dataset(
+        dataset, scale=scale, seed=seed, parse_trees=parse_trees,
+        target_intent=target_intent,
+    )
+    bank = load_bank(dataset, target_intent=target_intent)
+    grammar_list: List[HeuristicGrammar] = list(
+        grammars or [TokensRegexGrammar(max_phrase_len=config.max_phrase_len)]
+    )
+    index = CorpusIndex.build(
+        corpus,
+        grammar_list,
+        max_depth=config.max_sketch_depth,
+        min_coverage=config.min_coverage,
+    )
+    featurizer = SentenceFeaturizer.fit(
+        corpus, embedding_dim=config.classifier.embedding_dim, seed=seed
+    )
+    return ExperimentSetting(
+        dataset=dataset,
+        corpus=corpus,
+        index=index,
+        featurizer=featurizer,
+        config=config,
+        seed_rule_texts=tuple(bank.default_seed_rules),
+        keyword_hints=tuple(bank.keyword_hints),
+        biased_exclude_token=bank.biased_exclude_token,
+        grammars=grammar_list,
+    )

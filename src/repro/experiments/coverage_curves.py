@@ -1,0 +1,71 @@
+"""Figures 9(a-d) and 10(a): rule coverage vs. number of oracle questions.
+
+Compares Darwin's three traversal strategies (HS / US / LS) and the HighP
+baseline, all starting from the dataset's single seed rule and the same oracle
+budget. The y-axis is the fraction of ground-truth positives contained in the
+union coverage ``P`` after each question.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..baselines.rule_baselines import HighPrecisionBaseline
+from ..evaluation.runner import ExperimentResult
+from .common import ExperimentSetting
+
+DEFAULT_METHODS = ("Darwin(HS)", "Darwin(US)", "Darwin(LS)", "highP")
+
+_TRAVERSAL_OF = {
+    "Darwin(HS)": "hybrid",
+    "Darwin(US)": "universal",
+    "Darwin(LS)": "local",
+}
+
+
+def coverage_experiment(
+    setting: ExperimentSetting,
+    budget: int = 100,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed_rule_texts: Optional[Sequence[str]] = None,
+    config_overrides: Optional[Dict] = None,
+) -> ExperimentResult:
+    """Run the rule-coverage comparison on one dataset.
+
+    Returns:
+        An :class:`ExperimentResult` mapping each method name to its recall
+        curve (one value per oracle question).
+    """
+    seeds = tuple(seed_rule_texts or setting.seed_rule_texts)
+    result = ExperimentResult(
+        name=f"fig9-coverage-{setting.dataset}",
+        metadata={
+            "dataset": setting.dataset,
+            "budget": budget,
+            "seed_rules": list(seeds),
+            "num_positives": len(setting.corpus.positive_ids()),
+        },
+    )
+
+    for method in methods:
+        if method in _TRAVERSAL_OF:
+            run = setting.run_darwin(
+                traversal=_TRAVERSAL_OF[method],
+                budget=budget,
+                seed_rule_texts=seeds,
+                config_overrides=config_overrides,
+            )
+            result.add_series(method, run.recall_curve())
+        elif method == "highP":
+            baseline = HighPrecisionBaseline(
+                setting.corpus,
+                grammars=setting.grammars,
+                config=setting.config.with_overrides(budget=budget),
+                index=setting.index,
+                featurizer=setting.featurizer,
+            )
+            run = baseline.run(setting.make_oracle(), seeds, budget=budget)
+            result.add_series(method, run.recall_curve)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+    return result

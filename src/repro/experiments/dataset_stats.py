@@ -1,0 +1,41 @@
+"""Table 1: dataset statistics of the generated corpora."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..datasets.registry import table1_rows
+from ..evaluation.reporting import format_table
+
+
+def table1(
+    scale: float = 0.1, seed: int = 0, names: Optional[Sequence[str]] = None
+) -> List[dict]:
+    """Regenerate Table 1 rows for the synthetic corpora.
+
+    Returns one dict per dataset with both the generated statistics and the
+    paper's reported numbers so the bench output can show them side by side.
+    """
+    return table1_rows(scale=scale, seed=seed, names=names)
+
+
+def format_table1(rows: List[dict]) -> str:
+    """Render Table 1 in the same layout the paper uses."""
+    return format_table(
+        headers=[
+            "dataset", "task", "#sentences", "%positives",
+            "paper #sentences", "paper %positives",
+        ],
+        rows=[
+            [
+                row["dataset"],
+                row["task"],
+                row["num_sentences"],
+                100.0 * float(row["positive_fraction"]),
+                row["paper_num_sentences"],
+                100.0 * float(row["paper_positive_fraction"]),
+            ]
+            for row in rows
+        ],
+        title="Table 1: dataset statistics (generated vs. paper)",
+    )

@@ -1,0 +1,81 @@
+"""Figures 9(e-h) and 10(b): classifier F-score vs. number of questions.
+
+Compares the classifier trained on Darwin(HS)'s labels against Active
+Learning, Keyword Sampling and HighP, with every technique using the same
+classifier family and the same per-question budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..baselines.active_learning import ActiveLearningBaseline
+from ..baselines.keyword_sampling import KeywordSamplingBaseline
+from ..baselines.rule_baselines import HighPrecisionBaseline
+from ..evaluation.runner import ExperimentResult
+from .common import ExperimentSetting
+
+DEFAULT_METHODS = ("Darwin(HS)", "AL", "KS", "highP")
+
+
+def fscore_experiment(
+    setting: ExperimentSetting,
+    budget: int = 100,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    seed_rule_texts: Optional[Sequence[str]] = None,
+    config_overrides: Optional[Dict] = None,
+) -> ExperimentResult:
+    """Run the classifier-quality comparison on one dataset.
+
+    Returns:
+        An :class:`ExperimentResult` mapping each method to its F1 curve.
+    """
+    seeds = tuple(seed_rule_texts or setting.seed_rule_texts)
+    result = ExperimentResult(
+        name=f"fig9-fscore-{setting.dataset}",
+        metadata={
+            "dataset": setting.dataset,
+            "budget": budget,
+            "seed_rules": list(seeds),
+        },
+    )
+
+    for method in methods:
+        if method == "Darwin(HS)":
+            run = setting.run_darwin(
+                traversal="hybrid",
+                budget=budget,
+                seed_rule_texts=seeds,
+                config_overrides=config_overrides,
+            )
+            result.add_series(method, run.f1_curve())
+        elif method == "AL":
+            baseline = ActiveLearningBaseline(
+                setting.corpus,
+                classifier_config=setting.config.classifier,
+                featurizer=setting.featurizer,
+            )
+            run = baseline.run(budget=budget)
+            result.add_series(method, run.f1_curve)
+        elif method == "KS":
+            baseline = KeywordSamplingBaseline(
+                setting.corpus,
+                keywords=setting.keyword_hints,
+                classifier_config=setting.config.classifier,
+                featurizer=setting.featurizer,
+            )
+            run = baseline.run(budget=budget)
+            result.add_series(method, run.f1_curve)
+        elif method == "highP":
+            baseline = HighPrecisionBaseline(
+                setting.corpus,
+                grammars=setting.grammars,
+                config=setting.config.with_overrides(budget=budget),
+                index=setting.index,
+                featurizer=setting.featurizer,
+            )
+            run = baseline.run(setting.make_oracle(), seeds, budget=budget)
+            result.add_series(method, run.f1_curve)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+    return result

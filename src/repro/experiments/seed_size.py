@@ -1,0 +1,113 @@
+"""Figures 7 and 8: coverage vs. seed-set size, Snuba vs. Darwin(HS).
+
+Both systems receive the *same* randomly chosen labeled subset. Snuba uses it
+to synthesize heuristics directly; Darwin uses only the positive sentences in
+it as seeds and then spends its oracle budget. Figure 8 repeats the experiment
+with a *biased* sample: sentences containing a characteristic token (e.g.
+"shuttle" for directions, "composer" for musicians) are excluded from the
+sample pool, so Snuba can never learn rules for that mode while Darwin can
+still discover them through the classifier's generalization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.snuba import SnubaBaseline
+from ..evaluation.metrics import coverage_recall
+from ..evaluation.runner import ExperimentResult
+from ..utils.rng import derive_rng
+from .common import ExperimentSetting
+
+
+def sample_labeled_subset(
+    setting: ExperimentSetting,
+    size: int,
+    seed: int,
+    biased: bool = False,
+    min_positives: int = 2,
+) -> List[int]:
+    """Sample a labeled subset of ``size`` sentence ids.
+
+    The sample is stratified just enough to contain ``min_positives`` positive
+    sentences (otherwise neither system can start, and the paper's comparison
+    presumes the seed yields at least a couple of positives). With
+    ``biased=True``, sentences containing the dataset's characteristic token
+    are excluded from the pool (Figure 8).
+    """
+    corpus = setting.corpus
+    rng = derive_rng(seed, "seed-subset", setting.dataset, size, biased)
+    exclude_token = setting.biased_exclude_token if biased else None
+
+    def eligible(sentence) -> bool:
+        if exclude_token and exclude_token in sentence.tokens:
+            return False
+        return True
+
+    positives = [s.sentence_id for s in corpus if s.label and eligible(s)]
+    others = [s.sentence_id for s in corpus if not s.label and eligible(s)]
+    rng.shuffle(positives)
+    rng.shuffle(others)
+
+    guaranteed = positives[: min(min_positives, len(positives), size)]
+    remaining_pool = [i for i in positives[len(guaranteed):]] + others
+    rng.shuffle(remaining_pool)
+    sample = list(guaranteed) + remaining_pool[: max(0, size - len(guaranteed))]
+    return sorted(sample[:size])
+
+
+def seed_size_experiment(
+    setting: ExperimentSetting,
+    seed_sizes: Sequence[int] = (25, 50, 125, 250, 500, 1000),
+    budget: int = 100,
+    biased: bool = False,
+    trials: int = 1,
+    base_seed: int = 0,
+    snuba_kwargs: Optional[Dict] = None,
+) -> ExperimentResult:
+    """Run the Figure 7 (or Figure 8 when ``biased``) comparison.
+
+    Returns:
+        An :class:`ExperimentResult` whose series map "Snuba" and
+        "Darwin(HS)" to the fraction of positives identified at each seed size.
+    """
+    truth = setting.corpus.positive_ids()
+    snuba_curve: List[float] = []
+    darwin_curve: List[float] = []
+
+    for size in seed_sizes:
+        snuba_values = []
+        darwin_values = []
+        for trial in range(trials):
+            subset = sample_labeled_subset(
+                setting, size, seed=base_seed + trial, biased=biased
+            )
+            labels = {i: bool(setting.corpus[i].label) for i in subset}
+
+            snuba = SnubaBaseline(setting.corpus, **(snuba_kwargs or {}))
+            snuba_result = snuba.run(subset, labels=labels)
+            snuba_values.append(snuba_result.coverage)
+
+            seed_positives = [i for i in subset if labels[i]]
+            darwin_result = setting.run_darwin(
+                traversal="hybrid",
+                budget=budget,
+                seed_positive_ids=seed_positives,
+            )
+            darwin_values.append(coverage_recall(darwin_result.covered_ids, truth))
+        snuba_curve.append(sum(snuba_values) / len(snuba_values))
+        darwin_curve.append(sum(darwin_values) / len(darwin_values))
+
+    result = ExperimentResult(
+        name=f"{'fig8' if biased else 'fig7'}-{setting.dataset}",
+        metadata={
+            "dataset": setting.dataset,
+            "seed_sizes": list(seed_sizes),
+            "budget": budget,
+            "biased": biased,
+            "num_positives": len(truth),
+        },
+    )
+    result.add_series("Snuba", snuba_curve)
+    result.add_series("Darwin(HS)", darwin_curve)
+    return result

@@ -1,0 +1,143 @@
+"""Appendix D sensitivity studies (Figures 12, 13, 14).
+
+* :func:`tau_sweep` — HybridSearch switching threshold τ (Figure 12a),
+* :func:`seed_rule_sweep` — robustness to different seed rules (Figure 12b),
+* :func:`candidate_sweep` — number of generated candidates (Figure 13),
+* :func:`epoch_sweep` — classifier epochs vs. #questions to reach a target
+  coverage (Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..evaluation.runner import ExperimentResult
+from .common import ExperimentSetting
+
+
+def tau_sweep(
+    setting: ExperimentSetting,
+    taus: Sequence[int] = (3, 5, 7, 9),
+    budget: int = 100,
+    seed_rule_texts: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Coverage curves of Darwin(HS) for different switching thresholds τ."""
+    seeds = tuple(seed_rule_texts or setting.seed_rule_texts)
+    result = ExperimentResult(
+        name=f"fig12a-tau-{setting.dataset}",
+        metadata={"dataset": setting.dataset, "budget": budget, "taus": list(taus)},
+    )
+    for tau in taus:
+        run = setting.run_darwin(
+            traversal="hybrid",
+            budget=budget,
+            seed_rule_texts=seeds,
+            config_overrides={"tau": tau},
+        )
+        result.add_series(f"tau={tau}", run.recall_curve())
+    return result
+
+
+def seed_rule_sweep(
+    setting: ExperimentSetting,
+    seed_rules: Sequence[str],
+    budget: int = 100,
+) -> ExperimentResult:
+    """Coverage curves of Darwin(HS) for different seed rules (Figure 12b).
+
+    Seed rules may be keywords ("composer"), phrases ("piano"), or whole
+    sentences; sentences are used as seed positive instances rather than
+    rules, mirroring the paper's Rule 3.
+    """
+    result = ExperimentResult(
+        name=f"fig12b-seeds-{setting.dataset}",
+        metadata={"dataset": setting.dataset, "budget": budget,
+                  "seed_rules": list(seed_rules)},
+    )
+    for position, seed_rule in enumerate(seed_rules, start=1):
+        tokens = seed_rule.split()
+        if len(tokens) > setting.config.max_phrase_len:
+            # Treat long seeds as seed sentences: their positives are the
+            # sentences containing the full phrase.
+            matching = [
+                s.sentence_id
+                for s in setting.corpus
+                if s.contains_phrase(tuple(t.lower() for t in tokens))
+            ]
+            run = setting.run_darwin(
+                traversal="hybrid", budget=budget, seed_positive_ids=matching or None,
+                seed_rule_texts=None if matching else (seed_rule,),
+            )
+        else:
+            run = setting.run_darwin(
+                traversal="hybrid", budget=budget, seed_rule_texts=(seed_rule,)
+            )
+        result.add_series(f"Rule {position}", run.recall_curve())
+    return result
+
+
+def candidate_sweep(
+    setting: ExperimentSetting,
+    candidate_counts: Sequence[int] = (500, 1000, 2000),
+    budget: int = 100,
+    seed_rule_texts: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Coverage curves for different candidate-pool sizes (Figure 13)."""
+    seeds = tuple(seed_rule_texts or setting.seed_rule_texts)
+    result = ExperimentResult(
+        name=f"fig13-candidates-{setting.dataset}",
+        metadata={"dataset": setting.dataset, "budget": budget,
+                  "candidate_counts": list(candidate_counts)},
+    )
+    for count in candidate_counts:
+        run = setting.run_darwin(
+            traversal="hybrid",
+            budget=budget,
+            seed_rule_texts=seeds,
+            config_overrides={"num_candidates": count},
+        )
+        label = f"{count // 1000}K" if count >= 1000 else str(count)
+        result.add_series(label, run.recall_curve())
+    return result
+
+
+def epoch_sweep(
+    setting: ExperimentSetting,
+    epochs: Sequence[int] = (4, 6, 8, 10, 12),
+    budget: int = 100,
+    target_coverage: float = 0.75,
+    seed_rule_texts: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Questions needed to reach ``target_coverage`` vs. classifier epochs.
+
+    Figure 14 reports, for each number of training epochs, how many oracle
+    questions Darwin(HS) needs to label at least 75% of the positives; the
+    paper's point is that the pipeline is robust to classifier over/under
+    fitting.
+    """
+    seeds = tuple(seed_rule_texts or setting.seed_rule_texts)
+    questions_needed: List[float] = []
+    for epoch_count in epochs:
+        run = setting.run_darwin(
+            traversal="hybrid",
+            budget=budget,
+            seed_rule_texts=seeds,
+            config_overrides={"classifier": {"epochs": int(epoch_count)}},
+        )
+        reached = budget
+        for record in run.history:
+            if record.recall >= target_coverage:
+                reached = record.question_number
+                break
+        questions_needed.append(float(reached))
+    result = ExperimentResult(
+        name=f"fig14-epochs-{setting.dataset}",
+        metadata={
+            "dataset": setting.dataset,
+            "budget": budget,
+            "target_coverage": target_coverage,
+            "epochs": list(epochs),
+        },
+    )
+    result.add_series("questions_to_target", questions_needed)
+    return result

@@ -1,0 +1,54 @@
+"""Figure 11: example HybridSearch traversal traces.
+
+The paper illustrates how HybridSearch starts from 'best way to get to' and
+reaches the lexically distant rule 'shuttle to' (directions), and how it
+generalizes then re-specializes around 'caused by' (cause-effect). This
+experiment records the sequence of rules Darwin(HS) queries and which were
+accepted, so the bench can print the same kind of trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..evaluation.runner import ExperimentResult
+from .common import ExperimentSetting
+
+
+def traversal_trace_experiment(
+    setting: ExperimentSetting,
+    budget: int = 40,
+    seed_rule_texts: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Record the query trace of a Darwin(HS) run.
+
+    Returns:
+        An :class:`ExperimentResult` whose metadata contains the ordered list
+        of queried rules with their answers and the accepted-rule trace
+        (the Figure 11 content); the single series is the recall curve.
+    """
+    seeds = tuple(seed_rule_texts or setting.seed_rule_texts)
+    run = setting.run_darwin(traversal="hybrid", budget=budget, seed_rule_texts=seeds)
+
+    trace: List[Dict[str, object]] = [
+        {
+            "question": record.question_number,
+            "rule": record.rule,
+            "answer": "YES" if record.answer else "NO",
+            "coverage": record.rule_coverage,
+        }
+        for record in run.history
+    ]
+    accepted = [record.rule for record in run.history if record.answer]
+
+    result = ExperimentResult(
+        name=f"fig11-trace-{setting.dataset}",
+        metadata={
+            "dataset": setting.dataset,
+            "seed_rules": list(seeds),
+            "trace": trace,
+            "accepted_rules": accepted,
+        },
+    )
+    result.add_series("recall", run.recall_curve())
+    return result

@@ -1,0 +1,31 @@
+"""Heuristic grammars: the rule languages Darwin searches over.
+
+Darwin supports *any* rule language specifiable as a context-free grammar
+(Definition 1). This subpackage provides:
+
+* :mod:`repro.grammars.cfg` — a generic CFG representation with derivation
+  machinery (used to validate that grammars are context-free and to enumerate
+  derivations up to a bounded number of rule applications),
+* :mod:`repro.grammars.base` — the :class:`HeuristicGrammar` interface every
+  rule language implements (matching, sketch enumeration, generalization /
+  specialization neighbours),
+* :mod:`repro.grammars.tokensregex` — the TokensRegex grammar (Example 2),
+* :mod:`repro.grammars.treematch` — the TreeMatch grammar over dependency
+  parse trees (Definition 3).
+"""
+
+from .cfg import ContextFreeGrammar, Production, Derivation
+from .base import HeuristicGrammar
+from .tokensregex import TokensRegexGrammar, GAP
+from .treematch import TreeMatchGrammar, TreePattern
+
+__all__ = [
+    "ContextFreeGrammar",
+    "Production",
+    "Derivation",
+    "HeuristicGrammar",
+    "TokensRegexGrammar",
+    "GAP",
+    "TreeMatchGrammar",
+    "TreePattern",
+]

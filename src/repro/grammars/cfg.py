@@ -1,0 +1,194 @@
+"""A small context-free-grammar framework.
+
+Definition 1 of the paper specifies heuristic grammars as context-free
+grammars; a labeling heuristic is a derivation of the grammar (Definition 2).
+This module provides the generic machinery:
+
+* :class:`Production` — a single derivation rule ``lhs -> rhs``.
+* :class:`ContextFreeGrammar` — a set of productions with a start symbol,
+  supporting bounded derivation enumeration and membership-style expansion.
+* :class:`Derivation` — a recorded sequence of production applications whose
+  yield is a terminal string.
+
+The concrete heuristic grammars (TokensRegex, TreeMatch) expose their formal
+CFG through :meth:`HeuristicGrammar.formal_grammar`, which is exercised by the
+tests to confirm that every heuristic the system proposes is indeed derivable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import GrammarError
+
+EPSILON = "ε"
+
+
+@dataclass(frozen=True)
+class Production:
+    """A context-free production ``lhs -> rhs``.
+
+    Attributes:
+        lhs: The non-terminal being rewritten.
+        rhs: The replacement sequence of terminals and non-terminals. An empty
+            tuple denotes the ε-production.
+    """
+
+    lhs: str
+    rhs: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        rhs = " ".join(self.rhs) if self.rhs else EPSILON
+        return f"{self.lhs} -> {rhs}"
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A derivation: the sequence of productions applied (leftmost order)."""
+
+    productions: Tuple[Production, ...]
+    sentence: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.productions)
+
+    def __str__(self) -> str:
+        return " ".join(self.sentence) if self.sentence else EPSILON
+
+
+class ContextFreeGrammar:
+    """A context-free grammar with bounded derivation enumeration.
+
+    Args:
+        start: The start non-terminal.
+        productions: The derivation rules.
+        nonterminals: Optionally the explicit non-terminal set; inferred from
+            production left-hand sides when omitted.
+    """
+
+    def __init__(
+        self,
+        start: str,
+        productions: Sequence[Production],
+        nonterminals: Optional[Set[str]] = None,
+    ) -> None:
+        if not productions:
+            raise GrammarError("a grammar needs at least one production")
+        self.start = start
+        self.productions: List[Production] = list(productions)
+        self.nonterminals: Set[str] = set(nonterminals or [])
+        self.nonterminals.update(p.lhs for p in self.productions)
+        if start not in self.nonterminals:
+            raise GrammarError(f"start symbol {start!r} has no productions")
+        self.terminals: Set[str] = {
+            symbol
+            for production in self.productions
+            for symbol in production.rhs
+            if symbol not in self.nonterminals
+        }
+        self._by_lhs: Dict[str, List[Production]] = {}
+        for production in self.productions:
+            self._by_lhs.setdefault(production.lhs, []).append(production)
+
+    # ----------------------------------------------------------------- basics
+    def productions_for(self, nonterminal: str) -> List[Production]:
+        """All productions whose left-hand side is ``nonterminal``."""
+        return list(self._by_lhs.get(nonterminal, []))
+
+    def is_terminal(self, symbol: str) -> bool:
+        """True if ``symbol`` is a terminal of this grammar."""
+        return symbol not in self.nonterminals
+
+    # ----------------------------------------------------------- enumeration
+    def derivations(
+        self, max_steps: int, max_results: Optional[int] = None
+    ) -> Iterator[Derivation]:
+        """Enumerate complete derivations using at most ``max_steps`` rules.
+
+        The enumeration is breadth-first over sentential forms, so shorter
+        derivations are produced first. ``max_results`` caps the number of
+        yielded derivations (useful for grammars with huge terminal sets).
+        """
+        if max_steps <= 0:
+            return
+        count = 0
+        # Each frontier entry: (sentential form, applied productions)
+        frontier: List[Tuple[Tuple[str, ...], Tuple[Production, ...]]] = [
+            ((self.start,), tuple())
+        ]
+        for _ in range(max_steps):
+            next_frontier: List[Tuple[Tuple[str, ...], Tuple[Production, ...]]] = []
+            for form, applied in frontier:
+                target = self._leftmost_nonterminal(form)
+                if target is None:
+                    continue
+                index, nonterminal = target
+                for production in self._by_lhs.get(nonterminal, []):
+                    new_form = form[:index] + production.rhs + form[index + 1:]
+                    new_applied = applied + (production,)
+                    if self._leftmost_nonterminal(new_form) is None:
+                        yield Derivation(new_applied, new_form)
+                        count += 1
+                        if max_results is not None and count >= max_results:
+                            return
+                    else:
+                        next_frontier.append((new_form, new_applied))
+            frontier = next_frontier
+            if not frontier:
+                return
+
+    def _leftmost_nonterminal(
+        self, form: Sequence[str]
+    ) -> Optional[Tuple[int, str]]:
+        for index, symbol in enumerate(form):
+            if symbol in self.nonterminals:
+                return index, symbol
+        return None
+
+    # ------------------------------------------------------------- validation
+    def can_derive(self, sentence: Sequence[str], max_steps: int = 16) -> bool:
+        """Best-effort membership check by bounded breadth-first derivation.
+
+        Only used in tests on tiny grammars; exponential in the worst case.
+        """
+        goal = tuple(sentence)
+        for derivation in self.derivations(max_steps=max_steps, max_results=200_000):
+            if derivation.sentence == goal:
+                return True
+        return False
+
+    def describe(self) -> str:
+        """Human-readable listing of the grammar's productions."""
+        lines = [f"start: {self.start}"]
+        lines.extend(str(p) for p in self.productions)
+        return "\n".join(lines)
+
+
+def phrase_grammar(vocabulary: Sequence[str], allow_gap: bool = True) -> ContextFreeGrammar:
+    """Construct the formal TokensRegex CFG of Example 2 for ``vocabulary``.
+
+    The grammar is ``A -> v A`` for every vocabulary token, ``A -> A + A``,
+    ``A -> A * A`` (when ``allow_gap``), and ``A -> ε``.
+    """
+    productions = [Production("A", (token, "A")) for token in vocabulary]
+    productions.append(Production("A", ("A", "+", "A")))
+    if allow_gap:
+        productions.append(Production("A", ("A", "*", "A")))
+    productions.append(Production("A", tuple()))
+    return ContextFreeGrammar("A", productions)
+
+
+def treematch_grammar(vocabulary: Sequence[str]) -> ContextFreeGrammar:
+    """Construct the formal TreeMatch CFG of Definition 3 for ``vocabulary``.
+
+    The terminals are tokens and POS tags; the operations are child (``/``),
+    descendant (``//``) and conjunction (``∧``).
+    """
+    productions = [
+        Production("A", ("/", "A")),
+        Production("A", ("A", "∧", "A")),
+        Production("A", ("//", "A")),
+    ]
+    productions.extend(Production("A", (token,)) for token in vocabulary)
+    return ContextFreeGrammar("A", productions)

@@ -1,0 +1,226 @@
+"""The TokensRegex grammar: regular expressions over tokens (Example 2).
+
+An expression is a tuple of tokens in which the special symbol :data:`GAP`
+(rendered ``*``) matches one or more arbitrary tokens. Expressions without a
+gap are plain contiguous phrases ("best way to"); expressions with gaps match
+ordered, possibly non-adjacent occurrences ("shuttle * hotel").
+
+Structural neighbourhood (used by the hierarchy and LocalSearch):
+
+* *generalizations* of a phrase drop its first or last token, or replace an
+  interior token with a gap;
+* *specializations* extend the phrase by one adjacent corpus token (computed
+  against a witness sentence when available) or instantiate a gap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import RuleParseError
+from ..text.sentence import Sentence
+from .base import HeuristicGrammar
+from .cfg import ContextFreeGrammar, phrase_grammar
+
+GAP = "*"
+
+Phrase = Tuple[str, ...]
+
+
+class TokensRegexGrammar(HeuristicGrammar):
+    """Phrase / gapped-phrase heuristics over token sequences.
+
+    Args:
+        max_phrase_len: Maximum number of non-gap tokens in enumerated
+            expressions (the paper bounds derivation length at 10; phrase
+            sketches rarely need more than 4-5 tokens to become precise).
+        allow_gaps: Enumerate gapped variants ("a * b") of adjacent bigrams in
+            sketches. Matching supports gaps regardless.
+    """
+
+    name = "tokensregex"
+
+    def __init__(self, max_phrase_len: int = 4, allow_gaps: bool = False) -> None:
+        if max_phrase_len < 1:
+            raise ValueError("max_phrase_len must be at least 1")
+        self.max_phrase_len = max_phrase_len
+        self.allow_gaps = allow_gaps
+
+    # ------------------------------------------------------------- matching
+    def matches(self, expression: Phrase, sentence: Sentence) -> bool:
+        """True if ``sentence`` contains the phrase / gapped pattern."""
+        phrase = self._validate(expression)
+        if not phrase:
+            return True
+        if GAP not in phrase:
+            return sentence.contains_phrase(phrase)
+        segments = self._split_on_gaps(phrase)
+        return self._match_segments(segments, sentence.tokens)
+
+    # ---------------------------------------------------------- enumeration
+    def enumerate_expressions(
+        self, sentence: Sentence, max_depth: int
+    ) -> Iterable[Phrase]:
+        """All contiguous n-grams (and optionally gapped skip-bigrams)."""
+        limit = min(self.max_phrase_len, max_depth)
+        seen = set()
+        for gram in sentence.ngrams(limit):
+            if gram not in seen:
+                seen.add(gram)
+                yield gram
+        if self.allow_gaps:
+            tokens = sentence.tokens
+            for i in range(len(tokens)):
+                for j in range(i + 2, min(len(tokens), i + 6)):
+                    gapped = (tokens[i], GAP, tokens[j])
+                    if gapped not in seen:
+                        seen.add(gapped)
+                        yield gapped
+
+    # --------------------------------------------------------- neighbourhood
+    def generalizations(self, expression: Phrase) -> List[Phrase]:
+        phrase = self._validate(expression)
+        parents: List[Phrase] = []
+        if len([t for t in phrase if t != GAP]) <= 1:
+            return parents
+        # Drop the first or last token.
+        for candidate in (phrase[1:], phrase[:-1]):
+            cleaned = self._strip_gaps(candidate)
+            if cleaned and cleaned != phrase and cleaned not in parents:
+                parents.append(cleaned)
+        # Replace an interior token with a gap (only for pure phrases).
+        if GAP not in phrase and len(phrase) >= 3:
+            for index in range(1, len(phrase) - 1):
+                candidate = phrase[:index] + (GAP,) + phrase[index + 1:]
+                cleaned = self._strip_gaps(candidate)
+                if cleaned not in parents and cleaned != phrase:
+                    parents.append(cleaned)
+        return parents
+
+    def specializations(
+        self, expression: Phrase, sentence: Optional[Sentence] = None
+    ) -> List[Phrase]:
+        phrase = self._validate(expression)
+        children: List[Phrase] = []
+        if sentence is None:
+            return children
+        tokens = sentence.tokens
+        length = len(phrase)
+        if GAP in phrase:
+            # Instantiate the first gap with each token that keeps a match.
+            gap_index = phrase.index(GAP)
+            for token in set(tokens):
+                candidate = phrase[:gap_index] + (token,) + phrase[gap_index + 1:]
+                if self.matches(candidate, sentence) and candidate not in children:
+                    children.append(candidate)
+            return children
+        if length >= self.max_phrase_len:
+            return children
+        # Extend left or right using the witness sentence's occurrences.
+        n = len(tokens)
+        for start in range(n - length + 1):
+            if tuple(tokens[start:start + length]) != phrase:
+                continue
+            if start > 0:
+                candidate = (tokens[start - 1],) + phrase
+                if candidate not in children:
+                    children.append(candidate)
+            end = start + length
+            if end < n:
+                candidate = phrase + (tokens[end],)
+                if candidate not in children:
+                    children.append(candidate)
+        return children
+
+    def is_ancestor(self, general: Phrase, specific: Phrase) -> bool:
+        """A phrase is an ancestor if it is a (gapped) sub-pattern."""
+        general = self._validate(general)
+        specific = self._validate(specific)
+        if GAP in general or GAP in specific:
+            return super().is_ancestor(general, specific)
+        if len(general) > len(specific):
+            return False
+        for start in range(len(specific) - len(general) + 1):
+            if specific[start:start + len(general)] == general:
+                return True
+        return False
+
+    # -------------------------------------------------------------- plumbing
+    def formal_grammar(self, vocabulary: Sequence[str]) -> ContextFreeGrammar:
+        return phrase_grammar(vocabulary, allow_gap=True)
+
+    def render(self, expression: Phrase) -> str:
+        phrase = self._validate(expression)
+        return " ".join(phrase)
+
+    def parse(self, text: str) -> Phrase:
+        if text is None:
+            raise RuleParseError("cannot parse None as a TokensRegex rule")
+        tokens = tuple(part for part in text.strip().lower().split() if part)
+        if not tokens:
+            raise RuleParseError("empty TokensRegex rule")
+        if tokens[0] == GAP or tokens[-1] == GAP:
+            raise RuleParseError("a TokensRegex rule cannot start or end with a gap")
+        return tokens
+
+    def complexity(self, expression: Phrase) -> int:
+        return len(self._validate(expression))
+
+    # ---------------------------------------------------------------- helpers
+    @staticmethod
+    def _validate(expression: Phrase) -> Phrase:
+        if isinstance(expression, str):
+            return tuple(expression.split())
+        if not isinstance(expression, tuple):
+            raise RuleParseError(
+                f"TokensRegex expressions are tuples of tokens, got {type(expression)}"
+            )
+        return expression
+
+    @staticmethod
+    def _strip_gaps(phrase: Phrase) -> Phrase:
+        """Remove leading/trailing/duplicate gaps left behind by edits."""
+        items = list(phrase)
+        while items and items[0] == GAP:
+            items.pop(0)
+        while items and items[-1] == GAP:
+            items.pop()
+        cleaned: List[str] = []
+        for token in items:
+            if token == GAP and cleaned and cleaned[-1] == GAP:
+                continue
+            cleaned.append(token)
+        return tuple(cleaned)
+
+    @staticmethod
+    def _split_on_gaps(phrase: Phrase) -> List[Phrase]:
+        segments: List[Phrase] = []
+        current: List[str] = []
+        for token in phrase:
+            if token == GAP:
+                if current:
+                    segments.append(tuple(current))
+                    current = []
+            else:
+                current.append(token)
+        if current:
+            segments.append(tuple(current))
+        return segments
+
+    @staticmethod
+    def _match_segments(segments: List[Phrase], tokens: Tuple[str, ...]) -> bool:
+        """Match segments in order, each after the previous one ends."""
+        position = 0
+        n = len(tokens)
+        for segment_index, segment in enumerate(segments):
+            m = len(segment)
+            found = -1
+            for start in range(position, n - m + 1):
+                if tokens[start:start + m] == segment:
+                    found = start
+                    break
+            if found < 0:
+                return False
+            # A gap requires at least one token between segments.
+            position = found + m + (1 if segment_index < len(segments) - 1 else 0)
+        return True

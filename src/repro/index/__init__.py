@@ -1,0 +1,13 @@
+"""Corpus indexing: derivation sketches, the merged corpus index, hierarchies."""
+
+from .sketch import DerivationSketch, build_sketch
+from .trie_index import CorpusIndex, IndexNode
+from .hierarchy import RuleHierarchy
+
+__all__ = [
+    "DerivationSketch",
+    "build_sketch",
+    "CorpusIndex",
+    "IndexNode",
+    "RuleHierarchy",
+]

@@ -1,0 +1,225 @@
+"""The candidate-heuristic hierarchy (Section 3.2).
+
+The hierarchy ``H`` organizes a manageable set of candidate heuristics into a
+DAG whose edges capture subset/superset coverage relations: parents are more
+general (larger coverage), children more specific. Key operations needed by
+the traversal strategies:
+
+* ``parents(rule)`` / ``children(rule)`` in O(1) — LocalSearch expands these
+  neighbourhoods after each oracle answer,
+* membership and removal — UniversalSearch removes queried rules,
+* cleanup — drop rules that add no new positives relative to already-accepted
+  coverage (Section 3.2, "Hierarchical Arrangement and edge discovery"),
+* on-the-fly growth — LocalSearch skips pre-generation and expands lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..errors import TraversalError
+from ..rules.heuristic import LabelingHeuristic
+
+
+class RuleHierarchy:
+    """A DAG of candidate labeling heuristics ordered by generality."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[LabelingHeuristic, None] = {}
+        self._parents: Dict[LabelingHeuristic, Set[LabelingHeuristic]] = {}
+        self._children: Dict[LabelingHeuristic, Set[LabelingHeuristic]] = {}
+
+    # --------------------------------------------------------------- protocol
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, rule: LabelingHeuristic) -> bool:
+        return rule in self._nodes
+
+    def __iter__(self) -> Iterator[LabelingHeuristic]:
+        return iter(self._nodes)
+
+    # ------------------------------------------------------------------ edits
+    def add(self, rule: LabelingHeuristic) -> bool:
+        """Add a candidate rule (no edges). Returns False if already present."""
+        if rule in self._nodes:
+            return False
+        if rule.coverage_ids is None:
+            raise TraversalError("hierarchy rules must have coverage computed")
+        self._nodes[rule] = None
+        self._parents[rule] = set()
+        self._children[rule] = set()
+        return True
+
+    def add_edge(self, parent: LabelingHeuristic, child: LabelingHeuristic) -> None:
+        """Record that ``child`` specializes ``parent``."""
+        if parent not in self._nodes or child not in self._nodes:
+            raise TraversalError("both endpoints must be in the hierarchy")
+        if parent == child:
+            return
+        self._children[parent].add(child)
+        self._parents[child].add(parent)
+
+    def remove(self, rule: LabelingHeuristic) -> None:
+        """Remove ``rule``, reconnecting its children to its parents."""
+        if rule not in self._nodes:
+            return
+        parents = self._parents.pop(rule, set())
+        children = self._children.pop(rule, set())
+        del self._nodes[rule]
+        for parent in parents:
+            self._children[parent].discard(rule)
+        for child in children:
+            self._parents[child].discard(rule)
+        for parent in parents:
+            for child in children:
+                self.add_edge(parent, child)
+
+    # -------------------------------------------------------------- accessors
+    def rules(self) -> List[LabelingHeuristic]:
+        """All candidate rules currently in the hierarchy."""
+        return list(self._nodes)
+
+    def parents(self, rule: LabelingHeuristic) -> List[LabelingHeuristic]:
+        """Direct generalizations of ``rule`` within the hierarchy."""
+        return list(self._parents.get(rule, set()))
+
+    def children(self, rule: LabelingHeuristic) -> List[LabelingHeuristic]:
+        """Direct specializations of ``rule`` within the hierarchy."""
+        return list(self._children.get(rule, set()))
+
+    def roots(self) -> List[LabelingHeuristic]:
+        """Rules with no parents (the most general candidates)."""
+        return [rule for rule in self._nodes if not self._parents[rule]]
+
+    def leaves(self) -> List[LabelingHeuristic]:
+        """Rules with no children (the most specific candidates)."""
+        return [rule for rule in self._nodes if not self._children[rule]]
+
+    # ---------------------------------------------------------------- queries
+    def descendants(self, rule: LabelingHeuristic) -> Set[LabelingHeuristic]:
+        """All rules reachable downward from ``rule`` (excluding itself)."""
+        result: Set[LabelingHeuristic] = set()
+        frontier = list(self._children.get(rule, set()))
+        while frontier:
+            node = frontier.pop()
+            if node in result:
+                continue
+            result.add(node)
+            frontier.extend(self._children.get(node, set()))
+        return result
+
+    def ancestors(self, rule: LabelingHeuristic) -> Set[LabelingHeuristic]:
+        """All rules reachable upward from ``rule`` (excluding itself)."""
+        result: Set[LabelingHeuristic] = set()
+        frontier = list(self._parents.get(rule, set()))
+        while frontier:
+            node = frontier.pop()
+            if node in result:
+                continue
+            result.add(node)
+            frontier.extend(self._parents.get(node, set()))
+        return result
+
+    def is_consistent(self) -> bool:
+        """True if every edge goes from larger to smaller-or-equal coverage."""
+        for parent, children in self._children.items():
+            for child in children:
+                if child.coverage_size > parent.coverage_size:
+                    return False
+        return True
+
+    # ---------------------------------------------------------------- cleanup
+    def cleanup(self, covered_ids: Set[int]) -> int:
+        """Drop rules whose coverage adds nothing beyond ``covered_ids``.
+
+        Returns the number of removed rules. Mirrors the paper's cleanup step:
+        the traversal will never query a heuristic that cannot add new
+        positives.
+        """
+        removable = [
+            rule
+            for rule in self._nodes
+            if not (set(rule.coverage) - covered_ids)
+        ]
+        for rule in removable:
+            self.remove(rule)
+        return len(removable)
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_rules(
+        cls,
+        rules: Iterable[LabelingHeuristic],
+        link_by_grammar: bool = True,
+        max_link_candidates: Optional[int] = None,
+    ) -> "RuleHierarchy":
+        """Build a hierarchy from candidate rules, discovering subset edges.
+
+        Edges are added between rules of the same grammar when one expression
+        is an ancestor of the other under that grammar *and* their coverage
+        sets are consistent with the subset direction. Only "closest" ancestors
+        get a direct edge (transitive edges are skipped when an intermediate
+        rule exists).
+
+        Args:
+            rules: Candidate rules with coverage computed.
+            link_by_grammar: Restrict edges to same-grammar pairs (always true
+                for the built-in grammars; cross-grammar subset edges are
+                rarely meaningful).
+            max_link_candidates: Safety cap on the number of rules considered
+                for quadratic edge discovery; beyond it only coverage-subset
+                edges between rules sharing coverage are added.
+        """
+        hierarchy = cls()
+        rule_list = [r for r in rules]
+        for rule in rule_list:
+            hierarchy.add(rule)
+
+        if max_link_candidates is not None and len(rule_list) > max_link_candidates:
+            rule_list = sorted(
+                rule_list, key=lambda r: -r.coverage_size
+            )[:max_link_candidates]
+
+        # Sort by descending coverage so parents are processed before children.
+        ordered = sorted(rule_list, key=lambda r: (-r.coverage_size, r.render()))
+        for child_pos, child in enumerate(ordered):
+            child_cov = set(child.coverage)
+            for parent in ordered[:child_pos]:
+                if link_by_grammar and parent.grammar.name != child.grammar.name:
+                    continue
+                if parent.coverage_size < child.coverage_size:
+                    continue
+                if not child_cov.issubset(parent.coverage):
+                    # Structural containment without coverage containment can
+                    # happen for gapped rules; require the structural check.
+                    if not parent.grammar.is_ancestor(
+                        parent.expression, child.expression
+                    ):
+                        continue
+                elif not parent.grammar.is_ancestor(
+                    parent.expression, child.expression
+                ):
+                    continue
+                hierarchy.add_edge(parent, child)
+        hierarchy._remove_transitive_edges()
+        return hierarchy
+
+    def _remove_transitive_edges(self) -> None:
+        """Keep only direct edges: drop parent->child if a path via another node exists."""
+        for parent in list(self._nodes):
+            children = list(self._children.get(parent, set()))
+            for child in children:
+                intermediate_exists = any(
+                    other != child
+                    and other != parent
+                    and child in self.descendants(other)
+                    for other in self._children.get(parent, set())
+                )
+                if intermediate_exists:
+                    self._children[parent].discard(child)
+                    self._parents[child].discard(parent)
+
+    def __repr__(self) -> str:
+        edges = sum(len(kids) for kids in self._children.values())
+        return f"RuleHierarchy(nodes={len(self._nodes)}, edges={edges})"

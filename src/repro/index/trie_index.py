@@ -1,0 +1,294 @@
+"""The corpus index (Section 3.1, Figure 6).
+
+The index is the merge of all per-sentence derivation sketches. Each node
+represents one heuristic expression and stores
+
+* the number of sentences satisfying it (its coverage count),
+* an inverted list of those sentence ids,
+* links to its children (one-more-derivation-step specializations present in
+  the index) and parents (generalizations present in the index).
+
+Construction is linear in the number of sentences because the sketch of each
+sentence is bounded (``max_depth`` derivation steps). Sketches can be built for
+corpus chunks independently and merged, mirroring the parallel construction
+the paper describes; :meth:`CorpusIndex.merge` implements the merge step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CorpusIndexError
+from ..grammars.base import Expression, HeuristicGrammar
+from ..rules.heuristic import LabelingHeuristic
+from ..text.corpus import Corpus
+from .sketch import DerivationSketch, SketchKey, build_sketch
+
+ROOT_KEY: SketchKey = ("*", "*")
+"""The virtual root node '*' matching every sentence (Algorithm 2, line 1)."""
+
+
+@dataclass
+class IndexNode:
+    """One heuristic node of the corpus index.
+
+    Attributes:
+        key: ``(grammar name, expression)``.
+        depth: Derivation complexity of the expression (1 for unigrams/leaves).
+        sentence_ids: Inverted list of covering sentence ids.
+        children: Keys of specializations present in the index.
+        parents: Keys of generalizations present in the index.
+    """
+
+    key: SketchKey
+    depth: int
+    sentence_ids: Set[int] = field(default_factory=set)
+    children: Set[SketchKey] = field(default_factory=set)
+    parents: Set[SketchKey] = field(default_factory=set)
+
+    @property
+    def count(self) -> int:
+        """Number of sentences satisfying this heuristic."""
+        return len(self.sentence_ids)
+
+
+class CorpusIndex:
+    """Merged derivation-sketch index over a corpus.
+
+    Args:
+        grammars: The heuristic grammars indexed. Expressions are only
+            interpreted by the grammar that produced them.
+        max_depth: Sketch depth bound used at build time.
+    """
+
+    def __init__(self, grammars: Sequence[HeuristicGrammar], max_depth: int = 10) -> None:
+        if not grammars:
+            raise CorpusIndexError("at least one grammar is required")
+        names = [g.name for g in grammars]
+        if len(set(names)) != len(names):
+            raise CorpusIndexError("grammar names must be unique")
+        self.grammars: Dict[str, HeuristicGrammar] = {g.name: g for g in grammars}
+        self.max_depth = max_depth
+        self.nodes: Dict[SketchKey, IndexNode] = {
+            ROOT_KEY: IndexNode(key=ROOT_KEY, depth=0)
+        }
+        self._num_sentences = 0
+        self._built = False
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        corpus: Corpus,
+        grammars: Sequence[HeuristicGrammar],
+        max_depth: int = 10,
+        min_coverage: int = 1,
+    ) -> "CorpusIndex":
+        """Build the index for ``corpus`` by merging per-sentence sketches."""
+        index = cls(grammars, max_depth=max_depth)
+        for sentence in corpus:
+            sketch = build_sketch(sentence, grammars, max_depth)
+            index.add_sketch(sketch)
+        index.link_structure()
+        if min_coverage > 1:
+            index.prune(min_coverage)
+        index._built = True
+        return index
+
+    def add_sketch(self, sketch: DerivationSketch) -> None:
+        """Merge one sentence's derivation sketch into the index."""
+        self._num_sentences += 1
+        root = self.nodes[ROOT_KEY]
+        root.sentence_ids.add(sketch.sentence_id)
+        for key, depth in sketch.entries.items():
+            node = self.nodes.get(key)
+            if node is None:
+                node = IndexNode(key=key, depth=depth)
+                self.nodes[key] = node
+            node.sentence_ids.add(sketch.sentence_id)
+
+    def merge(self, other: "CorpusIndex") -> "CorpusIndex":
+        """Merge another chunk index into this one (parallel construction)."""
+        if set(self.grammars) != set(other.grammars):
+            raise CorpusIndexError("cannot merge indexes over different grammars")
+        for key, node in other.nodes.items():
+            mine = self.nodes.get(key)
+            if mine is None:
+                self.nodes[key] = IndexNode(
+                    key=key, depth=node.depth, sentence_ids=set(node.sentence_ids)
+                )
+            else:
+                mine.sentence_ids.update(node.sentence_ids)
+        self._num_sentences += other._num_sentences
+        self.link_structure()
+        return self
+
+    def link_structure(self) -> None:
+        """(Re)compute parent/child links via grammar generalizations."""
+        for node in self.nodes.values():
+            node.children.clear()
+            node.parents.clear()
+        for key, node in self.nodes.items():
+            if key == ROOT_KEY:
+                continue
+            grammar_name, expression = key
+            grammar = self.grammars[grammar_name]
+            parent_keys = [
+                (grammar_name, parent)
+                for parent in grammar.generalizations(expression)
+                if (grammar_name, parent) in self.nodes
+            ]
+            if not parent_keys:
+                parent_keys = [ROOT_KEY]
+            for parent_key in parent_keys:
+                node.parents.add(parent_key)
+                self.nodes[parent_key].children.add(key)
+
+    def prune(self, min_coverage: int) -> int:
+        """Drop nodes covering fewer than ``min_coverage`` sentences.
+
+        Returns the number of nodes removed. Children of removed nodes are
+        re-linked to the removed node's parents so the DAG stays connected.
+        """
+        to_remove = [
+            key
+            for key, node in self.nodes.items()
+            if key != ROOT_KEY and node.count < min_coverage
+        ]
+        for key in to_remove:
+            node = self.nodes.pop(key)
+            for parent_key in node.parents:
+                parent = self.nodes.get(parent_key)
+                if parent is not None:
+                    parent.children.discard(key)
+                    for child_key in node.children:
+                        if child_key in self.nodes:
+                            parent.children.add(child_key)
+                            self.nodes[child_key].parents.add(parent_key)
+            for child_key in node.children:
+                child = self.nodes.get(child_key)
+                if child is not None:
+                    child.parents.discard(key)
+                    if not child.parents:
+                        child.parents.add(ROOT_KEY)
+                        self.nodes[ROOT_KEY].children.add(child_key)
+        return len(to_remove)
+
+    # -------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, key: SketchKey) -> bool:
+        return key in self.nodes
+
+    @property
+    def num_sentences(self) -> int:
+        """Number of sentences merged into the index."""
+        return self._num_sentences
+
+    def node(self, key: SketchKey) -> IndexNode:
+        """The node for ``key``; raises :class:`CorpusIndexError` if absent."""
+        node = self.nodes.get(key)
+        if node is None:
+            raise CorpusIndexError(f"no index node for key {key!r}")
+        return node
+
+    def coverage(self, key: SketchKey) -> Set[int]:
+        """Sentence ids covered by the heuristic at ``key``."""
+        return set(self.node(key).sentence_ids)
+
+    def count(self, key: SketchKey) -> int:
+        """Coverage count for ``key`` (0 if absent)."""
+        node = self.nodes.get(key)
+        return node.count if node is not None else 0
+
+    def children_of(self, key: SketchKey) -> List[SketchKey]:
+        """Keys of the specializations of ``key`` present in the index."""
+        return sorted(self.node(key).children, key=repr)
+
+    def parents_of(self, key: SketchKey) -> List[SketchKey]:
+        """Keys of the generalizations of ``key`` present in the index."""
+        return sorted(self.node(key).parents, key=repr)
+
+    def root_children(self) -> List[SketchKey]:
+        """Keys directly below the virtual root '*'."""
+        return self.children_of(ROOT_KEY)
+
+    def keys(self) -> List[SketchKey]:
+        """All non-root keys."""
+        return [key for key in self.nodes if key != ROOT_KEY]
+
+    # --------------------------------------------------------------- lookups
+    def key_for(self, grammar_name: str, expression: Expression) -> SketchKey:
+        """Build an index key, validating the grammar name."""
+        if grammar_name not in self.grammars:
+            raise CorpusIndexError(f"unknown grammar {grammar_name!r}")
+        return (grammar_name, expression)
+
+    def heuristic(self, key: SketchKey) -> LabelingHeuristic:
+        """Materialize the :class:`LabelingHeuristic` for an index node."""
+        if key == ROOT_KEY:
+            raise CorpusIndexError("the virtual root is not a labeling heuristic")
+        grammar_name, expression = key
+        grammar = self.grammars.get(grammar_name)
+        if grammar is None:
+            raise CorpusIndexError(f"unknown grammar {grammar_name!r}")
+        return LabelingHeuristic(
+            grammar=grammar,
+            expression=expression,
+            coverage_ids=frozenset(self.node(key).sentence_ids),
+        )
+
+    def lookup(self, grammar_name: str, expression: Expression) -> Optional[IndexNode]:
+        """The node for (grammar, expression), or None if not indexed."""
+        return self.nodes.get((grammar_name, expression))
+
+    def coverage_of_expression(
+        self, grammar_name: str, expression: Expression, corpus: Optional[Corpus] = None
+    ) -> Set[int]:
+        """Coverage of an expression, falling back to a corpus scan if unindexed."""
+        node = self.lookup(grammar_name, expression)
+        if node is not None:
+            return set(node.sentence_ids)
+        if corpus is None:
+            return set()
+        grammar = self.grammars.get(grammar_name)
+        if grammar is None:
+            raise CorpusIndexError(f"unknown grammar {grammar_name!r}")
+        return set(grammar.coverage(expression, corpus))
+
+    # -------------------------------------------------------------- rankings
+    def top_by_coverage(
+        self, limit: int, grammar_name: Optional[str] = None
+    ) -> List[SketchKey]:
+        """The ``limit`` keys with the largest coverage counts."""
+        keys: Iterable[SketchKey] = (
+            key for key in self.keys()
+            if grammar_name is None or key[0] == grammar_name
+        )
+        ranked = sorted(keys, key=lambda k: (-self.nodes[k].count, repr(k)))
+        return ranked[:limit]
+
+    def top_by_overlap(
+        self, sentence_ids: Set[int], limit: int
+    ) -> List[Tuple[SketchKey, int]]:
+        """Keys ranked by overlap with ``sentence_ids`` (ties by coverage)."""
+        scored = []
+        for key in self.keys():
+            node = self.nodes[key]
+            overlap = len(node.sentence_ids & sentence_ids)
+            if overlap > 0:
+                scored.append((key, overlap))
+        scored.sort(key=lambda item: (-item[1], -self.nodes[item[0]].count, repr(item[0])))
+        return scored[:limit]
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics (used by the efficiency bench)."""
+        counts = [node.count for key, node in self.nodes.items() if key != ROOT_KEY]
+        return {
+            "num_nodes": float(len(self.nodes) - 1),
+            "num_sentences": float(self._num_sentences),
+            "mean_coverage": (sum(counts) / len(counts)) if counts else 0.0,
+            "max_coverage": float(max(counts)) if counts else 0.0,
+        }

@@ -1,0 +1,26 @@
+"""Weak-supervision label aggregation (the Snorkel-style substrate).
+
+Darwin's discovered rules are labeling functions; this subpackage turns their
+(noisy, overlapping) votes into training labels:
+
+* :class:`LabelMatrix` — the rules-by-sentences vote matrix,
+* :func:`majority_vote` — the simple baseline aggregation,
+* :class:`GenerativeLabelModel` — per-rule accuracies estimated by EM, the
+  de-noising role Snorkel plays in the paper's Table 2 experiment,
+* :class:`WeakSupervisionPipeline` — rules -> label model -> end classifier.
+"""
+
+from .label_matrix import ABSTAIN, NEGATIVE, POSITIVE, LabelMatrix
+from .majority_vote import majority_vote
+from .label_model import GenerativeLabelModel
+from .pipeline import WeakSupervisionPipeline
+
+__all__ = [
+    "ABSTAIN",
+    "NEGATIVE",
+    "POSITIVE",
+    "LabelMatrix",
+    "majority_vote",
+    "GenerativeLabelModel",
+    "WeakSupervisionPipeline",
+]

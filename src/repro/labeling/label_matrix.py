@@ -1,0 +1,116 @@
+"""The labeling-function vote matrix.
+
+Each accepted rule votes POSITIVE on the sentences it covers and ABSTAINs
+elsewhere. Negative-voting labeling functions (supported by Snorkel, not
+produced by Darwin) are represented with NEGATIVE so the label model is
+general.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..rules.rule_set import RuleSet
+from ..text.corpus import Corpus
+
+POSITIVE = 1
+NEGATIVE = 0
+ABSTAIN = -1
+
+
+class LabelMatrix:
+    """An ``(num_sentences, num_rules)`` matrix of votes in {-1, 0, 1}.
+
+    Attributes:
+        votes: The vote matrix (ABSTAIN = -1).
+        rule_names: Human-readable rule identifiers, one per column.
+    """
+
+    def __init__(self, votes: np.ndarray, rule_names: Optional[Sequence[str]] = None) -> None:
+        votes = np.asarray(votes, dtype=np.int64)
+        if votes.ndim != 2:
+            raise ValueError("votes must be a 2-D matrix")
+        valid = np.isin(votes, (POSITIVE, NEGATIVE, ABSTAIN))
+        if not bool(valid.all()):
+            raise ValueError("votes must be in {-1, 0, 1}")
+        self.votes = votes
+        if rule_names is None:
+            rule_names = [f"rule_{j}" for j in range(votes.shape[1])]
+        if len(rule_names) != votes.shape[1]:
+            raise ValueError("rule_names must match the number of columns")
+        self.rule_names = list(rule_names)
+
+    # ---------------------------------------------------------------- factory
+    @classmethod
+    def from_rule_set(cls, rule_set: RuleSet, corpus: Corpus) -> "LabelMatrix":
+        """Build the vote matrix implied by a Darwin rule set over ``corpus``."""
+        num_sentences = len(corpus)
+        rules = rule_set.rules
+        votes = np.full((num_sentences, max(len(rules), 1)), ABSTAIN, dtype=np.int64)
+        names: List[str] = []
+        for column, rule in enumerate(rules):
+            names.append(rule.render())
+            for sentence_id in rule.coverage:
+                if 0 <= sentence_id < num_sentences:
+                    votes[sentence_id, column] = POSITIVE
+        if not rules:
+            names = ["empty"]
+        return cls(votes, rule_names=names)
+
+    @classmethod
+    def from_coverages(
+        cls,
+        coverages: Iterable[Iterable[int]],
+        num_sentences: int,
+        polarity: int = POSITIVE,
+        rule_names: Optional[Sequence[str]] = None,
+    ) -> "LabelMatrix":
+        """Build a matrix from raw coverage sets (used by the Snuba baseline)."""
+        coverage_list = [set(c) for c in coverages]
+        votes = np.full((num_sentences, max(len(coverage_list), 1)), ABSTAIN, dtype=np.int64)
+        for column, coverage in enumerate(coverage_list):
+            for sentence_id in coverage:
+                if 0 <= sentence_id < num_sentences:
+                    votes[sentence_id, column] = polarity
+        return cls(votes, rule_names=rule_names)
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def num_sentences(self) -> int:
+        """Number of rows (sentences)."""
+        return int(self.votes.shape[0])
+
+    @property
+    def num_rules(self) -> int:
+        """Number of columns (labeling functions)."""
+        return int(self.votes.shape[1])
+
+    def coverage_mask(self) -> np.ndarray:
+        """Boolean row mask: sentences on which at least one rule votes."""
+        return (self.votes != ABSTAIN).any(axis=1)
+
+    def overlap_mask(self) -> np.ndarray:
+        """Boolean row mask: sentences on which two or more rules vote."""
+        return (self.votes != ABSTAIN).sum(axis=1) >= 2
+
+    def conflict_mask(self) -> np.ndarray:
+        """Boolean row mask: sentences where voting rules disagree."""
+        conflicts = np.zeros(self.num_sentences, dtype=bool)
+        for row in range(self.num_sentences):
+            row_votes = self.votes[row][self.votes[row] != ABSTAIN]
+            if row_votes.size >= 2 and len(set(row_votes.tolist())) > 1:
+                conflicts[row] = True
+        return conflicts
+
+    def summary(self) -> dict:
+        """Coverage / overlap / conflict statistics (Snorkel-style report)."""
+        coverage = self.coverage_mask()
+        return {
+            "num_rules": self.num_rules,
+            "num_sentences": self.num_sentences,
+            "coverage": float(coverage.mean()) if self.num_sentences else 0.0,
+            "overlap": float(self.overlap_mask().mean()) if self.num_sentences else 0.0,
+            "conflict": float(self.conflict_mask().mean()) if self.num_sentences else 0.0,
+        }

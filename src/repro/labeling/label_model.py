@@ -1,0 +1,152 @@
+"""A generative label model with per-rule accuracies estimated by EM.
+
+This plays the role Snorkel plays in the paper's Table 2 experiment: given the
+(noisy, overlapping) votes of the discovered rules, estimate each rule's
+accuracy and produce de-noised probabilistic labels.
+
+Model. Let ``y_i`` be the latent binary label of sentence ``i`` with prior
+``pi``, and let rule ``j`` have accuracy ``alpha_j`` (probability of voting
+the true label when it does not abstain). Votes are conditionally independent
+given ``y_i`` (the same naive-Bayes assumption Snorkel's default model makes).
+EM alternates between the posterior ``p(y_i | votes)`` and the maximization of
+``alpha_j`` and ``pi``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import EvaluationError
+from .label_matrix import ABSTAIN, LabelMatrix, NEGATIVE, POSITIVE
+
+
+class GenerativeLabelModel:
+    """EM-trained naive-Bayes label model over labeling-function votes.
+
+    Args:
+        max_iterations: EM iteration cap.
+        tolerance: Stop when posteriors move less than this (L-inf norm).
+        accuracy_prior: Pseudo-count strength pulling accuracies toward
+            ``accuracy_prior_value`` (regularizes rules with tiny coverage).
+        accuracy_prior_value: Prior belief about rule accuracy (rules accepted
+            by Darwin's oracle are precise by construction, hence 0.75).
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-5,
+        accuracy_prior: float = 2.0,
+        accuracy_prior_value: float = 0.75,
+        class_prior: Optional[float] = None,
+    ) -> None:
+        if max_iterations <= 0:
+            raise EvaluationError("max_iterations must be positive")
+        if not 0.0 < accuracy_prior_value < 1.0:
+            raise EvaluationError("accuracy_prior_value must be in (0, 1)")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.accuracy_prior = accuracy_prior
+        self.accuracy_prior_value = accuracy_prior_value
+        self.class_prior = class_prior
+        self.accuracies_: Optional[np.ndarray] = None
+        self.prior_: Optional[float] = None
+        self.posteriors_: Optional[np.ndarray] = None
+
+    # ---------------------------------------------------------------- fitting
+    def fit(self, matrix: LabelMatrix) -> "GenerativeLabelModel":
+        """Estimate rule accuracies and label posteriors from ``matrix``."""
+        votes = matrix.votes
+        n, m = votes.shape
+        if n == 0 or m == 0:
+            raise EvaluationError("cannot fit a label model on an empty matrix")
+
+        voted = votes != ABSTAIN
+        positive_votes = votes == POSITIVE
+        negative_votes = votes == NEGATIVE
+
+        accuracies = np.full(m, self.accuracy_prior_value)
+        prior = self.class_prior if self.class_prior is not None else 0.5
+        posteriors = np.full(n, prior)
+
+        for _ in range(self.max_iterations):
+            # E-step: posterior p(y=1 | votes) under current parameters.
+            log_pos = np.log(max(prior, 1e-9)) * np.ones(n)
+            log_neg = np.log(max(1.0 - prior, 1e-9)) * np.ones(n)
+            acc = np.clip(accuracies, 1e-4, 1.0 - 1e-4)
+            log_acc = np.log(acc)
+            log_inacc = np.log(1.0 - acc)
+            # A positive vote is correct if y=1, incorrect if y=0 (and vice versa).
+            log_pos += positive_votes @ log_acc + negative_votes @ log_inacc
+            log_neg += positive_votes @ log_inacc + negative_votes @ log_acc
+            shift = np.maximum(log_pos, log_neg)
+            pos_unnorm = np.exp(log_pos - shift)
+            neg_unnorm = np.exp(log_neg - shift)
+            new_posteriors = pos_unnorm / (pos_unnorm + neg_unnorm)
+
+            # M-step: accuracy of each rule = expected fraction of its
+            # non-abstain votes that agree with the latent label.
+            new_accuracies = np.empty(m)
+            for j in range(m):
+                rows = voted[:, j]
+                if not rows.any():
+                    new_accuracies[j] = self.accuracy_prior_value
+                    continue
+                agree = np.where(
+                    positive_votes[rows, j], new_posteriors[rows], 1.0 - new_posteriors[rows]
+                )
+                numerator = agree.sum() + self.accuracy_prior * self.accuracy_prior_value
+                denominator = rows.sum() + self.accuracy_prior
+                new_accuracies[j] = numerator / denominator
+            if self.class_prior is None:
+                prior = float(new_posteriors.mean())
+
+            delta = float(np.max(np.abs(new_posteriors - posteriors)))
+            posteriors = new_posteriors
+            accuracies = new_accuracies
+            if delta < self.tolerance:
+                break
+
+        self.accuracies_ = accuracies
+        self.prior_ = prior
+        self.posteriors_ = posteriors
+        return self
+
+    # -------------------------------------------------------------- inference
+    def predict_proba(self, matrix: Optional[LabelMatrix] = None) -> np.ndarray:
+        """Posterior p(positive) per sentence (for the fitted matrix by default)."""
+        if self.posteriors_ is None:
+            raise EvaluationError("label model used before fit()")
+        if matrix is None:
+            return self.posteriors_.copy()
+        fitted = GenerativeLabelModel(
+            max_iterations=1,
+            accuracy_prior=self.accuracy_prior,
+            accuracy_prior_value=self.accuracy_prior_value,
+            class_prior=self.prior_,
+        )
+        fitted.accuracies_ = self.accuracies_
+        fitted.prior_ = self.prior_
+        votes = matrix.votes
+        positive_votes = votes == POSITIVE
+        negative_votes = votes == NEGATIVE
+        acc = np.clip(self.accuracies_, 1e-4, 1.0 - 1e-4)
+        log_acc, log_inacc = np.log(acc), np.log(1.0 - acc)
+        log_pos = np.log(max(self.prior_, 1e-9)) + positive_votes @ log_acc + negative_votes @ log_inacc
+        log_neg = np.log(max(1.0 - self.prior_, 1e-9)) + positive_votes @ log_inacc + negative_votes @ log_acc
+        shift = np.maximum(log_pos, log_neg)
+        pos_unnorm = np.exp(log_pos - shift)
+        neg_unnorm = np.exp(log_neg - shift)
+        return pos_unnorm / (pos_unnorm + neg_unnorm)
+
+    def predict(self, matrix: Optional[LabelMatrix] = None, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels at ``threshold``."""
+        return (self.predict_proba(matrix) >= threshold).astype(np.int64)
+
+    def rule_accuracies(self) -> np.ndarray:
+        """The estimated per-rule accuracies."""
+        if self.accuracies_ is None:
+            raise EvaluationError("label model used before fit()")
+        return self.accuracies_.copy()

@@ -1,0 +1,30 @@
+"""Majority-vote label aggregation (the baseline the label model improves on)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .label_matrix import ABSTAIN, LabelMatrix, NEGATIVE, POSITIVE
+
+
+def majority_vote(matrix: LabelMatrix, default: float = 0.5) -> np.ndarray:
+    """Per-sentence probabilistic labels by unweighted majority vote.
+
+    Args:
+        matrix: The labeling-function vote matrix.
+        default: Probability assigned to sentences on which every rule
+            abstains.
+
+    Returns:
+        Array of length ``num_sentences`` with p(positive) estimates: the
+        fraction of non-abstaining votes that are POSITIVE, or ``default``
+        where all rules abstain.
+    """
+    votes = matrix.votes
+    positive_counts = (votes == POSITIVE).sum(axis=1).astype(np.float64)
+    negative_counts = (votes == NEGATIVE).sum(axis=1).astype(np.float64)
+    total = positive_counts + negative_counts
+    probabilities = np.full(matrix.num_sentences, float(default))
+    voted = total > 0
+    probabilities[voted] = positive_counts[voted] / total[voted]
+    return probabilities

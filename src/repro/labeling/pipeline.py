@@ -1,0 +1,126 @@
+"""Darwin -> label model -> end classifier pipeline (Table 2).
+
+The paper compares a classifier trained directly on Darwin's labels against
+one trained on Snorkel-de-noised labels. :class:`WeakSupervisionPipeline`
+implements both paths over the same end classifier so the comparison isolates
+the effect of de-noising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+import numpy as np
+
+from ..classifier.features import SentenceFeaturizer
+from ..classifier.trainer import make_classifier
+from ..config import ClassifierConfig
+from ..evaluation.metrics import binary_f1
+from ..rules.rule_set import RuleSet
+from ..text.corpus import Corpus
+from .label_matrix import LabelMatrix
+from .label_model import GenerativeLabelModel
+from .majority_vote import majority_vote
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of training an end classifier on weak labels.
+
+    Attributes:
+        f1: F1 of the end classifier against ground truth.
+        label_f1: F1 of the weak labels themselves (before the classifier).
+        used_label_model: Whether de-noising was applied.
+    """
+
+    f1: float
+    label_f1: float
+    used_label_model: bool
+
+
+class WeakSupervisionPipeline:
+    """Trains an end classifier from a Darwin rule set, with or without de-noising."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        featurizer: Optional[SentenceFeaturizer] = None,
+        classifier_config: Optional[ClassifierConfig] = None,
+        label_threshold: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.corpus = corpus
+        self.featurizer = featurizer or SentenceFeaturizer.fit(corpus, seed=seed)
+        self.classifier_config = classifier_config or ClassifierConfig(epochs=15)
+        self.label_threshold = label_threshold
+        self.seed = seed
+
+    # ----------------------------------------------------------------- labels
+    def weak_labels(self, rule_set: RuleSet, use_label_model: bool) -> np.ndarray:
+        """Probabilistic positive labels implied by ``rule_set``.
+
+        Sentences on which every rule abstains carry no weak-supervision signal
+        and get probability 0 (the standard "filter unlabeled points" step
+        before training on label-model output).
+        """
+        matrix = LabelMatrix.from_rule_set(rule_set, self.corpus)
+        if use_label_model and len(rule_set) > 0:
+            model = GenerativeLabelModel()
+            model.fit(matrix)
+            probabilities = model.predict_proba()
+            return np.where(matrix.coverage_mask(), probabilities, 0.0)
+        return majority_vote(matrix, default=0.0)
+
+    # ------------------------------------------------------------------ train
+    def train_end_classifier(
+        self,
+        rule_set: RuleSet,
+        use_label_model: bool = False,
+        evaluation_positive_ids: Optional[Set[int]] = None,
+    ) -> PipelineResult:
+        """Train the end classifier on weak labels and evaluate it.
+
+        Sentences whose weak-label probability exceeds ``label_threshold``
+        become positive training examples; an equal-sized random sample of the
+        remaining sentences becomes the negatives (mirroring how the paper
+        trains its final classifier on weak labels).
+        """
+        probabilities = self.weak_labels(rule_set, use_label_model)
+        positives = [i for i, p in enumerate(probabilities) if p >= self.label_threshold]
+        negatives = [i for i, p in enumerate(probabilities) if p < self.label_threshold]
+
+        truth = evaluation_positive_ids
+        if truth is None and self.corpus.has_labels():
+            truth = self.corpus.positive_ids()
+        truth = truth or set()
+
+        label_f1 = binary_f1(predicted=set(positives), actual=set(truth))
+
+        if not positives or not negatives:
+            return PipelineResult(f1=label_f1, label_f1=label_f1, used_label_model=use_label_model)
+
+        rng = np.random.default_rng(self.seed)
+        sample_size = min(len(negatives), max(len(positives) * 3, 10))
+        sampled_negatives = list(
+            rng.choice(np.array(negatives), size=sample_size, replace=False)
+        )
+
+        training_ids = positives + sampled_negatives
+        labels = np.array([1.0] * len(positives) + [0.0] * len(sampled_negatives))
+        sentences = [self.corpus[i] for i in training_ids]
+        if self.classifier_config.model == "cnn":
+            features = self.featurizer.matrices(sentences)
+            all_features = self.featurizer.corpus_matrices(self.corpus)
+        else:
+            features = self.featurizer.vectors(sentences)
+            all_features = self.featurizer.corpus_vectors(self.corpus)
+
+        from ..classifier.base import TrainingSet
+
+        classifier = make_classifier(self.classifier_config)
+        classifier.fit(TrainingSet(features=features, labels=labels))
+        predictions = classifier.predict_proba(all_features) >= 0.5
+        predicted_ids = {i for i, flag in enumerate(predictions) if flag}
+        f1 = binary_f1(predicted=predicted_ids, actual=set(truth))
+        return PipelineResult(f1=f1, label_f1=label_f1, used_label_model=use_label_model)

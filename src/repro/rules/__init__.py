@@ -1,0 +1,6 @@
+"""Labeling heuristics (rules) and rule collections."""
+
+from .heuristic import LabelingHeuristic
+from .rule_set import RuleSet
+
+__all__ = ["LabelingHeuristic", "RuleSet"]

@@ -1,0 +1,97 @@
+"""The :class:`LabelingHeuristic` record (Definition 2).
+
+A labeling heuristic couples a grammar expression with the grammar that
+interprets it and, once evaluated against a corpus, with its coverage set
+``C_r`` (the ids of sentences that satisfy it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set
+
+from ..grammars.base import Expression, HeuristicGrammar
+from ..text.corpus import Corpus
+from ..text.sentence import Sentence
+
+
+@dataclass(frozen=True)
+class LabelingHeuristic:
+    """A single labeling rule.
+
+    Attributes:
+        grammar: The :class:`HeuristicGrammar` that interprets ``expression``.
+        expression: The grammar-specific expression object (hashable).
+        coverage_ids: Ids of corpus sentences satisfying the rule, if already
+            computed. ``None`` means "not yet evaluated"; use
+            :meth:`with_coverage` or :meth:`evaluate` to fill it in.
+    """
+
+    grammar: HeuristicGrammar
+    expression: Expression
+    coverage_ids: Optional[FrozenSet[int]] = field(default=None, compare=False)
+
+    # Identity is (grammar name, expression): coverage is derived state.
+    def __hash__(self) -> int:
+        return hash((self.grammar.name, self.expression))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelingHeuristic):
+            return NotImplemented
+        return (
+            self.grammar.name == other.grammar.name
+            and self.expression == other.expression
+        )
+
+    # ------------------------------------------------------------ evaluation
+    def matches(self, sentence: Sentence) -> bool:
+        """True if ``sentence`` satisfies this rule."""
+        return self.grammar.matches(self.expression, sentence)
+
+    def evaluate(self, corpus: Corpus) -> "LabelingHeuristic":
+        """Return a copy of this rule with coverage computed over ``corpus``."""
+        ids = frozenset(self.grammar.coverage(self.expression, corpus))
+        return self.with_coverage(ids)
+
+    def with_coverage(self, coverage_ids: Iterable[int]) -> "LabelingHeuristic":
+        """Return a copy carrying the given coverage ids."""
+        return LabelingHeuristic(
+            grammar=self.grammar,
+            expression=self.expression,
+            coverage_ids=frozenset(coverage_ids),
+        )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def coverage(self) -> FrozenSet[int]:
+        """The coverage set ``C_r``; raises if not yet evaluated."""
+        if self.coverage_ids is None:
+            raise ValueError(
+                "coverage not computed; call evaluate(corpus) or with_coverage()"
+            )
+        return self.coverage_ids
+
+    @property
+    def coverage_size(self) -> int:
+        """``|C_r|`` (0 if coverage has not been computed)."""
+        return len(self.coverage_ids) if self.coverage_ids is not None else 0
+
+    def precision(self, positive_ids: Set[int]) -> float:
+        """Fraction of covered sentences that are in ``positive_ids``."""
+        if not self.coverage_ids:
+            return 0.0
+        hits = len(self.coverage & set(positive_ids))
+        return hits / len(self.coverage)
+
+    def new_positives(self, known_positive_ids: Set[int]) -> Set[int]:
+        """Covered sentences not already in ``known_positive_ids``."""
+        return set(self.coverage) - set(known_positive_ids)
+
+    # -------------------------------------------------------------- rendering
+    def render(self) -> str:
+        """Human-readable rule string (as shown in oracle queries)."""
+        return self.grammar.render(self.expression)
+
+    def __repr__(self) -> str:
+        size = self.coverage_size if self.coverage_ids is not None else "?"
+        return f"Rule<{self.grammar.name}: {self.render()!r} |C|={size}>"

@@ -1,0 +1,86 @@
+"""A collection of accepted labeling heuristics and their combined coverage."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..text.corpus import Corpus
+from .heuristic import LabelingHeuristic
+
+
+class RuleSet:
+    """The set ``R`` of accepted rules and its union coverage ``P``.
+
+    The paper's objective (Problem 1) is to maximize the recall of
+    ``P = union of C_r for r in R`` under an oracle-query budget. This class
+    maintains both incrementally and exposes the evaluation quantities used in
+    the experiments.
+    """
+
+    def __init__(self, rules: Optional[Iterable[LabelingHeuristic]] = None) -> None:
+        self._rules: List[LabelingHeuristic] = []
+        self._covered: Set[int] = set()
+        for rule in rules or []:
+            self.add(rule)
+
+    # --------------------------------------------------------------- protocol
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[LabelingHeuristic]:
+        return iter(self._rules)
+
+    def __contains__(self, rule: LabelingHeuristic) -> bool:
+        return rule in self._rules
+
+    # ------------------------------------------------------------------ edits
+    def add(self, rule: LabelingHeuristic) -> bool:
+        """Add ``rule`` (must have coverage computed). Returns False if present."""
+        if rule in self._rules:
+            return False
+        self._rules.append(rule)
+        self._covered.update(rule.coverage)
+        return True
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def rules(self) -> List[LabelingHeuristic]:
+        """The accepted rules in acceptance order."""
+        return list(self._rules)
+
+    @property
+    def covered_ids(self) -> Set[int]:
+        """The union coverage ``P`` as a set of sentence ids."""
+        return set(self._covered)
+
+    def coverage_size(self) -> int:
+        """``|P|``."""
+        return len(self._covered)
+
+    def recall(self, positive_ids: Set[int]) -> float:
+        """Fraction of ground-truth positives contained in ``P``."""
+        if not positive_ids:
+            return 0.0
+        return len(self._covered & set(positive_ids)) / len(positive_ids)
+
+    def precision(self, positive_ids: Set[int]) -> float:
+        """Fraction of ``P`` that is ground-truth positive."""
+        if not self._covered:
+            return 0.0
+        return len(self._covered & set(positive_ids)) / len(self._covered)
+
+    def marginal_gain(self, rule: LabelingHeuristic) -> int:
+        """Number of sentences ``rule`` would add to ``P``."""
+        return len(set(rule.coverage) - self._covered)
+
+    # ------------------------------------------------------------- rendering
+    def label_vector(self, corpus: Corpus) -> Dict[int, bool]:
+        """Weak labels implied by the rule set: covered sentences are positive."""
+        return {s.sentence_id: (s.sentence_id in self._covered) for s in corpus}
+
+    def describe(self) -> List[str]:
+        """Human-readable listing of the accepted rules."""
+        return [rule.render() for rule in self._rules]
+
+    def __repr__(self) -> str:
+        return f"RuleSet(num_rules={len(self._rules)}, coverage={len(self._covered)})"

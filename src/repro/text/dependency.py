@@ -1,0 +1,235 @@
+"""A deterministic greedy dependency parser.
+
+The TreeMatch grammar (Definition 3) matches patterns such as ``a/b`` ("b is a
+child of a") and ``a//b`` ("b is a descendant of a") against the dependency
+parse tree of a sentence. The reproduction therefore needs *some* dependency
+tree per sentence — not a linguistically perfect one, but one that is
+
+* deterministic (same sentence -> same tree),
+* rooted and connected (every token has exactly one head, a single root),
+* broadly sensible (verbs head their arguments, adpositions head their object
+  and attach to the nearest verb/noun on the left, modifiers attach to the
+  following noun).
+
+The parser below implements a small set of head-attachment rules over the
+universal POS tags produced by :class:`repro.text.pos.PosTagger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class DependencyTree:
+    """A dependency tree over a tokenized sentence.
+
+    Attributes:
+        tokens: The sentence tokens.
+        tags: Universal POS tag per token.
+        heads: ``heads[i]`` is the index of token ``i``'s head, or ``-1`` for
+            the root token.
+    """
+
+    tokens: Tuple[str, ...]
+    tags: Tuple[str, ...]
+    heads: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.tokens) == len(self.tags) == len(self.heads)):
+            raise ValueError("tokens, tags and heads must have equal length")
+        roots = [i for i, h in enumerate(self.heads) if h == -1]
+        if self.tokens and len(roots) != 1:
+            raise ValueError(f"tree must have exactly one root, found {len(roots)}")
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def root(self) -> int:
+        """Index of the root token."""
+        for index, head in enumerate(self.heads):
+            if head == -1:
+                return index
+        raise ValueError("empty tree has no root")
+
+    def children(self, index: int) -> List[int]:
+        """Indices of the direct children of token ``index``."""
+        return [i for i, head in enumerate(self.heads) if head == index]
+
+    def descendants(self, index: int) -> List[int]:
+        """Indices of all descendants of token ``index`` (excluding itself)."""
+        result: List[int] = []
+        frontier = self.children(index)
+        while frontier:
+            node = frontier.pop()
+            result.append(node)
+            frontier.extend(self.children(node))
+        return result
+
+    def labels(self, index: int) -> Set[str]:
+        """The matchable labels of a node: its token plus its POS tag."""
+        return {self.tokens[index], self.tags[index]}
+
+    def nodes_with_label(self, label: str) -> List[int]:
+        """All node indices whose token or POS tag equals ``label``."""
+        return [i for i in range(len(self.tokens)) if label in self.labels(i)]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over (head, dependent) index pairs."""
+        for index, head in enumerate(self.heads):
+            if head >= 0:
+                yield head, index
+
+    def depth(self, index: int) -> int:
+        """Distance from ``index`` to the root (root has depth 0)."""
+        depth = 0
+        node = index
+        seen = set()
+        while self.heads[node] != -1:
+            if node in seen:  # pragma: no cover - defensive, trees are acyclic
+                raise ValueError("cycle detected in dependency tree")
+            seen.add(node)
+            node = self.heads[node]
+            depth += 1
+        return depth
+
+    def to_conll(self) -> str:
+        """Render the tree as minimal CoNLL-style lines (1-based heads)."""
+        lines = []
+        for index, (token, tag, head) in enumerate(
+            zip(self.tokens, self.tags, self.heads)
+        ):
+            lines.append(f"{index + 1}\t{token}\t{tag}\t{head + 1}")
+        return "\n".join(lines)
+
+
+_VERB_TAGS = {"VERB", "AUX"}
+_NOUN_TAGS = {"NOUN", "PROPN", "PRON", "NUM"}
+_PRE_MODIFIER_TAGS = {"DET", "ADJ"}
+
+
+class DependencyParser:
+    """Greedy, rule-based projective dependency parser.
+
+    Attachment rules, applied left to right:
+
+    * The root is the first main VERB; if none, the first AUX; otherwise the
+      first NOUN-like token; otherwise the first token.
+    * DET / ADJ attach to the next NOUN-like token to their right (or to the
+      root if none exists).
+    * ADP heads: an adposition attaches to the nearest VERB or NOUN-like token
+      on its left (falling back to the root); the next NOUN-like token to its
+      right attaches to the adposition (mirroring a prepositional phrase).
+    * NOUN-like tokens attach to the nearest ADP immediately governing them,
+      otherwise to the nearest verb on the left, otherwise to the root.
+    * ADV / PART / INTJ attach to the nearest verb (left preferred).
+    * Remaining tokens (CCONJ, SCONJ, PUNCT, SYM, X) attach to the root.
+    """
+
+    def parse(self, tokens: Sequence[str], tags: Sequence[str]) -> DependencyTree:
+        """Parse ``tokens``/``tags`` into a :class:`DependencyTree`."""
+        tokens = list(tokens)
+        tags = list(tags)
+        if len(tokens) != len(tags):
+            raise ValueError("tokens and tags must have equal length")
+        n = len(tokens)
+        if n == 0:
+            return DependencyTree(tuple(), tuple(), tuple())
+
+        root = self._choose_root(tags)
+        heads = [root] * n
+        heads[root] = -1
+
+        # Track, for each ADP, the noun it governs, so nouns prefer the
+        # adposition immediately to their left.
+        for index in range(n):
+            if index == root:
+                continue
+            tag = tags[index]
+            if tag in _PRE_MODIFIER_TAGS:
+                heads[index] = self._next_with_tags(tags, index, _NOUN_TAGS, root)
+            elif tag == "ADP":
+                heads[index] = self._prev_with_tags(
+                    tags, index, _VERB_TAGS | _NOUN_TAGS, root
+                )
+            elif tag in _NOUN_TAGS:
+                if index > 0 and tags[index - 1] == "ADP" and index - 1 != root:
+                    heads[index] = index - 1
+                elif index > 1 and tags[index - 1] in _PRE_MODIFIER_TAGS and \
+                        tags[index - 2] == "ADP" and index - 2 != root:
+                    heads[index] = index - 2
+                else:
+                    heads[index] = self._prev_with_tags(tags, index, _VERB_TAGS, root)
+            elif tag in {"ADV", "PART", "INTJ"}:
+                heads[index] = self._nearest_with_tags(tags, index, _VERB_TAGS, root)
+            elif tag in _VERB_TAGS:
+                heads[index] = self._prev_with_tags(tags, index, _VERB_TAGS, root)
+            else:
+                heads[index] = root
+
+        heads = self._break_cycles(heads, root)
+        return DependencyTree(tuple(tokens), tuple(tags), tuple(heads))
+
+    def __call__(self, tokens: Sequence[str], tags: Sequence[str]) -> DependencyTree:
+        return self.parse(tokens, tags)
+
+    @staticmethod
+    def _choose_root(tags: Sequence[str]) -> int:
+        for target_set in (_VERB_TAGS & {"VERB"}, {"AUX"}, _NOUN_TAGS):
+            for index, tag in enumerate(tags):
+                if tag in target_set:
+                    return index
+        return 0
+
+    @staticmethod
+    def _next_with_tags(
+        tags: Sequence[str], start: int, targets: Set[str], default: int
+    ) -> int:
+        for index in range(start + 1, len(tags)):
+            if tags[index] in targets:
+                return index
+        return default
+
+    @staticmethod
+    def _prev_with_tags(
+        tags: Sequence[str], start: int, targets: Set[str], default: int
+    ) -> int:
+        for index in range(start - 1, -1, -1):
+            if tags[index] in targets:
+                return index
+        return default
+
+    @classmethod
+    def _nearest_with_tags(
+        cls, tags: Sequence[str], start: int, targets: Set[str], default: int
+    ) -> int:
+        left = cls._prev_with_tags(tags, start, targets, -2)
+        right = cls._next_with_tags(tags, start, targets, -2)
+        if left == -2 and right == -2:
+            return default
+        if left == -2:
+            return right
+        if right == -2:
+            return left
+        return left if (start - left) <= (right - start) else right
+
+    @staticmethod
+    def _break_cycles(heads: List[int], root: int) -> List[int]:
+        """Reattach to the root any token whose head chain does not reach it."""
+        n = len(heads)
+        fixed = list(heads)
+        for index in range(n):
+            node = index
+            seen = set()
+            while fixed[node] != -1:
+                if node in seen:
+                    fixed[index] = root
+                    break
+                seen.add(node)
+                node = fixed[node]
+            # self-loops count as cycles too
+            if fixed[index] == index:
+                fixed[index] = root
+        return fixed

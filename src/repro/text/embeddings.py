@@ -1,0 +1,248 @@
+"""Corpus-trained word embeddings (PPMI + truncated SVD) with hashed fallback.
+
+The paper feeds SpaCy's pre-trained vectors into a CNN classifier; the vectors
+matter because they let the classifier generalize from discovered positives to
+*semantically related* sentences ("bus" -> "public transport", Section 3).
+
+Offline we cannot ship pre-trained vectors, so :func:`build_embeddings` learns
+vectors from the corpus itself:
+
+1. count token co-occurrences within a sliding window,
+2. convert counts to positive pointwise mutual information (PPMI),
+3. factorize with a truncated SVD (scipy sparse svds) to ``dim`` dimensions.
+
+Tokens that never co-occur (or out-of-vocabulary tokens at query time) fall
+back to a deterministic hashed random vector so that every token always has an
+embedding of the right dimensionality.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import svds
+
+from ..utils.rng import derive_rng, stable_hash
+from .vocabulary import Vocabulary
+
+
+class EmbeddingModel:
+    """Dense word vectors with deterministic out-of-vocabulary fallback.
+
+    Attributes:
+        dim: Embedding dimensionality.
+        vectors: Mapping from token to its vector (unit-normalised).
+        token_weights: Optional per-token weights used when averaging token
+            vectors into a sentence vector. The featurizer supplies SIF-style
+            inverse-frequency weights so that rare, discriminative content
+            words (entity names, domain nouns) dominate the sentence vector
+            instead of stopwords.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        vectors: Dict[str, np.ndarray],
+        seed: int = 0,
+        token_weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.seed = seed
+        self.token_weights: Dict[str, float] = dict(token_weights or {})
+        self.vectors: Dict[str, np.ndarray] = {}
+        for token, vector in vectors.items():
+            array = np.asarray(vector, dtype=np.float64)
+            if array.shape != (dim,):
+                raise ValueError(
+                    f"vector for {token!r} has shape {array.shape}, expected ({dim},)"
+                )
+            self.vectors[token] = _normalize(array)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.vectors
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def vector(self, token: str) -> np.ndarray:
+        """Return the vector for ``token`` (hashed fallback if unseen)."""
+        known = self.vectors.get(token)
+        if known is not None:
+            return known
+        return self._hashed_vector(token)
+
+    def _hashed_vector(self, token: str) -> np.ndarray:
+        rng = np.random.default_rng(stable_hash("oov", self.seed, token) % (2**32))
+        return _normalize(rng.standard_normal(self.dim))
+
+    def sentence_vector(self, tokens: Sequence[str]) -> np.ndarray:
+        """Weighted mean of the token vectors (zero vector when empty).
+
+        Tokens are weighted by :attr:`token_weights` (default 1.0), so when
+        SIF weights are attached the frequent function words contribute little
+        and the sentence vector reflects its content words.
+        """
+        if not tokens:
+            return np.zeros(self.dim)
+        matrix = np.stack([self.vector(token) for token in tokens])
+        weights = np.array(
+            [self.token_weights.get(token, 1.0) for token in tokens], dtype=np.float64
+        )
+        total = weights.sum()
+        if total <= 0:
+            return matrix.mean(axis=0)
+        return (matrix * weights[:, None]).sum(axis=0) / total
+
+    def sentence_matrix(self, tokens: Sequence[str], max_len: int) -> np.ndarray:
+        """Stack token vectors into a fixed ``(max_len, dim)`` matrix (padded)."""
+        matrix = np.zeros((max_len, self.dim))
+        for row, token in enumerate(tokens[:max_len]):
+            matrix[row] = self.vector(token)
+        return matrix
+
+    def similarity(self, token_a: str, token_b: str) -> float:
+        """Cosine similarity between two tokens."""
+        return float(np.dot(self.vector(token_a), self.vector(token_b)))
+
+    def most_similar(self, token: str, top_k: int = 10) -> List[tuple]:
+        """The ``top_k`` in-vocabulary tokens most similar to ``token``."""
+        query = self.vector(token)
+        scored = [
+            (other, float(np.dot(query, vec)))
+            for other, vec in self.vectors.items()
+            if other != token
+        ]
+        scored.sort(key=lambda item: -item[1])
+        return scored[:top_k]
+
+
+def _normalize(vector: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(vector)
+    if norm == 0.0:
+        return vector
+    return vector / norm
+
+
+def sif_weights(
+    sentences: Iterable[Sequence[str]], smoothing: float = 1e-3
+) -> Dict[str, float]:
+    """Smooth inverse-frequency (SIF) token weights: ``a / (a + p(token))``.
+
+    Frequent function words get weights near zero, rare content words weights
+    near one, following Arora et al.'s simple-but-tough-to-beat sentence
+    embedding baseline.
+    """
+    counts: Counter = Counter()
+    total = 0
+    for tokens in sentences:
+        counts.update(tokens)
+        total += len(tokens)
+    if total == 0:
+        return {}
+    return {
+        token: smoothing / (smoothing + count / total)
+        for token, count in counts.items()
+    }
+
+
+def build_embeddings(
+    sentences: Iterable[Sequence[str]],
+    dim: int = 50,
+    window: int = 3,
+    min_count: int = 2,
+    seed: int = 0,
+    vocabulary: Optional[Vocabulary] = None,
+    use_sif_weights: bool = True,
+) -> EmbeddingModel:
+    """Train PPMI-SVD embeddings over tokenized ``sentences``.
+
+    Args:
+        sentences: Iterable of token sequences.
+        dim: Target dimensionality (reduced automatically if the vocabulary is
+            too small for a rank-``dim`` factorization).
+        window: Symmetric co-occurrence window size.
+        min_count: Tokens rarer than this share the hashed fallback.
+        seed: Seed for the fallback vectors and SVD initialisation.
+        vocabulary: Optional pre-built vocabulary (rebuilt from the sentences
+            otherwise).
+        use_sif_weights: Attach smooth inverse-frequency weights used when
+            averaging token vectors into sentence vectors.
+
+    Returns:
+        A fitted :class:`EmbeddingModel`.
+    """
+    sentence_list = [list(tokens) for tokens in sentences]
+    if vocabulary is None:
+        vocabulary = Vocabulary.from_sentences(sentence_list, min_count=min_count)
+    weights = sif_weights(sentence_list) if use_sif_weights else None
+    tokens = vocabulary.content_tokens()
+    if not tokens:
+        return EmbeddingModel(dim, {}, seed=seed, token_weights=weights)
+    token_index = {token: i for i, token in enumerate(tokens)}
+    n_tokens = len(tokens)
+
+    cooc: Counter = Counter()
+    token_totals = np.zeros(n_tokens)
+    for sent in sentence_list:
+        indices = [token_index[t] for t in sent if t in token_index]
+        for pos, center in enumerate(indices):
+            lo = max(0, pos - window)
+            hi = min(len(indices), pos + window + 1)
+            for other_pos in range(lo, hi):
+                if other_pos == pos:
+                    continue
+                context = indices[other_pos]
+                cooc[(center, context)] += 1.0
+                token_totals[center] += 1.0
+
+    total = token_totals.sum()
+    if total == 0 or not cooc:
+        rng = derive_rng(seed, "degenerate-embeddings")
+        vectors = {t: rng.standard_normal(dim) for t in tokens}
+        return EmbeddingModel(dim, vectors, seed=seed, token_weights=weights)
+
+    rows, cols, values = [], [], []
+    for (center, context), count in cooc.items():
+        p_joint = count / total
+        p_center = token_totals[center] / total
+        p_context = token_totals[context] / total
+        pmi = np.log(p_joint / (p_center * p_context + 1e-12) + 1e-12)
+        if pmi > 0:
+            rows.append(center)
+            cols.append(context)
+            values.append(pmi)
+
+    if not values:
+        rng = derive_rng(seed, "flat-embeddings")
+        vectors = {t: rng.standard_normal(dim) for t in tokens}
+        return EmbeddingModel(dim, vectors, seed=seed, token_weights=weights)
+
+    matrix = sparse.csr_matrix(
+        (values, (rows, cols)), shape=(n_tokens, n_tokens), dtype=np.float64
+    )
+    effective_dim = min(dim, max(1, min(matrix.shape) - 1))
+    if effective_dim < 1 or matrix.nnz == 0:
+        rng = derive_rng(seed, "tiny-embeddings")
+        vectors = {t: rng.standard_normal(dim) for t in tokens}
+        return EmbeddingModel(dim, vectors, seed=seed, token_weights=weights)
+
+    rng = derive_rng(seed, "svd-init")
+    v0 = rng.standard_normal(min(matrix.shape))
+    u, s, _ = svds(matrix, k=effective_dim, v0=v0)
+    # svds returns singular values in ascending order; weight and re-order.
+    order = np.argsort(-s)
+    u = u[:, order]
+    s = s[order]
+    embedded = u * np.sqrt(np.maximum(s, 1e-12))
+
+    if effective_dim < dim:
+        padding = np.zeros((n_tokens, dim - effective_dim))
+        embedded = np.hstack([embedded, padding])
+
+    vectors = {token: embedded[i] for token, i in token_index.items()}
+    return EmbeddingModel(dim, vectors, seed=seed, token_weights=weights)

@@ -1,0 +1,169 @@
+"""A lexicon + suffix-rule part-of-speech tagger over the universal tagset.
+
+The paper (Definition 3) uses universal POS tags such as NOUN and VERB as
+terminals of the TreeMatch grammar. SpaCy is unavailable offline, so this
+module provides a deterministic tagger built from:
+
+1. a closed-class lexicon (determiners, adpositions, pronouns, auxiliaries...),
+2. a small open-class lexicon covering the vocabulary of the synthetic corpora,
+3. suffix and shape heuristics (e.g. "-ing"/"-ed" -> VERB, "-ly" -> ADV,
+   capitalised mid-sentence -> PROPN, digits -> NUM),
+4. a default of NOUN, which is the most frequent open-class tag.
+
+Accuracy on real English is far below a trained tagger, but tags are assigned
+consistently, which is all the TreeMatch grammar and the sketches require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+UNIVERSAL_TAGS = (
+    "ADJ",
+    "ADP",
+    "ADV",
+    "AUX",
+    "CCONJ",
+    "DET",
+    "INTJ",
+    "NOUN",
+    "NUM",
+    "PART",
+    "PRON",
+    "PROPN",
+    "PUNCT",
+    "SCONJ",
+    "SYM",
+    "VERB",
+    "X",
+)
+
+_CLOSED_CLASS: Dict[str, str] = {}
+
+
+def _register(tag: str, words: Sequence[str]) -> None:
+    for word in words:
+        _CLOSED_CLASS[word] = tag
+
+
+_register("DET", ["the", "a", "an", "this", "that", "these", "those", "any", "some",
+                  "every", "each", "no", "another", "either", "neither", "both", "all"])
+_register("ADP", ["to", "from", "in", "on", "at", "by", "with", "about", "into",
+                  "over", "under", "between", "through", "during", "before", "after",
+                  "of", "for", "near", "across", "around", "via", "towards", "toward",
+                  "onto", "off", "up", "down", "along", "outside", "inside", "within"])
+_register("PRON", ["i", "you", "he", "she", "it", "we", "they", "me", "him", "her",
+                   "us", "them", "my", "your", "his", "its", "our", "their", "mine",
+                   "yours", "hers", "ours", "theirs", "myself", "yourself", "there",
+                   "who", "whom", "whose", "which", "what", "something", "anything",
+                   "someone", "anyone", "everyone", "nothing"])
+_register("AUX", ["is", "am", "are", "was", "were", "be", "been", "being", "do",
+                  "does", "did", "have", "has", "had", "will", "would", "can",
+                  "could", "shall", "should", "may", "might", "must", "n't"])
+_register("CCONJ", ["and", "or", "but", "nor", "yet", "so"])
+_register("SCONJ", ["because", "if", "while", "although", "though", "since",
+                    "unless", "until", "whereas", "when", "where", "whether",
+                    "that", "as"])
+_register("PART", ["not", "'s"])
+_register("ADV", ["very", "quite", "too", "also", "just", "only", "even", "still",
+                  "already", "soon", "now", "then", "here", "please", "how", "why",
+                  "really", "always", "never", "often", "usually", "again", "far",
+                  "fast", "early", "late", "well", "much", "more", "most", "less"])
+_register("ADJ", ["best", "good", "better", "great", "new", "old", "big", "small",
+                  "fastest", "quickest", "cheapest", "nearest", "closest", "easiest",
+                  "other", "same", "different", "many", "few", "several", "such",
+                  "first", "last", "next", "available", "famous", "popular", "early",
+                  "late", "local", "free", "open", "severe", "major", "minor",
+                  "possible", "main", "own"])
+_register("INTJ", ["hello", "hi", "thanks", "thank", "please", "yes", "no", "hey"])
+_register("NUM", ["one", "two", "three", "four", "five", "six", "seven", "eight",
+                  "nine", "ten", "dozen", "hundred", "thousand", "million"])
+
+# Open-class verbs that appear throughout the synthetic corpora. Registering
+# them keeps the dependency trees stable across datasets.
+_register("VERB", ["get", "go", "take", "order", "check", "book", "find", "reach",
+                   "arrive", "leave", "travel", "ride", "walk", "drive", "catch",
+                   "need", "want", "like", "know", "think", "make", "call", "ask",
+                   "play", "played", "plays", "playing", "compose", "composed",
+                   "composes", "wrote", "write", "writes", "written", "perform",
+                   "performed", "performs", "sing", "sang", "sings", "sung",
+                   "record", "recorded", "records", "release", "released",
+                   "cause", "caused", "causes", "causing", "trigger", "triggered",
+                   "triggers", "lead", "leads", "led", "result", "resulted",
+                   "results", "induce", "induced", "induces", "produce", "produced",
+                   "produces", "create", "created", "creates", "bring", "brings",
+                   "brought", "work", "works", "worked", "working", "teach",
+                   "taught", "teaches", "study", "studied", "studies", "eat",
+                   "recommend", "visit", "stay", "help", "use", "try", "serve",
+                   "open", "close", "start", "stop", "run", "move", "see", "look"])
+
+_VERB_SUFFIXES = ("ing", "ed", "ify", "ise", "ize", "ate")
+_ADJ_SUFFIXES = ("ous", "ful", "ive", "able", "ible", "al", "ic", "ish", "less")
+_ADV_SUFFIXES = ("ly",)
+_NOUN_SUFFIXES = ("tion", "sion", "ment", "ness", "ity", "ship", "ist", "er",
+                  "or", "ian", "ism", "ant", "ent", "ure", "age")
+
+
+@dataclass
+class PosTagger:
+    """Deterministic universal-POS tagger.
+
+    Attributes:
+        extra_lexicon: Optional per-corpus additions, mapping lowercased word to
+            tag. Dataset generators register their domain nouns/verbs here so
+            that TreeMatch rules such as ``/is/NOUN`` behave predictably.
+    """
+
+    extra_lexicon: Dict[str, str] = field(default_factory=dict)
+
+    def add_lexicon(self, entries: Dict[str, str]) -> None:
+        """Merge ``entries`` (word -> tag) into the tagger's extra lexicon."""
+        for word, tag in entries.items():
+            if tag not in UNIVERSAL_TAGS:
+                raise ValueError(f"unknown universal POS tag: {tag!r}")
+            self.extra_lexicon[word.lower()] = tag
+
+    def tag(self, tokens: Sequence[str]) -> List[str]:
+        """Return one universal POS tag per token in ``tokens``."""
+        tags: List[str] = []
+        for position, token in enumerate(tokens):
+            tags.append(self._tag_token(token, position))
+        return tags
+
+    def __call__(self, tokens: Sequence[str]) -> List[str]:
+        return self.tag(tokens)
+
+    def _tag_token(self, token: str, position: int) -> str:
+        if not token:
+            return "X"
+        lowered = token.lower()
+        if lowered in self.extra_lexicon:
+            return self.extra_lexicon[lowered]
+        if lowered in _CLOSED_CLASS:
+            return _CLOSED_CLASS[lowered]
+        # Third-person singular forms of known verbs ("leaves", "goes").
+        if lowered.endswith("s") and len(lowered) > 2:
+            for stem in (lowered[:-1], lowered[:-2]):
+                if self.extra_lexicon.get(stem) == "VERB" or \
+                        _CLOSED_CLASS.get(stem) == "VERB":
+                    return "VERB"
+        if all(not ch.isalnum() for ch in token):
+            return "PUNCT"
+        if any(ch.isdigit() for ch in token):
+            return "NUM"
+        if token[0].isupper() and position > 0:
+            return "PROPN"
+        for suffix in _ADV_SUFFIXES:
+            if lowered.endswith(suffix) and len(lowered) > len(suffix) + 2:
+                return "ADV"
+        for suffix in _VERB_SUFFIXES:
+            if lowered.endswith(suffix) and len(lowered) > len(suffix) + 2:
+                return "VERB"
+        for suffix in _ADJ_SUFFIXES:
+            if lowered.endswith(suffix) and len(lowered) > len(suffix) + 2:
+                return "ADJ"
+        for suffix in _NOUN_SUFFIXES:
+            if lowered.endswith(suffix) and len(lowered) > len(suffix) + 1:
+                return "NOUN"
+        return "NOUN"

@@ -1,0 +1,64 @@
+"""The :class:`Sentence` record used throughout the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .dependency import DependencyTree
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """A single preprocessed sentence of the input corpus.
+
+    Attributes:
+        sentence_id: Position of the sentence within its corpus (0-based).
+        text: The original raw text.
+        tokens: Tokenized, lowercased token sequence.
+        tags: Universal POS tag per token.
+        tree: Dependency tree over the tokens (used by the TreeMatch grammar).
+        label: Optional ground-truth label (True = positive). Ground truth is
+            used only by oracles and evaluation, never by Darwin's search.
+        meta: Free-form metadata string (e.g. the template that generated the
+            sentence in synthetic corpora).
+    """
+
+    sentence_id: int
+    text: str
+    tokens: Tuple[str, ...]
+    tags: Tuple[str, ...] = field(default=())
+    tree: Optional[DependencyTree] = None
+    label: Optional[bool] = None
+    meta: str = ""
+
+    def __post_init__(self) -> None:
+        if self.tags and len(self.tags) != len(self.tokens):
+            raise ValueError("tags must align with tokens")
+        if self.tree is not None and len(self.tree) != len(self.tokens):
+            raise ValueError("tree must align with tokens")
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def contains_phrase(self, phrase: Tuple[str, ...]) -> bool:
+        """Return True if ``phrase`` occurs as a contiguous token subsequence."""
+        if not phrase:
+            return True
+        n, m = len(self.tokens), len(phrase)
+        if m > n:
+            return False
+        first = phrase[0]
+        for start in range(n - m + 1):
+            if self.tokens[start] == first and self.tokens[start:start + m] == phrase:
+                return True
+        return False
+
+    def ngrams(self, max_len: int) -> Tuple[Tuple[str, ...], ...]:
+        """All contiguous token n-grams of length 1..``max_len``."""
+        grams = []
+        n = len(self.tokens)
+        for length in range(1, min(max_len, n) + 1):
+            for start in range(n - length + 1):
+                grams.append(tuple(self.tokens[start:start + length]))
+        return tuple(grams)

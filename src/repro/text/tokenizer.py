@@ -1,0 +1,78 @@
+"""Rule-based tokenizer.
+
+The tokenizer splits on whitespace and punctuation, keeps contractions intact
+("don't" -> ["do", "n't"]), and lowercases by default. It is intentionally
+simple — the grammars and index only require that the same string always
+produces the same token sequence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \d+(?:[.,]\d+)*         # numbers, possibly with separators
+    | [A-Za-z]+(?:'[A-Za-z]+)?   # words with optional apostrophe suffix
+    | [^\sA-Za-z0-9]        # any single punctuation / symbol character
+    """,
+    re.VERBOSE,
+)
+
+_CONTRACTION_SUFFIXES = ("n't", "'s", "'re", "'ve", "'ll", "'d", "'m")
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Deterministic regex tokenizer.
+
+    Attributes:
+        lowercase: Lowercase all tokens (default True; the paper's grammars are
+            case-insensitive phrase matchers).
+        split_contractions: Split English contractions into two tokens so that
+            "don't" matches rules mentioning "do".
+        keep_punctuation: Keep punctuation marks as their own tokens.
+    """
+
+    lowercase: bool = True
+    split_contractions: bool = True
+    keep_punctuation: bool = True
+
+    def tokenize(self, text: str) -> List[str]:
+        """Tokenize ``text`` into a list of token strings."""
+        if text is None:
+            return []
+        raw = _TOKEN_PATTERN.findall(text)
+        tokens: List[str] = []
+        for tok in raw:
+            if not self.keep_punctuation and not any(ch.isalnum() for ch in tok):
+                continue
+            if self.split_contractions and "'" in tok and len(tok) > 2:
+                tokens.extend(self._split_contraction(tok))
+            else:
+                tokens.append(tok)
+        if self.lowercase:
+            tokens = [t.lower() for t in tokens]
+        return tokens
+
+    def __call__(self, text: str) -> List[str]:
+        return self.tokenize(text)
+
+    @staticmethod
+    def _split_contraction(token: str) -> List[str]:
+        lowered = token.lower()
+        for suffix in _CONTRACTION_SUFFIXES:
+            if lowered.endswith(suffix) and len(token) > len(suffix):
+                split_at = len(token) - len(suffix)
+                return [token[:split_at], token[split_at:]]
+        return [token]
+
+
+_DEFAULT_TOKENIZER = Tokenizer()
+
+
+def tokenize(text: str) -> List[str]:
+    """Tokenize with the default (lowercasing, contraction-splitting) tokenizer."""
+    return _DEFAULT_TOKENIZER.tokenize(text)

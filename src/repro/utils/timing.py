@@ -1,0 +1,67 @@
+"""Lightweight timing helpers used by the efficiency experiments."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Example:
+        >>> watch = Stopwatch()
+        >>> with watch.measure("index"):
+        ...     _ = sum(range(1000))
+        >>> watch.total("index") >= 0.0
+        True
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never measured)."""
+        return self.durations.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement under ``name`` (0.0 if never measured)."""
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.durations[name] / count
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the accumulated totals."""
+        return dict(self.durations)
+
+
+@contextmanager
+def timed() -> Iterator[list]:
+    """Context manager yielding a single-element list receiving elapsed seconds.
+
+    Example:
+        >>> with timed() as box:
+        ...     _ = sum(range(10))
+        >>> box[0] >= 0.0
+        True
+    """
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

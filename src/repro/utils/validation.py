@@ -1,0 +1,34 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value`` to be strictly positive."""
+    if value is None or value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Require ``value`` to lie in the closed interval [0, 1]."""
+    if value is None or not 0.0 <= float(value) <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def ensure_type(value: Any, expected: type, name: str) -> Any:
+    """Require ``value`` to be an instance of ``expected`` and return it."""
+    if not isinstance(value, expected):
+        raise ConfigurationError(
+            f"{name} must be a {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,176 @@
+"""Tests for the Snuba, HighP/HighC, Active Learning and Keyword Sampling baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.active_learning import ActiveLearningBaseline
+from repro.baselines.keyword_sampling import KeywordSamplingBaseline
+from repro.baselines.rule_baselines import HighCoverageBaseline, HighPrecisionBaseline
+from repro.baselines.snuba import SnubaBaseline
+from repro.config import ClassifierConfig, DarwinConfig
+from repro.core.oracle import GroundTruthOracle
+from repro.errors import ConfigurationError, DatasetError
+
+
+class TestSnuba:
+    def test_requires_labeled_subset(self, directions_corpus):
+        snuba = SnubaBaseline(directions_corpus)
+        with pytest.raises(DatasetError):
+            snuba.run([])
+
+    def test_synthesizes_precise_rules(self, directions_corpus):
+        truth = sorted(directions_corpus.positive_ids())
+        negatives = sorted(set(range(len(directions_corpus))) - set(truth))
+        subset = truth[:15] + negatives[:60]
+        result = SnubaBaseline(directions_corpus, precision_threshold=0.7).run(subset)
+        assert result.labeled_subset_size == len(subset)
+        assert result.candidate_count > 0
+        assert 0.0 <= result.coverage <= 1.0
+        positives = set(truth)
+        for rule in result.rule_set.rules:
+            labeled_cov = set(rule.coverage) & set(subset)
+            hits = labeled_cov & positives
+            assert len(hits) / max(len(labeled_cov), 1) >= 0.7
+
+    def test_more_seeds_do_not_hurt_coverage_much(self, directions_corpus):
+        truth = sorted(directions_corpus.positive_ids())
+        negatives = sorted(set(range(len(directions_corpus))) - set(truth))
+        small = SnubaBaseline(directions_corpus).run(truth[:3] + negatives[:20])
+        large = SnubaBaseline(directions_corpus).run(truth[:20] + negatives[:200])
+        assert large.coverage >= small.coverage - 0.1
+
+    def test_biased_subset_misses_excluded_mode(self, directions_corpus):
+        # A labeled subset with no 'shuttle' sentences cannot produce a rule
+        # covering shuttle positives.
+        truth = sorted(directions_corpus.positive_ids())
+        no_shuttle = [
+            i for i in truth if "shuttle" not in directions_corpus[i].tokens
+        ][:20]
+        negatives = [
+            s.sentence_id for s in directions_corpus
+            if not s.label and "shuttle" not in s.tokens
+        ][:100]
+        result = SnubaBaseline(directions_corpus).run(no_shuttle + negatives)
+        shuttle_positives = {
+            i for i in truth if "shuttle" in directions_corpus[i].tokens
+        }
+        covered_shuttle = result.covered_ids & shuttle_positives
+        assert len(covered_shuttle) <= len(shuttle_positives) * 0.5
+
+    def test_unlabeled_corpus_requires_explicit_labels(self):
+        from repro.text.corpus import Corpus
+
+        corpus = Corpus.from_texts(["a b c", "d e f"], parse_trees=False)
+        with pytest.raises(DatasetError):
+            SnubaBaseline(corpus).run([0, 1])
+
+
+@pytest.fixture(scope="module")
+def baseline_config():
+    return DarwinConfig(
+        budget=10, num_candidates=150, min_coverage=2,
+        classifier=ClassifierConfig(epochs=20, embedding_dim=30),
+    )
+
+
+class TestRuleBaselines:
+    def test_highp_runs_and_tracks_curves(self, directions_corpus, directions_index,
+                                          directions_featurizer, baseline_config):
+        baseline = HighPrecisionBaseline(
+            directions_corpus, config=baseline_config,
+            index=directions_index, featurizer=directions_featurizer,
+        )
+        result = baseline.run(
+            GroundTruthOracle(directions_corpus), ["best way to get to"], budget=10
+        )
+        assert result.queries_used <= 10
+        assert len(result.recall_curve) == result.queries_used
+        assert len(result.f1_curve) == result.queries_used
+        assert result.final_recall >= 0.0
+
+    def test_highc_prefers_large_rules(self, directions_corpus, directions_index,
+                                       directions_featurizer, baseline_config):
+        baseline = HighCoverageBaseline(
+            directions_corpus, config=baseline_config,
+            index=directions_index, featurizer=directions_featurizer,
+        )
+        result = baseline.run(
+            GroundTruthOracle(directions_corpus), ["best way to get to"], budget=5
+        )
+        assert result.queries_used <= 5
+        # HighC queries huge generic rules which the oracle mostly rejects.
+        assert len(result.rule_set) <= 3
+
+    def test_empty_seed_rejected(self, directions_corpus, directions_index,
+                                 directions_featurizer, baseline_config):
+        baseline = HighPrecisionBaseline(
+            directions_corpus, config=baseline_config,
+            index=directions_index, featurizer=directions_featurizer,
+        )
+        with pytest.raises(ConfigurationError):
+            baseline.run(GroundTruthOracle(directions_corpus), ["zzz qqq www"], budget=3)
+
+
+class TestActiveLearning:
+    def test_runs_and_improves(self, directions_corpus, directions_featurizer):
+        baseline = ActiveLearningBaseline(
+            directions_corpus,
+            classifier_config=ClassifierConfig(epochs=20, embedding_dim=30),
+            featurizer=directions_featurizer,
+        )
+        result = baseline.run(budget=8)
+        assert result.queries_used <= 8
+        assert len(result.f1_curve) == result.queries_used
+        assert len(result.labeled_ids) >= result.queries_used
+        assert result.positive_ids <= directions_corpus.positive_ids()
+
+    def test_requires_labels(self):
+        from repro.text.corpus import Corpus
+
+        corpus = Corpus.from_texts(["a b"], parse_trees=False)
+        with pytest.raises(ConfigurationError):
+            ActiveLearningBaseline(corpus)
+
+    def test_budget_validation(self, directions_corpus, directions_featurizer):
+        baseline = ActiveLearningBaseline(
+            directions_corpus, featurizer=directions_featurizer
+        )
+        with pytest.raises(ConfigurationError):
+            baseline.run(budget=0)
+
+    def test_no_repeat_labeling(self, directions_corpus, directions_featurizer):
+        baseline = ActiveLearningBaseline(
+            directions_corpus,
+            classifier_config=ClassifierConfig(epochs=10, embedding_dim=30),
+            featurizer=directions_featurizer,
+        )
+        result = baseline.run(budget=6)
+        assert len(result.labeled_ids) == len(set(result.labeled_ids))
+
+
+class TestKeywordSampling:
+    def test_pool_respects_keywords(self, directions_corpus, directions_featurizer):
+        baseline = KeywordSamplingBaseline(
+            directions_corpus, keywords=["shuttle", "bart"],
+            featurizer=directions_featurizer,
+        )
+        pool = baseline.filtered_pool()
+        for sentence_id in pool:
+            tokens = set(directions_corpus[sentence_id].tokens)
+            assert tokens & {"shuttle", "bart"}
+
+    def test_run_tracks_curves(self, directions_corpus, directions_featurizer):
+        baseline = KeywordSamplingBaseline(
+            directions_corpus,
+            keywords=["way", "shuttle", "bart", "uber", "airport"],
+            classifier_config=ClassifierConfig(epochs=15, embedding_dim=30),
+            featurizer=directions_featurizer,
+        )
+        result = baseline.run(budget=8)
+        assert result.queries_used <= 8
+        assert len(result.f1_curve) == result.queries_used
+
+    def test_requires_keywords(self, directions_corpus):
+        with pytest.raises(ConfigurationError):
+            KeywordSamplingBaseline(directions_corpus, keywords=[])

@@ -1,0 +1,229 @@
+"""Tests for candidate generation (Algorithm 2) and the traversal strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benefit import BenefitScorer
+from repro.core.candidates import CandidateOptions, generate_candidates, seed_candidates
+from repro.core.hierarchy_builder import build_hierarchy
+from repro.core.traversal import (
+    HybridSearch,
+    LocalSearch,
+    TraversalContext,
+    UniversalSearch,
+    make_traversal,
+)
+from repro.errors import TraversalError
+from repro.rules.heuristic import LabelingHeuristic
+
+
+class TestCandidateGeneration:
+    def test_candidates_overlap_positives(self, example1_index, example1_corpus):
+        positives = example1_corpus.positive_ids()
+        candidates = generate_candidates(
+            example1_index, positives, CandidateOptions(num_candidates=20, min_coverage=1)
+        )
+        assert candidates
+        assert len(candidates) <= 20
+        for rule in candidates:
+            assert set(rule.coverage) & positives
+
+    def test_respects_min_coverage(self, example1_index, example1_corpus):
+        candidates = generate_candidates(
+            example1_index,
+            example1_corpus.positive_ids(),
+            CandidateOptions(num_candidates=50, min_coverage=3),
+        )
+        assert all(rule.coverage_size >= 3 for rule in candidates)
+
+    def test_first_candidate_has_max_overlap(self, example1_index, example1_corpus):
+        positives = example1_corpus.positive_ids()
+        candidates = generate_candidates(
+            example1_index, positives, CandidateOptions(num_candidates=10, min_coverage=1)
+        )
+        overlaps = [len(set(r.coverage) & positives) for r in candidates]
+        assert overlaps[0] == max(overlaps)
+
+    def test_diversity_skips_identical_coverage(self, example1_index, example1_corpus):
+        positives = example1_corpus.positive_ids()
+        diverse = generate_candidates(
+            example1_index, positives,
+            CandidateOptions(num_candidates=100, min_coverage=1, require_diversity=True),
+        )
+        signatures = [frozenset(r.coverage) for r in diverse]
+        assert len(signatures) == len(set(signatures))
+
+    def test_grammar_filter(self, example1_index, example1_corpus, tokensregex):
+        candidates = generate_candidates(
+            example1_index, example1_corpus.positive_ids(),
+            CandidateOptions(num_candidates=10, min_coverage=1),
+            grammar_name=tokensregex.name,
+        )
+        assert all(rule.grammar.name == tokensregex.name for rule in candidates)
+
+    def test_seed_candidates_resolve_coverage(self, example1_index, tokensregex):
+        seed = LabelingHeuristic(tokensregex, ("best", "way"))
+        prepared = seed_candidates(example1_index, [seed])
+        assert prepared[0].coverage_size == 3
+
+    def test_seed_candidates_require_coverage_for_unindexed(self, example1_index, tokensregex):
+        unindexed = LabelingHeuristic(tokensregex, ("zzz", "qqq", "www", "xxx", "yyy"))
+        with pytest.raises(ValueError):
+            seed_candidates(example1_index, [unindexed])
+
+
+def _context(index, corpus, scores=None, covered=None):
+    keys = index.top_by_coverage(40)
+    candidates = [index.heuristic(k) for k in keys]
+    hierarchy = build_hierarchy(candidates, index=index)
+    if scores is None:
+        scores = np.full(len(corpus), 0.6)
+    benefit = BenefitScorer(scores, covered or set())
+
+    def neighbours(rule, direction):
+        from repro.core.hierarchy_builder import expand_rule_neighbourhood
+
+        return expand_rule_neighbourhood(rule, index, direction, corpus=corpus)
+
+    return TraversalContext(hierarchy=hierarchy, benefit=benefit, neighbours=neighbours)
+
+
+class TestLocalSearch:
+    def test_requires_seed(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        with pytest.raises(TraversalError):
+            LocalSearch(context, [])
+
+    def test_proposes_from_neighbourhood(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way", "to")))
+        search = LocalSearch(context, [seed])
+        proposal = search.propose()
+        assert proposal is not None
+        assert proposal in search.candidates
+
+    def test_yes_adds_parents_no_adds_children(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way", "to")))
+        search = LocalSearch(context, [seed])
+        context.queried.add(seed)
+        search.feedback(seed, is_useful=True)
+        parents = set(context.parents_of(seed))
+        assert parents & search.candidates
+        rejected = example1_index.heuristic((tokensregex.name, ("way", "to")))
+        context.queried.add(rejected)
+        search.feedback(rejected, is_useful=False)
+        children = set(context.children_of(rejected))
+        assert children & search.candidates
+
+    def test_never_reproposes_queried(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = LocalSearch(context, [seed])
+        seen = set()
+        for _ in range(10):
+            proposal = search.propose()
+            if proposal is None:
+                break
+            assert proposal not in seen
+            seen.add(proposal)
+            context.queried.add(proposal)
+            search.feedback(proposal, is_useful=False)
+
+
+class TestUniversalSearch:
+    def test_pool_is_hierarchy(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = UniversalSearch(context, [seed])
+        assert set(context.hierarchy.rules()) <= search.candidates
+
+    def test_cutoff_skips_low_average_benefit(self, example1_index, example1_corpus, tokensregex):
+        # All scores 0.2: nothing clears the 0.5 cutoff, so the fallback picks
+        # the most precise-looking (highest average) candidate instead of the
+        # biggest one.
+        scores = np.full(len(example1_corpus), 0.2)
+        scores[0] = 0.95
+        context = _context(example1_index, example1_corpus, scores=scores)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = UniversalSearch(context, [seed])
+        proposal = search.propose()
+        assert proposal is not None
+        assert context.benefit.average_benefit(proposal) >= 0.2
+
+    def test_feedback_removes_rule(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = UniversalSearch(context, [seed])
+        proposal = search.propose()
+        context.queried.add(proposal)
+        search.feedback(proposal, is_useful=True)
+        assert proposal not in search.candidates
+
+    def test_hierarchy_update_adds_candidates(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = UniversalSearch(context, [seed])
+        new_rule = example1_index.heuristic((tokensregex.name, ("uber",)))
+        from repro.index.hierarchy import RuleHierarchy
+
+        refreshed = RuleHierarchy()
+        refreshed.add(new_rule)
+        search.on_hierarchy_update(refreshed)
+        assert new_rule in search.candidates
+
+
+class TestHybridSearch:
+    def test_tau_validation(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        with pytest.raises(TraversalError):
+            HybridSearch(context, [seed], tau=0)
+
+    def test_starts_in_universal_mode(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = HybridSearch(context, [seed], tau=3)
+        assert search.mode == "universal"
+
+    def test_switches_after_tau_failures(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = HybridSearch(context, [seed], tau=2)
+        for _ in range(3):
+            proposal = search.propose()
+            assert proposal is not None
+            context.queried.add(proposal)
+            search.feedback(proposal, is_useful=False)
+        assert search.mode == "local"
+
+    def test_yes_resets_attempts(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = HybridSearch(context, [seed], tau=2)
+        proposal = search.propose()
+        context.queried.add(proposal)
+        search.feedback(proposal, is_useful=True)
+        assert search._attempts == 0
+        assert search.mode == "universal"
+
+    def test_feedback_updates_both_pools(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        search = HybridSearch(context, [seed], tau=3)
+        proposal = search.propose()
+        context.queried.add(proposal)
+        search.feedback(proposal, is_useful=True)
+        assert proposal not in search.universal_candidates
+        assert proposal not in search.local_candidates
+
+    def test_make_traversal_factory(self, example1_index, example1_corpus, tokensregex):
+        context = _context(example1_index, example1_corpus)
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        assert isinstance(make_traversal("local", context, [seed]), LocalSearch)
+        assert isinstance(make_traversal("universal", context, [seed]), UniversalSearch)
+        assert isinstance(make_traversal("hybrid", context, [seed], tau=2), HybridSearch)
+        with pytest.raises(TraversalError):
+            make_traversal("random", context, [seed])

@@ -1,0 +1,173 @@
+"""Tests for oracles and benefit scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benefit import BenefitScorer
+from repro.core.oracle import (
+    BudgetedOracle,
+    GroundTruthOracle,
+    MajorityVoteOracle,
+    NoisyOracle,
+    OracleQuery,
+    SampleBasedOracle,
+)
+from repro.errors import BudgetExhaustedError, OracleError
+from repro.rules.heuristic import LabelingHeuristic
+from repro.text.corpus import Corpus
+
+
+@pytest.fixture()
+def precise_rule(tokensregex, example1_corpus):
+    return LabelingHeuristic(tokensregex, ("to", "get", "to")).evaluate(example1_corpus)
+
+
+@pytest.fixture()
+def noisy_rule(tokensregex, example1_corpus):
+    return LabelingHeuristic(tokensregex, ("best", "way", "to")).evaluate(example1_corpus)
+
+
+class TestGroundTruthOracle:
+    def test_accepts_precise_rule(self, example1_corpus, precise_rule):
+        oracle = GroundTruthOracle(example1_corpus, precision_threshold=0.8)
+        answer = oracle.ask(precise_rule, sample_ids=list(precise_rule.coverage)[:3])
+        assert answer.is_useful
+        assert answer.true_precision == pytest.approx(1.0)
+
+    def test_rejects_imprecise_rule(self, example1_corpus, noisy_rule):
+        oracle = GroundTruthOracle(example1_corpus, precision_threshold=0.8)
+        answer = oracle.ask(noisy_rule, sample_ids=[0])
+        assert not answer.is_useful
+        assert answer.true_precision == pytest.approx(1 / 3)
+
+    def test_threshold_validation(self, example1_corpus):
+        with pytest.raises(OracleError):
+            GroundTruthOracle(example1_corpus, precision_threshold=0.0)
+
+    def test_requires_labels(self):
+        corpus = Corpus.from_texts(["a b"])
+        with pytest.raises(OracleError):
+            GroundTruthOracle(corpus)
+
+
+class TestSampleBasedAndNoisyOracles:
+    def test_sample_based_uses_only_samples(self, example1_corpus, noisy_rule):
+        oracle = SampleBasedOracle(example1_corpus, precision_threshold=0.8)
+        # Showing only the positive example makes the rule look precise.
+        assert oracle.ask(noisy_rule, sample_ids=[0]).is_useful
+        # Showing the negatives reveals it is not.
+        assert not oracle.ask(noisy_rule, sample_ids=[2, 5]).is_useful
+
+    def test_sample_based_empty_sample_falls_back_to_coverage(self, example1_corpus, precise_rule):
+        oracle = SampleBasedOracle(example1_corpus)
+        assert oracle.ask(precise_rule, sample_ids=[]).is_useful
+
+    def test_noisy_oracle_flips_with_probability_one(self, example1_corpus, precise_rule):
+        base = GroundTruthOracle(example1_corpus)
+        flipper = NoisyOracle(base, flip_prob=1.0, seed=0)
+        assert not flipper.ask(precise_rule, sample_ids=[0]).is_useful
+
+    def test_noisy_oracle_never_flips_at_zero(self, example1_corpus, precise_rule):
+        base = GroundTruthOracle(example1_corpus)
+        flipper = NoisyOracle(base, flip_prob=0.0, seed=0)
+        assert flipper.ask(precise_rule, sample_ids=[0]).is_useful
+
+    def test_noisy_oracle_validates_probability(self, example1_corpus):
+        with pytest.raises(OracleError):
+            NoisyOracle(GroundTruthOracle(example1_corpus), flip_prob=2.0)
+
+
+class TestMajorityVoteOracle:
+    def test_majority_wins(self, example1_corpus, precise_rule):
+        truth = GroundTruthOracle(example1_corpus)
+        always_wrong = NoisyOracle(truth, flip_prob=1.0)
+        crowd = MajorityVoteOracle([truth, truth, always_wrong])
+        assert crowd.ask(precise_rule, sample_ids=[0]).is_useful
+        assert crowd.total_votes == 3
+
+    def test_even_number_rejected(self, example1_corpus):
+        truth = GroundTruthOracle(example1_corpus)
+        with pytest.raises(OracleError):
+            MajorityVoteOracle([truth, truth])
+
+    def test_empty_rejected(self):
+        with pytest.raises(OracleError):
+            MajorityVoteOracle([])
+
+
+class TestBudgetedOracle:
+    def test_budget_enforced(self, example1_corpus, precise_rule):
+        oracle = BudgetedOracle(base=GroundTruthOracle(example1_corpus), budget=2)
+        oracle.ask(precise_rule, sample_ids=[0])
+        oracle.ask(precise_rule, sample_ids=[0])
+        assert oracle.queries_used == 2
+        assert oracle.remaining == 0
+        with pytest.raises(BudgetExhaustedError):
+            oracle.ask(precise_rule, sample_ids=[0])
+
+    def test_log_records_queries_and_answers(self, example1_corpus, precise_rule):
+        oracle = BudgetedOracle(base=GroundTruthOracle(example1_corpus), budget=5)
+        oracle.ask(precise_rule, sample_ids=[0, 3])
+        assert len(oracle.queries) == len(oracle.answers) == 1
+        assert isinstance(oracle.queries[0], OracleQuery)
+        assert oracle.queries[0].rendered == precise_rule.render()
+
+    def test_budget_validation(self, example1_corpus):
+        with pytest.raises(OracleError):
+            BudgetedOracle(base=GroundTruthOracle(example1_corpus), budget=0)
+
+
+class TestBenefitScorer:
+    def _scorer(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2, 0.7, 0.05])
+        return BenefitScorer(scores, covered_ids={0})
+
+    def test_benefit_sums_new_coverage(self, tokensregex):
+        scorer = self._scorer()
+        rule = LabelingHeuristic(tokensregex, ("a",)).with_coverage([0, 1, 2])
+        assert scorer.benefit(rule) == pytest.approx(0.8 + 0.1)
+        assert scorer.average_benefit(rule) == pytest.approx((0.8 + 0.1) / 2)
+        assert set(scorer.new_ids(rule)) == {1, 2}
+
+    def test_zero_gain_rule(self, tokensregex):
+        scorer = self._scorer()
+        rule = LabelingHeuristic(tokensregex, ("a",)).with_coverage([0])
+        assert scorer.benefit(rule) == 0.0
+        assert scorer.average_benefit(rule) == 0.0
+
+    def test_most_beneficial_and_cutoff(self, tokensregex):
+        scorer = self._scorer()
+        good = LabelingHeuristic(tokensregex, ("good",)).with_coverage([1, 4])
+        weak = LabelingHeuristic(tokensregex, ("weak",)).with_coverage([2, 3, 5])
+        assert scorer.most_beneficial([good, weak]) == good
+        assert scorer.most_beneficial([weak], min_average=0.5) is None
+        assert scorer.most_beneficial([good, weak], min_average=0.5) == good
+
+    def test_rank_is_sorted_by_benefit(self, tokensregex):
+        scorer = self._scorer()
+        rules = [
+            LabelingHeuristic(tokensregex, ("r1",)).with_coverage([1]),
+            LabelingHeuristic(tokensregex, ("r2",)).with_coverage([1, 4]),
+            LabelingHeuristic(tokensregex, ("r3",)).with_coverage([2]),
+        ]
+        ranked = scorer.rank(rules)
+        benefits = [scorer.benefit(r) for r in ranked]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_update_invalidates_cache(self, tokensregex):
+        scorer = self._scorer()
+        rule = LabelingHeuristic(tokensregex, ("a",)).with_coverage([1, 2])
+        before = scorer.benefit(rule)
+        scorer.update(covered_ids={0, 1})
+        after = scorer.benefit(rule)
+        assert after < before
+        scorer.update(scores=np.zeros(6))
+        assert scorer.benefit(rule) == 0.0
+
+    def test_covered_ids_copy(self):
+        scorer = self._scorer()
+        ids = scorer.covered_ids
+        ids.add(99)
+        assert 99 not in scorer.covered_ids

@@ -1,0 +1,161 @@
+"""Tests for the template engine and the five dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, dataset_spec, load_dataset
+from repro.datasets.registry import load_bank, table1_rows
+from repro.datasets.templates import TemplateBank, TemplateMode
+from repro.errors import DatasetError
+
+
+class TestTemplateEngine:
+    def _bank(self):
+        return TemplateBank(
+            name="toy",
+            positive_modes=(
+                TemplateMode("greet", ("hello {name}", "hi {name} how are you")),
+            ),
+            negative_modes=(
+                TemplateMode("other", ("the {thing} is broken", "fix the {thing}")),
+            ),
+            fillers={"name": ["alice", "bob"], "thing": ["printer", "router"]},
+        )
+
+    def test_generates_requested_size_and_fraction(self):
+        corpus = self._bank().generate(200, 0.25, seed=1, parse_trees=False)
+        assert len(corpus) == 200
+        assert corpus.positive_fraction() == pytest.approx(0.25, abs=0.02)
+
+    def test_deterministic_given_seed(self):
+        a = self._bank().generate(50, 0.3, seed=7, parse_trees=False)
+        b = self._bank().generate(50, 0.3, seed=7, parse_trees=False)
+        assert [s.text for s in a] == [s.text for s in b]
+
+    def test_different_seeds_differ(self):
+        a = self._bank().generate(50, 0.3, seed=1, parse_trees=False)
+        b = self._bank().generate(50, 0.3, seed=2, parse_trees=False)
+        assert [s.text for s in a] != [s.text for s in b]
+
+    def test_meta_records_mode(self):
+        corpus = self._bank().generate(60, 0.4, seed=0, parse_trees=False)
+        for sentence in corpus:
+            if sentence.label:
+                assert sentence.meta == "greet"
+            else:
+                assert sentence.meta == "other"
+
+    def test_unknown_slot_rejected(self):
+        with pytest.raises(DatasetError):
+            TemplateBank(
+                name="bad",
+                positive_modes=(TemplateMode("m", ("hello {missing}",)),),
+                negative_modes=(TemplateMode("n", ("bye",)),),
+                fillers={},
+            )
+
+    def test_parameter_validation(self):
+        bank = self._bank()
+        with pytest.raises(DatasetError):
+            bank.generate(0, 0.5)
+        with pytest.raises(DatasetError):
+            bank.generate(10, 0.0)
+        with pytest.raises(DatasetError):
+            TemplateMode("empty", tuple())
+
+    def test_mode_names(self):
+        bank = self._bank()
+        assert bank.mode_names() == ["greet"]
+        assert bank.mode_names(positive_only=False) == ["greet", "other"]
+
+
+class TestRegistry:
+    def test_all_five_datasets_registered(self):
+        assert set(DATASET_NAMES) == {
+            "cause-effect", "directions", "musicians", "professions", "tweets",
+        }
+
+    def test_spec_matches_table1(self):
+        spec = dataset_spec("directions")
+        assert spec.paper_num_sentences == 15_300
+        assert spec.paper_positive_fraction == pytest.approx(0.038)
+        assert spec.task == "Intents"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("reviews")
+        with pytest.raises(DatasetError):
+            load_dataset("reviews")
+
+    def test_scale_validation(self):
+        with pytest.raises(DatasetError):
+            load_dataset("directions", scale=0)
+
+    def test_table1_rows(self):
+        rows = table1_rows(scale=0.02, seed=0, names=["directions", "tweets"])
+        assert len(rows) == 2
+        for row in rows:
+            assert row["num_sentences"] >= 50
+            assert 0.0 < row["positive_fraction"] < 1.0
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_each_dataset_generates_with_expected_imbalance(self, name):
+        spec = dataset_spec(name)
+        corpus = load_dataset(name, num_sentences=400, seed=5, parse_trees=False)
+        assert len(corpus) == 400
+        assert corpus.has_labels()
+        assert corpus.positive_fraction() == pytest.approx(
+            spec.paper_positive_fraction, abs=0.02
+        )
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_banks_expose_seeds_and_keywords(self, name):
+        bank = load_bank(name)
+        assert bank.default_seed_rules
+        assert len(bank.keyword_hints) >= 5
+        assert bank.biased_exclude_token
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_default_seed_rule_is_precise(self, name):
+        """The documented seed rule must exist in the corpus and be precise."""
+        spec = dataset_spec(name)
+        # Very imbalanced corpora need more sentences before the seed rule has
+        # a couple of matches (professions is 1.1% positive).
+        size = 3000 if spec.paper_positive_fraction < 0.03 else 800
+        corpus = load_dataset(name, num_sentences=size, seed=3, parse_trees=False)
+        bank = load_bank(name)
+        seed_phrase = tuple(bank.default_seed_rules[0].lower().split())
+        covered = {s.sentence_id for s in corpus if s.contains_phrase(seed_phrase)}
+        assert len(covered) >= 2, "seed rule must cover at least two sentences"
+        positives = corpus.positive_ids()
+        precision = len(covered & positives) / len(covered)
+        assert precision >= 0.8
+
+    def test_biased_token_appears_in_positives(self):
+        corpus = load_dataset("directions", num_sentences=800, seed=3, parse_trees=False)
+        bank = load_bank("directions")
+        token = bank.biased_exclude_token
+        containing = {s.sentence_id for s in corpus if token in s.tokens}
+        assert containing
+        positives = corpus.positive_ids()
+        assert len(containing & positives) / len(containing) > 0.8
+
+    def test_tweets_alternative_intents(self):
+        travel = load_dataset("tweets", num_sentences=300, seed=2,
+                              parse_trees=False, target_intent="travel")
+        career = load_dataset("tweets", num_sentences=300, seed=2,
+                              parse_trees=False, target_intent="career")
+        assert travel.positive_fraction() > 0
+        assert career.positive_fraction() > 0
+        assert travel.name != career.name
+
+    def test_tweets_unknown_intent_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("tweets", num_sentences=100, target_intent="sports")
+
+    def test_positive_modes_are_diverse(self):
+        """Positives must be spread over several modes (drives rule diversity)."""
+        corpus = load_dataset("directions", num_sentences=1000, seed=0, parse_trees=False)
+        modes = {s.meta for s in corpus if s.label}
+        assert len(modes) >= 5

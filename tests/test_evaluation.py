@@ -1,0 +1,113 @@
+"""Tests for evaluation metrics, the runner helpers, and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.metrics import (
+    binary_f1,
+    binary_precision,
+    binary_recall,
+    coverage_recall,
+    f1_from_counts,
+    precision_recall_f1,
+)
+from repro.evaluation.reporting import format_curve_table, format_table
+from repro.evaluation.runner import ExperimentResult, average_curves, run_trials
+
+
+class TestMetrics:
+    def test_precision_recall_f1_basic(self):
+        predicted = {1, 2, 3, 4}
+        actual = {3, 4, 5, 6}
+        assert binary_precision(predicted, actual) == pytest.approx(0.5)
+        assert binary_recall(predicted, actual) == pytest.approx(0.5)
+        assert binary_f1(predicted, actual) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert binary_precision(set(), {1}) == 0.0
+        assert binary_recall({1}, set()) == 0.0
+        assert binary_f1(set(), set()) == 0.0
+
+    def test_perfect_prediction(self):
+        assert binary_f1({1, 2}, {1, 2}) == pytest.approx(1.0)
+
+    def test_precision_recall_f1_dict(self):
+        metrics = precision_recall_f1({1, 2}, {2, 3})
+        assert set(metrics) == {"precision", "recall", "f1"}
+        assert metrics["f1"] == pytest.approx(0.5)
+
+    def test_f1_from_counts_matches_set_version(self):
+        predicted = {1, 2, 3, 4}
+        actual = {3, 4, 5}
+        from_sets = binary_f1(predicted, actual)
+        from_counts = f1_from_counts(
+            true_positive=len(predicted & actual),
+            predicted_positive=len(predicted),
+            actual_positive=len(actual),
+        )
+        assert from_sets == pytest.approx(from_counts)
+
+    def test_f1_from_counts_degenerate(self):
+        assert f1_from_counts(0, 10, 10) == 0.0
+        assert f1_from_counts(5, 0, 10) == 0.0
+
+    def test_coverage_recall_alias(self):
+        assert coverage_recall({1, 2}, {1, 2, 3, 4}) == pytest.approx(0.5)
+
+    def test_metrics_accept_iterables(self):
+        assert binary_recall([1, 1, 2], [1, 2]) == pytest.approx(1.0)
+
+
+class TestRunner:
+    def test_run_trials(self):
+        curves = run_trials(lambda seed: [seed, seed + 1], num_trials=3, base_seed=10)
+        assert curves == [[10, 11], [11, 12], [12, 13]]
+
+    def test_run_trials_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda seed: [], num_trials=0)
+
+    def test_average_curves_pads_shorter(self):
+        averaged = average_curves([[1.0, 1.0, 1.0], [0.0]])
+        assert averaged == [0.5, 0.5, 0.5]
+
+    def test_average_curves_empty(self):
+        assert average_curves([]) == []
+        assert average_curves([[], []]) == []
+
+    def test_experiment_result_series(self):
+        result = ExperimentResult(name="exp")
+        result.add_series("a", [0.1, 0.2])
+        result.add_series("b", [])
+        assert result.final_values() == {"a": 0.2, "b": 0.0}
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["col", "value"], [["x", 1.23456], ["longer", 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1] and "value" in lines[1]
+        assert "1.235" in text
+        assert len(lines) == 2 + 1 + 2  # title + header + separator + rows
+
+    def test_format_table_handles_short_rows(self):
+        text = format_table(["a", "b"], [["only"]])
+        assert "only" in text
+
+    def test_format_curve_table_sampling(self):
+        curves = {"m": [float(i) / 100 for i in range(1, 101)]}
+        text = format_curve_table(curves, step=25, title="curves")
+        assert "curves" in text
+        assert "25" in text and "100" in text
+        assert "0.250" in text and "1.000" in text
+
+    def test_format_curve_table_empty(self):
+        assert format_curve_table({}, title="empty") == "empty"
+
+    def test_format_curve_table_explicit_x(self):
+        curves = {"m": [0.1, 0.2, 0.3]}
+        text = format_curve_table(curves, x_values=[1, 3], x_label="#Q")
+        assert "#Q" in text
+        assert "0.100" in text and "0.300" in text

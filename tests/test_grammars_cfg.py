@@ -1,0 +1,112 @@
+"""Tests for the generic CFG framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.grammars.cfg import (
+    ContextFreeGrammar,
+    Production,
+    phrase_grammar,
+    treematch_grammar,
+)
+
+
+def simple_grammar() -> ContextFreeGrammar:
+    """S -> a S | b (a tiny right-linear grammar)."""
+    return ContextFreeGrammar(
+        "S",
+        [
+            Production("S", ("a", "S")),
+            Production("S", ("b",)),
+        ],
+    )
+
+
+class TestProduction:
+    def test_str_rendering(self):
+        assert str(Production("A", ("x", "A"))) == "A -> x A"
+        assert "ε" in str(Production("A", tuple()))
+
+
+class TestContextFreeGrammar:
+    def test_terminals_and_nonterminals_inferred(self):
+        grammar = simple_grammar()
+        assert grammar.nonterminals == {"S"}
+        assert grammar.terminals == {"a", "b"}
+
+    def test_requires_productions(self):
+        with pytest.raises(GrammarError):
+            ContextFreeGrammar("S", [])
+
+    def test_start_symbol_must_have_productions(self):
+        with pytest.raises(GrammarError):
+            ContextFreeGrammar("X", [Production("S", ("a",))])
+
+    def test_productions_for(self):
+        grammar = simple_grammar()
+        assert len(grammar.productions_for("S")) == 2
+        assert grammar.productions_for("missing") == []
+
+    def test_is_terminal(self):
+        grammar = simple_grammar()
+        assert grammar.is_terminal("a")
+        assert not grammar.is_terminal("S")
+
+    def test_derivations_shortest_first(self):
+        grammar = simple_grammar()
+        derivations = list(grammar.derivations(max_steps=4))
+        sentences = [d.sentence for d in derivations]
+        assert ("b",) in sentences
+        assert ("a", "b") in sentences
+        assert sentences.index(("b",)) < sentences.index(("a", "a", "b"))
+
+    def test_derivations_respect_max_results(self):
+        grammar = simple_grammar()
+        derivations = list(grammar.derivations(max_steps=10, max_results=3))
+        assert len(derivations) == 3
+
+    def test_derivation_records_productions(self):
+        grammar = simple_grammar()
+        derivation = next(iter(grammar.derivations(max_steps=2)))
+        assert len(derivation) == len(derivation.productions)
+        assert str(derivation)
+
+    def test_can_derive(self):
+        grammar = simple_grammar()
+        assert grammar.can_derive(["a", "a", "b"], max_steps=5)
+        assert not grammar.can_derive(["b", "a"], max_steps=5)
+
+    def test_describe_mentions_every_production(self):
+        grammar = simple_grammar()
+        text = grammar.describe()
+        assert "S -> a S" in text
+        assert "start: S" in text
+
+
+class TestPaperGrammars:
+    def test_phrase_grammar_derives_phrases(self):
+        grammar = phrase_grammar(["best", "way", "to"])
+        # 'best way' is derivable: A -> best A -> best way A -> best way ε.
+        assert grammar.can_derive(["best", "way"], max_steps=6)
+
+    def test_phrase_grammar_includes_operators(self):
+        grammar = phrase_grammar(["a"], allow_gap=True)
+        assert "*" in grammar.terminals
+        assert "+" in grammar.terminals
+
+    def test_phrase_grammar_without_gap(self):
+        grammar = phrase_grammar(["a"], allow_gap=False)
+        assert "*" not in grammar.terminals
+
+    def test_treematch_grammar_terminals(self):
+        grammar = treematch_grammar(["way", "NOUN"])
+        assert "/" in grammar.terminals
+        assert "//" in grammar.terminals
+        assert "∧" in grammar.terminals
+        assert "way" in grammar.terminals
+
+    def test_treematch_grammar_derives_leaf(self):
+        grammar = treematch_grammar(["way"])
+        assert grammar.can_derive(["way"], max_steps=3)

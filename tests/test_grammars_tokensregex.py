@@ -1,0 +1,153 @@
+"""Tests for the TokensRegex grammar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuleParseError
+from repro.grammars.tokensregex import GAP, TokensRegexGrammar
+from repro.text.sentence import Sentence
+
+
+def sentence(text: str, sid: int = 0) -> Sentence:
+    tokens = tuple(text.lower().split())
+    return Sentence(sid, text, tokens)
+
+
+class TestMatching:
+    def setup_method(self):
+        self.grammar = TokensRegexGrammar(max_phrase_len=4)
+
+    def test_contiguous_phrase_match(self):
+        s = sentence("what is the best way to get to the airport")
+        assert self.grammar.matches(("best", "way", "to"), s)
+        assert not self.grammar.matches(("way", "best"), s)
+
+    def test_single_token(self):
+        s = sentence("is there a shuttle to the airport")
+        assert self.grammar.matches(("shuttle",), s)
+        assert not self.grammar.matches(("bart",), s)
+
+    def test_empty_phrase_matches_everything(self):
+        assert self.grammar.matches((), sentence("anything"))
+
+    def test_gap_requires_order_and_distance(self):
+        s = sentence("shuttle from the hotel to the airport")
+        assert self.grammar.matches(("shuttle", GAP, "airport"), s)
+        assert not self.grammar.matches(("airport", GAP, "shuttle"), s)
+
+    def test_gap_requires_at_least_one_token(self):
+        s = sentence("shuttle airport")
+        assert not self.grammar.matches(("shuttle", GAP, "airport"), s)
+
+    def test_string_expression_coerced(self):
+        s = sentence("the best way to get")
+        assert self.grammar.matches("best way", s)
+
+    def test_coverage(self, example1_corpus):
+        ids = self.grammar.coverage(("best", "way", "to"), example1_corpus)
+        assert set(ids) == {0, 2, 5}
+
+
+class TestEnumeration:
+    def test_enumerates_all_ngrams_up_to_limit(self):
+        grammar = TokensRegexGrammar(max_phrase_len=3)
+        s = sentence("a b c d")
+        expressions = set(grammar.enumerate_expressions(s, max_depth=10))
+        assert ("a",) in expressions
+        assert ("b", "c", "d") in expressions
+        assert ("a", "b", "c", "d") not in expressions
+
+    def test_max_depth_further_limits(self):
+        grammar = TokensRegexGrammar(max_phrase_len=4)
+        s = sentence("a b c d")
+        expressions = set(grammar.enumerate_expressions(s, max_depth=2))
+        assert ("a", "b", "c") not in expressions
+
+    def test_gapped_enumeration_optional(self):
+        s = sentence("a b c d")
+        without = set(TokensRegexGrammar(allow_gaps=False).enumerate_expressions(s, 5))
+        with_gaps = set(TokensRegexGrammar(allow_gaps=True).enumerate_expressions(s, 5))
+        assert not any(GAP in e for e in without)
+        assert any(GAP in e for e in with_gaps)
+
+    def test_every_enumerated_expression_matches(self):
+        grammar = TokensRegexGrammar(max_phrase_len=4, allow_gaps=True)
+        s = sentence("what is the best way to get there")
+        for expression in grammar.enumerate_expressions(s, max_depth=4):
+            assert grammar.matches(expression, s)
+
+
+class TestNeighbourhood:
+    def setup_method(self):
+        self.grammar = TokensRegexGrammar(max_phrase_len=4)
+
+    def test_generalizations_drop_edges(self):
+        parents = self.grammar.generalizations(("best", "way", "to"))
+        assert ("way", "to") in parents
+        assert ("best", "way") in parents
+
+    def test_generalizations_of_single_token_empty(self):
+        assert self.grammar.generalizations(("shuttle",)) == []
+
+    def test_gap_generalization(self):
+        parents = self.grammar.generalizations(("best", "way", "to"))
+        assert ("best", GAP, "to") in parents
+
+    def test_specializations_extend_with_witness(self):
+        s = sentence("the best way to get there")
+        children = self.grammar.specializations(("best", "way"), s)
+        assert ("the", "best", "way") in children
+        assert ("best", "way", "to") in children
+
+    def test_specializations_without_witness_empty(self):
+        assert self.grammar.specializations(("best", "way")) == []
+
+    def test_specializations_respect_max_len(self):
+        grammar = TokensRegexGrammar(max_phrase_len=2)
+        s = sentence("the best way")
+        assert grammar.specializations(("best", "way"), s) == []
+
+    def test_gap_specialization_instantiates(self):
+        s = sentence("shuttle departs airport daily")
+        children = self.grammar.specializations(("shuttle", GAP, "airport"), s)
+        assert all(GAP not in child for child in children)
+        assert ("shuttle", "departs", "airport") in children
+
+    def test_is_ancestor_for_subphrases(self):
+        assert self.grammar.is_ancestor(("way", "to"), ("best", "way", "to"))
+        assert not self.grammar.is_ancestor(("way", "best"), ("best", "way", "to"))
+        assert self.grammar.is_ancestor(("best",), ("best", "way"))
+
+
+class TestParsingAndRendering:
+    def setup_method(self):
+        self.grammar = TokensRegexGrammar()
+
+    def test_parse_round_trip(self):
+        expression = self.grammar.parse("Best Way To")
+        assert expression == ("best", "way", "to")
+        assert self.grammar.render(expression) == "best way to"
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(RuleParseError):
+            self.grammar.parse("   ")
+
+    def test_parse_rejects_leading_gap(self):
+        with pytest.raises(RuleParseError):
+            self.grammar.parse("* way")
+
+    def test_complexity_counts_tokens(self):
+        assert self.grammar.complexity(("a", "b", "c")) == 3
+
+    def test_formal_grammar_derives_rendered_rule(self):
+        grammar = self.grammar.formal_grammar(["best", "way"])
+        assert grammar.can_derive(["best", "way"], max_steps=6)
+
+    def test_invalid_expression_type_rejected(self):
+        with pytest.raises(RuleParseError):
+            self.grammar.matches(123, sentence("a"))
+
+    def test_max_phrase_len_validation(self):
+        with pytest.raises(ValueError):
+            TokensRegexGrammar(max_phrase_len=0)

@@ -1,0 +1,157 @@
+"""Tests for the rule hierarchy and the hierarchy builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy_builder import build_hierarchy, expand_rule_neighbourhood
+from repro.errors import TraversalError
+from repro.index.hierarchy import RuleHierarchy
+from repro.rules.heuristic import LabelingHeuristic
+
+
+def rule(tokensregex, expression, coverage):
+    return LabelingHeuristic(tokensregex, expression).with_coverage(coverage)
+
+
+class TestRuleHierarchy:
+    def test_add_and_edges(self, tokensregex):
+        hierarchy = RuleHierarchy()
+        parent = rule(tokensregex, ("way", "to"), [1, 2, 3])
+        child = rule(tokensregex, ("best", "way", "to"), [1, 2])
+        assert hierarchy.add(parent)
+        assert hierarchy.add(child)
+        assert not hierarchy.add(parent)
+        hierarchy.add_edge(parent, child)
+        assert hierarchy.children(parent) == [child]
+        assert hierarchy.parents(child) == [parent]
+        assert hierarchy.roots() == [parent]
+        assert hierarchy.leaves() == [child]
+
+    def test_add_requires_coverage(self, tokensregex):
+        hierarchy = RuleHierarchy()
+        with pytest.raises(TraversalError):
+            hierarchy.add(LabelingHeuristic(tokensregex, ("a",)))
+
+    def test_edge_requires_membership(self, tokensregex):
+        hierarchy = RuleHierarchy()
+        a = rule(tokensregex, ("a",), [1])
+        b = rule(tokensregex, ("b",), [2])
+        hierarchy.add(a)
+        with pytest.raises(TraversalError):
+            hierarchy.add_edge(a, b)
+
+    def test_self_edge_ignored(self, tokensregex):
+        hierarchy = RuleHierarchy()
+        a = rule(tokensregex, ("a",), [1])
+        hierarchy.add(a)
+        hierarchy.add_edge(a, a)
+        assert hierarchy.children(a) == []
+
+    def test_remove_reconnects(self, tokensregex):
+        hierarchy = RuleHierarchy()
+        top = rule(tokensregex, ("a",), [1, 2, 3, 4])
+        middle = rule(tokensregex, ("a", "b"), [1, 2, 3])
+        bottom = rule(tokensregex, ("a", "b", "c"), [1])
+        for r in (top, middle, bottom):
+            hierarchy.add(r)
+        hierarchy.add_edge(top, middle)
+        hierarchy.add_edge(middle, bottom)
+        hierarchy.remove(middle)
+        assert bottom in hierarchy.children(top)
+        assert top in hierarchy.parents(bottom)
+        assert middle not in hierarchy
+
+    def test_descendants_and_ancestors(self, tokensregex):
+        hierarchy = RuleHierarchy()
+        a = rule(tokensregex, ("a",), [1, 2, 3])
+        b = rule(tokensregex, ("a", "b"), [1, 2])
+        c = rule(tokensregex, ("a", "b", "c"), [1])
+        for r in (a, b, c):
+            hierarchy.add(r)
+        hierarchy.add_edge(a, b)
+        hierarchy.add_edge(b, c)
+        assert hierarchy.descendants(a) == {b, c}
+        assert hierarchy.ancestors(c) == {a, b}
+
+    def test_cleanup_removes_zero_gain_rules(self, tokensregex):
+        hierarchy = RuleHierarchy()
+        useful = rule(tokensregex, ("a",), [1, 2, 9])
+        useless = rule(tokensregex, ("b",), [1, 2])
+        hierarchy.add(useful)
+        hierarchy.add(useless)
+        removed = hierarchy.cleanup(covered_ids={1, 2})
+        assert removed == 1
+        assert useful in hierarchy
+        assert useless not in hierarchy
+
+    def test_is_consistent(self, tokensregex):
+        hierarchy = RuleHierarchy()
+        small = rule(tokensregex, ("a", "b"), [1])
+        large = rule(tokensregex, ("a",), [1, 2])
+        hierarchy.add(small)
+        hierarchy.add(large)
+        hierarchy.add_edge(large, small)
+        assert hierarchy.is_consistent()
+        hierarchy2 = RuleHierarchy()
+        hierarchy2.add(small)
+        hierarchy2.add(large)
+        hierarchy2.add_edge(small, large)
+        assert not hierarchy2.is_consistent()
+
+
+class TestFromRulesAndBuilder:
+    def test_from_rules_discovers_subset_edges(self, tokensregex, example1_corpus):
+        phrases = [("way",), ("way", "to"), ("best", "way", "to")]
+        rules = [
+            LabelingHeuristic(tokensregex, p).evaluate(example1_corpus) for p in phrases
+        ]
+        hierarchy = RuleHierarchy.from_rules(rules)
+        assert hierarchy.is_consistent()
+        general = rules[0]
+        specific = rules[2]
+        assert specific in hierarchy.descendants(general)
+
+    def test_transitive_edges_removed(self, tokensregex, example1_corpus):
+        phrases = [("way",), ("way", "to"), ("best", "way", "to")]
+        rules = [
+            LabelingHeuristic(tokensregex, p).evaluate(example1_corpus) for p in phrases
+        ]
+        hierarchy = RuleHierarchy.from_rules(rules)
+        # 'best way to' should be a direct child of 'way to', not of 'way'.
+        assert rules[2] not in hierarchy.children(rules[0])
+        assert rules[2] in hierarchy.children(rules[1])
+
+    def test_build_hierarchy_links_and_cleans(self, example1_index, tokensregex):
+        keys = example1_index.top_by_coverage(30)
+        candidates = [example1_index.heuristic(k) for k in keys]
+        hierarchy = build_hierarchy(candidates, index=example1_index)
+        assert len(hierarchy) == len(candidates)
+        assert hierarchy.is_consistent()
+        # Cleanup drops rules that add nothing beyond full coverage.
+        everything = set(range(6))
+        cleaned = build_hierarchy(candidates, covered_ids=everything)
+        assert len(cleaned) == 0
+
+    def test_expand_rule_neighbourhood_children(self, example1_index, example1_corpus, tokensregex):
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way")))
+        children = expand_rule_neighbourhood(
+            seed, example1_index, "children", corpus=example1_corpus
+        )
+        assert children
+        for child in children:
+            assert set(child.coverage) <= set(seed.coverage)
+
+    def test_expand_rule_neighbourhood_parents(self, example1_index, example1_corpus, tokensregex):
+        seed = example1_index.heuristic((tokensregex.name, ("best", "way", "to")))
+        parents = expand_rule_neighbourhood(
+            seed, example1_index, "parents", corpus=example1_corpus
+        )
+        assert parents
+        for parent in parents:
+            assert set(parent.coverage) >= set(seed.coverage)
+
+    def test_expand_rule_neighbourhood_validates_direction(self, example1_index, tokensregex):
+        seed = example1_index.heuristic((tokensregex.name, ("best",)))
+        with pytest.raises(ValueError):
+            expand_rule_neighbourhood(seed, example1_index, "siblings")

@@ -1,0 +1,174 @@
+"""Tests for the weak-supervision label aggregation substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.labeling.label_matrix import ABSTAIN, LabelMatrix, NEGATIVE, POSITIVE
+from repro.labeling.label_model import GenerativeLabelModel
+from repro.labeling.majority_vote import majority_vote
+from repro.labeling.pipeline import WeakSupervisionPipeline
+from repro.rules.heuristic import LabelingHeuristic
+from repro.rules.rule_set import RuleSet
+
+
+class TestLabelMatrix:
+    def test_from_rule_set(self, tokensregex, example1_corpus):
+        rule = LabelingHeuristic(tokensregex, ("best", "way")).evaluate(example1_corpus)
+        matrix = LabelMatrix.from_rule_set(RuleSet([rule]), example1_corpus)
+        assert matrix.num_sentences == 6
+        assert matrix.num_rules == 1
+        assert matrix.votes[0, 0] == POSITIVE
+        assert matrix.votes[1, 0] == ABSTAIN
+
+    def test_from_coverages(self):
+        matrix = LabelMatrix.from_coverages([{0, 1}, {1, 2}], num_sentences=4)
+        assert matrix.votes.shape == (4, 2)
+        assert matrix.coverage_mask().tolist() == [True, True, True, False]
+        assert matrix.overlap_mask().tolist() == [False, True, False, False]
+
+    def test_conflict_mask(self):
+        votes = np.array([[POSITIVE, NEGATIVE], [POSITIVE, ABSTAIN], [ABSTAIN, ABSTAIN]])
+        matrix = LabelMatrix(votes)
+        assert matrix.conflict_mask().tolist() == [True, False, False]
+
+    def test_summary(self):
+        votes = np.array([[POSITIVE, ABSTAIN], [ABSTAIN, ABSTAIN]])
+        summary = LabelMatrix(votes).summary()
+        assert summary["coverage"] == pytest.approx(0.5)
+        assert summary["num_rules"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelMatrix(np.array([[5]]))
+        with pytest.raises(ValueError):
+            LabelMatrix(np.zeros(3))
+        with pytest.raises(ValueError):
+            LabelMatrix(np.zeros((2, 2), dtype=int), rule_names=["only-one"])
+
+    def test_empty_rule_set(self, example1_corpus):
+        matrix = LabelMatrix.from_rule_set(RuleSet(), example1_corpus)
+        assert matrix.num_sentences == 6
+        assert not matrix.coverage_mask().any()
+
+
+class TestMajorityVote:
+    def test_unanimous_positive(self):
+        matrix = LabelMatrix(np.array([[POSITIVE, POSITIVE], [ABSTAIN, ABSTAIN]]))
+        probs = majority_vote(matrix, default=0.25)
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(0.25)
+
+    def test_split_vote(self):
+        matrix = LabelMatrix(np.array([[POSITIVE, NEGATIVE]]))
+        assert majority_vote(matrix)[0] == pytest.approx(0.5)
+
+    def test_negative_votes(self):
+        matrix = LabelMatrix(np.array([[NEGATIVE, NEGATIVE, POSITIVE]]))
+        assert majority_vote(matrix)[0] == pytest.approx(1 / 3)
+
+
+class TestGenerativeLabelModel:
+    def _synthetic_matrix(self, n=300, accuracies=(0.9, 0.75, 0.6), seed=0):
+        rng = np.random.default_rng(seed)
+        truth = rng.random(n) < 0.3
+        votes = np.full((n, len(accuracies)), ABSTAIN, dtype=np.int64)
+        for j, accuracy in enumerate(accuracies):
+            voted = rng.random(n) < 0.7
+            correct = rng.random(n) < accuracy
+            value = np.where(correct, truth, ~truth)
+            votes[voted, j] = value[voted].astype(np.int64)
+        return LabelMatrix(votes), truth
+
+    def test_recovers_labels_better_than_majority(self):
+        matrix, truth = self._synthetic_matrix()
+        model = GenerativeLabelModel().fit(matrix)
+        model_preds = model.predict() == 1
+        mv_preds = majority_vote(matrix) >= 0.5
+        model_accuracy = (model_preds == truth).mean()
+        mv_accuracy = (mv_preds == truth).mean()
+        assert model_accuracy >= mv_accuracy - 0.02
+
+    def test_accuracy_ordering_recovered(self):
+        matrix, _ = self._synthetic_matrix(n=800, accuracies=(0.95, 0.55))
+        model = GenerativeLabelModel().fit(matrix)
+        accuracies = model.rule_accuracies()
+        assert accuracies[0] > accuracies[1]
+
+    def test_predict_proba_on_new_matrix(self):
+        matrix, _ = self._synthetic_matrix()
+        model = GenerativeLabelModel().fit(matrix)
+        probs = model.predict_proba(matrix)
+        assert probs.shape == (matrix.num_sentences,)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_use_before_fit_raises(self):
+        model = GenerativeLabelModel()
+        with pytest.raises(EvaluationError):
+            model.predict_proba()
+        with pytest.raises(EvaluationError):
+            model.rule_accuracies()
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(EvaluationError):
+            GenerativeLabelModel().fit(LabelMatrix(np.zeros((0, 1), dtype=np.int64)))
+
+    def test_validation_of_parameters(self):
+        with pytest.raises(EvaluationError):
+            GenerativeLabelModel(max_iterations=0)
+        with pytest.raises(EvaluationError):
+            GenerativeLabelModel(accuracy_prior_value=1.5)
+
+
+class TestWeakSupervisionPipeline:
+    @pytest.fixture(scope="class")
+    def darwin_like_rules(self, directions_corpus):
+        from repro.grammars.tokensregex import TokensRegexGrammar
+
+        grammar = TokensRegexGrammar()
+        phrases = [("best", "way", "to", "get"), ("shuttle",), ("bart",), ("directions",)]
+        rules = RuleSet()
+        for phrase in phrases:
+            rule = LabelingHeuristic(grammar, phrase).evaluate(directions_corpus)
+            if rule.coverage_size:
+                rules.add(rule)
+        return rules
+
+    def test_weak_labels_majority_and_model(self, directions_corpus, darwin_like_rules,
+                                            directions_featurizer):
+        pipeline = WeakSupervisionPipeline(
+            directions_corpus, featurizer=directions_featurizer
+        )
+        raw = pipeline.weak_labels(darwin_like_rules, use_label_model=False)
+        denoised = pipeline.weak_labels(darwin_like_rules, use_label_model=True)
+        assert raw.shape == denoised.shape == (len(directions_corpus),)
+        covered = raw > 0.5
+        # De-noised labels must abstain (probability 0) outside rule coverage.
+        assert np.all(denoised[~covered & (raw == 0.0)] == 0.0)
+
+    def test_end_classifier_beats_random(self, directions_corpus, darwin_like_rules,
+                                         directions_featurizer):
+        pipeline = WeakSupervisionPipeline(
+            directions_corpus, featurizer=directions_featurizer
+        )
+        result = pipeline.train_end_classifier(darwin_like_rules, use_label_model=False)
+        assert result.f1 > 0.2
+        assert 0.0 <= result.label_f1 <= 1.0
+
+    def test_label_model_does_not_destroy_quality(self, directions_corpus, darwin_like_rules,
+                                                  directions_featurizer):
+        pipeline = WeakSupervisionPipeline(
+            directions_corpus, featurizer=directions_featurizer
+        )
+        direct = pipeline.train_end_classifier(darwin_like_rules, use_label_model=False)
+        denoised = pipeline.train_end_classifier(darwin_like_rules, use_label_model=True)
+        assert denoised.f1 >= direct.f1 - 0.25
+
+    def test_empty_rule_set(self, directions_corpus, directions_featurizer):
+        pipeline = WeakSupervisionPipeline(
+            directions_corpus, featurizer=directions_featurizer
+        )
+        result = pipeline.train_end_classifier(RuleSet(), use_label_model=False)
+        assert result.f1 == 0.0

@@ -1,0 +1,110 @@
+"""Tests for LabelingHeuristic and RuleSet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rules.heuristic import LabelingHeuristic
+from repro.rules.rule_set import RuleSet
+
+
+@pytest.fixture()
+def best_way_rule(tokensregex, example1_corpus) -> LabelingHeuristic:
+    rule = LabelingHeuristic(grammar=tokensregex, expression=("best", "way", "to"))
+    return rule.evaluate(example1_corpus)
+
+
+class TestLabelingHeuristic:
+    def test_evaluate_computes_coverage(self, best_way_rule):
+        assert set(best_way_rule.coverage) == {0, 2, 5}
+        assert best_way_rule.coverage_size == 3
+
+    def test_coverage_before_evaluation_raises(self, tokensregex):
+        rule = LabelingHeuristic(grammar=tokensregex, expression=("best",))
+        with pytest.raises(ValueError):
+            _ = rule.coverage
+        assert rule.coverage_size == 0
+
+    def test_matches_single_sentence(self, best_way_rule, example1_corpus):
+        assert best_way_rule.matches(example1_corpus[0])
+        assert not best_way_rule.matches(example1_corpus[1])
+
+    def test_precision(self, best_way_rule, example1_corpus):
+        precision = best_way_rule.precision(example1_corpus.positive_ids())
+        assert precision == pytest.approx(1 / 3)
+
+    def test_precision_empty_coverage(self, tokensregex):
+        rule = LabelingHeuristic(tokensregex, ("zzz",)).with_coverage([])
+        assert rule.precision({1, 2}) == 0.0
+
+    def test_new_positives(self, best_way_rule):
+        assert best_way_rule.new_positives({0, 2}) == {5}
+
+    def test_equality_ignores_coverage(self, tokensregex):
+        a = LabelingHeuristic(tokensregex, ("best",)).with_coverage([1])
+        b = LabelingHeuristic(tokensregex, ("best",)).with_coverage([1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_across_expressions(self, tokensregex):
+        a = LabelingHeuristic(tokensregex, ("best",))
+        b = LabelingHeuristic(tokensregex, ("way",))
+        assert a != b
+
+    def test_render_and_repr(self, best_way_rule):
+        assert best_way_rule.render() == "best way to"
+        assert "best way to" in repr(best_way_rule)
+
+
+class TestRuleSet:
+    def test_add_and_union_coverage(self, tokensregex):
+        r1 = LabelingHeuristic(tokensregex, ("a",)).with_coverage([1, 2])
+        r2 = LabelingHeuristic(tokensregex, ("b",)).with_coverage([2, 3])
+        rules = RuleSet([r1])
+        assert rules.add(r2)
+        assert rules.covered_ids == {1, 2, 3}
+        assert rules.coverage_size() == 3
+        assert len(rules) == 2
+
+    def test_duplicate_add_is_noop(self, tokensregex):
+        r1 = LabelingHeuristic(tokensregex, ("a",)).with_coverage([1])
+        rules = RuleSet([r1])
+        assert not rules.add(r1)
+        assert len(rules) == 1
+
+    def test_recall_and_precision(self, tokensregex):
+        rule = LabelingHeuristic(tokensregex, ("a",)).with_coverage([1, 2, 3, 4])
+        rules = RuleSet([rule])
+        positives = {1, 2, 5, 6}
+        assert rules.recall(positives) == pytest.approx(0.5)
+        assert rules.precision(positives) == pytest.approx(0.5)
+
+    def test_recall_with_no_positives(self, tokensregex):
+        rules = RuleSet([LabelingHeuristic(tokensregex, ("a",)).with_coverage([1])])
+        assert rules.recall(set()) == 0.0
+
+    def test_empty_ruleset_metrics(self):
+        rules = RuleSet()
+        assert rules.recall({1}) == 0.0
+        assert rules.precision({1}) == 0.0
+        assert rules.coverage_size() == 0
+
+    def test_marginal_gain(self, tokensregex):
+        r1 = LabelingHeuristic(tokensregex, ("a",)).with_coverage([1, 2])
+        r2 = LabelingHeuristic(tokensregex, ("b",)).with_coverage([2, 3, 4])
+        rules = RuleSet([r1])
+        assert rules.marginal_gain(r2) == 2
+
+    def test_label_vector(self, tokensregex, example1_corpus):
+        rule = LabelingHeuristic(tokensregex, ("best", "way")).evaluate(example1_corpus)
+        rules = RuleSet([rule])
+        labels = rules.label_vector(example1_corpus)
+        assert labels[0] is True
+        assert labels[1] is False
+        assert len(labels) == len(example1_corpus)
+
+    def test_describe_and_contains(self, tokensregex):
+        rule = LabelingHeuristic(tokensregex, ("a", "b")).with_coverage([1])
+        rules = RuleSet([rule])
+        assert rules.describe() == ["a b"]
+        assert rule in rules

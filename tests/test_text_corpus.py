@@ -1,0 +1,175 @@
+"""Tests for Sentence, Vocabulary, Corpus and the embedding model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.corpus import Corpus
+from repro.text.embeddings import EmbeddingModel, build_embeddings
+from repro.text.sentence import Sentence
+from repro.text.vocabulary import Vocabulary
+
+
+class TestSentence:
+    def test_contains_phrase(self):
+        sentence = Sentence(0, "best way to get", ("best", "way", "to", "get"))
+        assert sentence.contains_phrase(("way", "to"))
+        assert sentence.contains_phrase(("best",))
+        assert not sentence.contains_phrase(("to", "way"))
+        assert sentence.contains_phrase(())
+
+    def test_ngrams(self):
+        sentence = Sentence(0, "a b c", ("a", "b", "c"))
+        grams = sentence.ngrams(2)
+        assert ("a",) in grams and ("b", "c") in grams
+        assert ("a", "b", "c") not in grams
+        assert len(grams) == 5
+
+    def test_ngrams_longer_than_sentence(self):
+        sentence = Sentence(0, "a", ("a",))
+        assert sentence.ngrams(5) == (("a",),)
+
+    def test_tag_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Sentence(0, "a b", ("a", "b"), tags=("DET",))
+
+    def test_len(self):
+        assert len(Sentence(0, "a b", ("a", "b"))) == 2
+
+
+class TestVocabulary:
+    def test_build_and_lookup(self):
+        vocab = Vocabulary.from_sentences([["a", "b"], ["a", "c"]])
+        assert "a" in vocab
+        assert vocab.id_of("a") >= 2  # after <unk>, <pad>
+        assert vocab.token_of(vocab.id_of("a")) == "a"
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary.from_sentences([["a"]])
+        assert vocab.id_of("zzz") == 0
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary.from_sentences([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_max_size_caps(self):
+        vocab = Vocabulary.from_sentences([["a", "a", "b", "c"]], max_size=1)
+        assert len(vocab.content_tokens()) == 1
+
+    def test_encode(self):
+        vocab = Vocabulary.from_sentences([["a", "b"]])
+        encoded = vocab.encode(["a", "zzz"])
+        assert encoded[0] == vocab.id_of("a")
+        assert encoded[1] == 0
+
+    def test_cannot_add_after_freeze(self):
+        vocab = Vocabulary.from_sentences([["a"]])
+        with pytest.raises(RuntimeError):
+            vocab.add_sentence(["b"])
+
+    def test_min_count_validation(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+
+
+class TestCorpus:
+    def test_from_texts_preprocesses(self, example1_corpus):
+        assert len(example1_corpus) == 6
+        first = example1_corpus[0]
+        assert first.tokens[0] == "what"
+        assert len(first.tags) == len(first.tokens)
+        assert first.tree is not None
+
+    def test_ids_are_consecutive(self, example1_corpus):
+        for expected, sentence in enumerate(example1_corpus):
+            assert sentence.sentence_id == expected
+
+    def test_positive_and_negative_ids(self, example1_corpus):
+        assert example1_corpus.positive_ids() == {0, 1, 3}
+        assert example1_corpus.negative_ids() == {2, 4, 5}
+        assert example1_corpus.has_labels()
+        assert example1_corpus.positive_fraction() == pytest.approx(0.5)
+
+    def test_labels_must_align(self):
+        with pytest.raises(ValueError):
+            Corpus.from_texts(["a", "b"], labels=[True])
+
+    def test_subset_renumbers(self, example1_corpus):
+        subset = example1_corpus.subset([1, 3])
+        assert len(subset) == 2
+        assert [s.sentence_id for s in subset] == [0, 1]
+        assert subset[0].text == example1_corpus[1].text
+
+    def test_describe(self, example1_corpus):
+        info = example1_corpus.describe()
+        assert info["num_sentences"] == 6
+        assert info["num_positives"] == 3
+        assert info["vocabulary_size"] > 5
+
+    def test_vocabulary_cached(self, example1_corpus):
+        assert example1_corpus.vocabulary() is example1_corpus.vocabulary()
+
+    def test_unlabeled_corpus(self):
+        corpus = Corpus.from_texts(["hello world"])
+        assert not corpus.has_labels()
+        assert corpus.positive_ids() == set()
+
+    def test_bad_sentence_ids_rejected(self):
+        sentence = Sentence(3, "a", ("a",))
+        with pytest.raises(ValueError):
+            Corpus([sentence])
+
+
+class TestEmbeddings:
+    def test_build_embeddings_shapes(self, example1_corpus):
+        model = build_embeddings((s.tokens for s in example1_corpus), dim=16, min_count=1)
+        assert model.dim == 16
+        vector = model.vector("way")
+        assert vector.shape == (16,)
+        assert np.isfinite(vector).all()
+
+    def test_oov_fallback_is_deterministic(self):
+        model = EmbeddingModel(8, {})
+        assert np.allclose(model.vector("zzz"), model.vector("zzz"))
+        assert not np.allclose(model.vector("zzz"), model.vector("qqq"))
+
+    def test_sentence_vector_mean(self):
+        vectors = {"a": np.ones(4), "b": np.ones(4)}
+        model = EmbeddingModel(4, vectors)
+        sentence_vec = model.sentence_vector(["a", "b"])
+        assert sentence_vec.shape == (4,)
+
+    def test_sentence_vector_empty(self):
+        model = EmbeddingModel(4, {})
+        assert np.allclose(model.sentence_vector([]), np.zeros(4))
+
+    def test_sentence_matrix_padding(self):
+        model = EmbeddingModel(4, {"a": np.ones(4)})
+        matrix = model.sentence_matrix(["a"], max_len=3)
+        assert matrix.shape == (3, 4)
+        assert np.allclose(matrix[1], 0.0)
+
+    def test_similarity_of_cooccurring_words(self, directions_corpus):
+        model = build_embeddings(
+            (s.tokens for s in directions_corpus), dim=30, min_count=2, seed=1
+        )
+        # Words that co-occur with the same contexts should be more similar
+        # than unrelated words on average; use a weak sanity check.
+        sim_related = model.similarity("airport", "shuttle")
+        sim_unrelated = model.similarity("airport", "towels")
+        assert sim_related > sim_unrelated - 0.5
+
+    def test_most_similar_excludes_self(self, example1_corpus):
+        model = build_embeddings((s.tokens for s in example1_corpus), dim=8, min_count=1)
+        neighbours = model.most_similar("way", top_k=3)
+        assert all(token != "way" for token, _ in neighbours)
+
+    def test_bad_vector_shape_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingModel(4, {"a": np.ones(3)})
+
+    def test_dim_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EmbeddingModel(0, {})

@@ -1,0 +1,104 @@
+"""Tests for the dependency parser and tree structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.dependency import DependencyParser, DependencyTree
+from repro.text.pos import PosTagger
+from repro.text.tokenizer import tokenize
+
+
+def parse(text: str) -> DependencyTree:
+    tokens = tokenize(text)
+    tags = PosTagger().tag(tokens)
+    return DependencyParser().parse(tokens, tags)
+
+
+class TestDependencyTreeStructure:
+    def test_empty_tree(self):
+        tree = DependencyParser().parse([], [])
+        assert len(tree) == 0
+
+    def test_single_root(self):
+        tree = parse("Is Uber the fastest way to get to the airport?")
+        roots = [i for i, h in enumerate(tree.heads) if h == -1]
+        assert len(roots) == 1
+        assert tree.root == roots[0]
+
+    def test_every_token_reaches_root(self):
+        tree = parse("What is the best way to get to SFO airport?")
+        for index in range(len(tree)):
+            # depth() raises on cycles; reaching it proves connectivity.
+            assert tree.depth(index) >= 0
+
+    def test_children_and_descendants_consistent(self):
+        tree = parse("the shuttle to the airport leaves at noon")
+        for node in range(len(tree)):
+            children = set(tree.children(node))
+            descendants = set(tree.descendants(node))
+            assert children <= descendants
+
+    def test_root_descendants_cover_everything(self):
+        tree = parse("the composer wrote a famous symphony in vienna")
+        descendants = set(tree.descendants(tree.root))
+        assert descendants == set(range(len(tree))) - {tree.root}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyParser().parse(["a", "b"], ["DET"])
+
+    def test_tree_validation_rejects_two_roots(self):
+        with pytest.raises(ValueError):
+            DependencyTree(("a", "b"), ("NOUN", "NOUN"), (-1, -1))
+
+    def test_labels_contain_token_and_tag(self):
+        tree = parse("the shuttle leaves")
+        labels = tree.labels(1)
+        assert "shuttle" in labels
+        assert tree.tags[1] in labels
+
+    def test_nodes_with_label_by_token_and_tag(self):
+        tree = parse("the shuttle to the airport")
+        assert tree.nodes_with_label("shuttle")
+        assert tree.nodes_with_label("NOUN")
+
+    def test_edges_iterate_head_dependent_pairs(self):
+        tree = parse("the shuttle leaves at noon")
+        edges = list(tree.edges())
+        assert len(edges) == len(tree) - 1
+        for head, dependent in edges:
+            assert tree.heads[dependent] == head
+
+    def test_to_conll_has_one_line_per_token(self):
+        tree = parse("the shuttle leaves")
+        assert len(tree.to_conll().splitlines()) == len(tree)
+
+
+class TestAttachmentRules:
+    def test_verb_is_root_when_present(self):
+        tree = parse("the shuttle leaves at noon")
+        assert tree.tags[tree.root] in {"VERB", "AUX"}
+
+    def test_determiner_attaches_to_following_noun(self):
+        tree = parse("take the shuttle")
+        det_index = tree.tokens.index("the")
+        noun_index = tree.tokens.index("shuttle")
+        assert tree.heads[det_index] == noun_index
+
+    def test_adposition_object_attaches_to_adposition(self):
+        tree = parse("go to the airport")
+        to_index = tree.tokens.index("to")
+        airport_index = tree.tokens.index("airport")
+        # 'airport' should sit underneath 'to' (directly or via the chain).
+        assert airport_index in tree.descendants(to_index) or \
+            tree.heads[airport_index] == to_index
+
+    def test_deterministic(self):
+        a = parse("What is the best way to get to SFO airport?")
+        b = parse("What is the best way to get to SFO airport?")
+        assert a.heads == b.heads
+
+    def test_noun_only_sentence_has_noun_root(self):
+        tree = parse("the airport shuttle")
+        assert tree.tags[tree.root] in {"NOUN", "PROPN"}

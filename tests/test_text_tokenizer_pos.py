@@ -1,0 +1,104 @@
+"""Tests for the tokenizer and POS tagger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.pos import PosTagger, UNIVERSAL_TAGS
+from repro.text.tokenizer import Tokenizer, tokenize
+
+
+class TestTokenizer:
+    def test_basic_sentence(self):
+        assert tokenize("What is the best way to get to SFO airport?") == [
+            "what", "is", "the", "best", "way", "to", "get", "to", "sfo",
+            "airport", "?",
+        ]
+
+    def test_empty_and_none(self):
+        assert tokenize("") == []
+        assert Tokenizer().tokenize(None) == []
+
+    def test_lowercasing_can_be_disabled(self):
+        tokens = Tokenizer(lowercase=False).tokenize("Uber to SFO")
+        assert tokens == ["Uber", "to", "SFO"]
+
+    def test_punctuation_kept_by_default(self):
+        assert tokenize("hello, world!") == ["hello", ",", "world", "!"]
+
+    def test_punctuation_can_be_dropped(self):
+        tokens = Tokenizer(keep_punctuation=False).tokenize("hello, world!")
+        assert tokens == ["hello", "world"]
+
+    def test_contractions_are_split(self):
+        assert tokenize("don't") == ["do", "n't"]
+        assert tokenize("it's") == ["it", "'s"]
+        assert tokenize("we'll") == ["we", "'ll"]
+
+    def test_contraction_splitting_can_be_disabled(self):
+        tokens = Tokenizer(split_contractions=False).tokenize("don't")
+        assert tokens == ["don't"]
+
+    def test_numbers_stay_whole(self):
+        assert tokenize("room 512 costs 99.50 dollars") == [
+            "room", "512", "costs", "99.50", "dollars",
+        ]
+
+    def test_deterministic(self):
+        text = "Is Uber the fastest way to get to the airport?"
+        assert tokenize(text) == tokenize(text)
+
+    def test_callable_interface(self):
+        tok = Tokenizer()
+        assert tok("a b") == ["a", "b"]
+
+
+class TestPosTagger:
+    def setup_method(self):
+        self.tagger = PosTagger()
+
+    def test_tags_align_with_tokens(self):
+        tokens = tokenize("the shuttle leaves at noon")
+        tags = self.tagger.tag(tokens)
+        assert len(tags) == len(tokens)
+        assert all(tag in UNIVERSAL_TAGS for tag in tags)
+
+    def test_closed_class_words(self):
+        assert self.tagger.tag(["the"]) == ["DET"]
+        assert self.tagger.tag(["to"]) == ["ADP"]
+        assert self.tagger.tag(["is"]) == ["AUX"]
+        assert self.tagger.tag(["and"]) == ["CCONJ"]
+
+    def test_punctuation_and_numbers(self):
+        assert self.tagger.tag(["?"]) == ["PUNCT"]
+        assert self.tagger.tag(["512"]) == ["NUM"]
+
+    def test_suffix_heuristics(self):
+        assert self.tagger.tag(["quickly"]) == ["ADV"]
+        assert self.tagger.tag(["wonderful"]) == ["ADJ"]
+
+    def test_capitalised_mid_sentence_is_propn(self):
+        tags = self.tagger.tag(["visit", "Vienna"])
+        assert tags[1] == "PROPN"
+
+    def test_default_is_noun(self):
+        assert self.tagger.tag(["zzzqx"]) == ["NOUN"]
+
+    def test_extra_lexicon_wins(self):
+        tagger = PosTagger()
+        tagger.add_lexicon({"shuttle": "NOUN", "bart": "PROPN"})
+        assert tagger.tag(["shuttle", "bart"]) == ["NOUN", "PROPN"]
+
+    def test_extra_lexicon_rejects_unknown_tag(self):
+        with pytest.raises(ValueError):
+            PosTagger().add_lexicon({"word": "NOT_A_TAG"})
+
+    def test_known_verbs(self):
+        tags = self.tagger.tag(["get", "to", "the", "airport"])
+        assert tags[0] == "VERB"
+
+    def test_empty_token_is_x(self):
+        assert self.tagger.tag([""]) == ["X"]
+
+    def test_callable_interface(self):
+        assert self.tagger(["the"]) == ["DET"]
