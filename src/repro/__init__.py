@@ -50,7 +50,7 @@ from .core import (
     SampleBasedOracle,
 )
 from .grammars import TokensRegexGrammar, TreeMatchGrammar, TreePattern
-from .index import CorpusIndex, RuleHierarchy
+from .index import CorpusIndex, CoverageStore, CoverageView, RuleHierarchy
 from .rules import LabelingHeuristic, RuleSet
 from .text import Corpus, Sentence
 
@@ -88,6 +88,8 @@ __all__ = [
     "TreeMatchGrammar",
     "TreePattern",
     "CorpusIndex",
+    "CoverageStore",
+    "CoverageView",
     "RuleHierarchy",
     "LabelingHeuristic",
     "RuleSet",

@@ -111,14 +111,19 @@ class ClassifierTrainer:
         return self.classifier
 
     def _sample_negatives(self, positive_ids: Set[int]) -> Sequence[int]:
-        pool = [i for i in range(len(self.corpus)) if i not in positive_ids]
-        if not pool:
+        # Columnar pool construction: flag positives in one mask instead of a
+        # per-sentence Python membership test over the whole corpus.
+        mask = np.ones(len(self.corpus), dtype=bool)
+        positives = np.fromiter(positive_ids, dtype=np.int64, count=len(positive_ids))
+        mask[positives[positives < mask.size]] = False
+        pool = np.flatnonzero(mask)
+        if not pool.size:
             return []
         target = int(np.ceil(len(positive_ids) * self.config.negative_sample_ratio))
         target = max(target, 5)
-        target = min(target, len(pool))
-        chosen = self._rng.choice(len(pool), size=target, replace=False)
-        return [pool[i] for i in chosen]
+        target = min(target, int(pool.size))
+        chosen = self._rng.choice(pool.size, size=target, replace=False)
+        return pool[chosen].tolist()
 
     def _featurize(self, sentences: Iterable) -> np.ndarray:
         if self.config.model == "cnn":

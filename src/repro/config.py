@@ -83,6 +83,11 @@ class DarwinConfig:
             candidate's precision is at least this value (0.8 in Section 4.1).
         oracle_sample_size: Number of example sentences shown per query.
         retrain_every: Retrain the classifier after this many accepted rules.
+        hierarchy_refresh: ``"incremental"`` (default) re-expands only the
+            index nodes whose overlap with the newly discovered positives
+            changed after each accepted rule; ``"full"`` regenerates every
+            candidate from scratch (the pre-columnar behaviour, kept for
+            experiments that need exact Algorithm 2 reruns).
         classifier: Nested :class:`ClassifierConfig`.
         seed: Seed for all stochastic tie-breaking inside the search.
     """
@@ -98,6 +103,7 @@ class DarwinConfig:
     oracle_precision_threshold: float = 0.8
     oracle_sample_size: int = 5
     retrain_every: int = 1
+    hierarchy_refresh: str = "incremental"
     classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
     seed: int = 0
 
@@ -124,6 +130,10 @@ class DarwinConfig:
             raise ConfigurationError("oracle_sample_size must be positive")
         if self.retrain_every <= 0:
             raise ConfigurationError("retrain_every must be positive")
+        if self.hierarchy_refresh not in {"full", "incremental"}:
+            raise ConfigurationError(
+                f"unknown hierarchy_refresh: {self.hierarchy_refresh!r}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "DarwinConfig":
         """Return a copy of this config with ``overrides`` applied.

@@ -12,6 +12,14 @@ classifier's probability that sentence ``s`` is positive. The average benefit
 Benefits for all candidates only change when the classifier is retrained or
 ``P`` grows, so :class:`BenefitScorer` caches per-rule values against a
 version counter bumped by :meth:`BenefitScorer.invalidate`.
+
+The scorer is columnar: ``P`` is kept as a boolean mask so that for a rule
+whose coverage is an interned :class:`~repro.index.coverage.CoverageView` the
+benefit is one fancy-indexing reduction — ``scores[new_ids].sum()`` with
+``new_ids = C_r[~mask[C_r]]`` — instead of a per-id Python loop. Because
+views are interned (identical coverage ⇒ identical object), the cache is
+keyed by view identity, so structurally different rules sharing a coverage
+set also share one cached benefit.
 """
 
 from __future__ import annotations
@@ -35,8 +43,19 @@ class BenefitScorer:
     def __init__(self, scores: np.ndarray, covered_ids: Set[int]) -> None:
         self._scores = np.asarray(scores, dtype=np.float64)
         self._covered: Set[int] = set(covered_ids)
+        self._covered_mask = self._build_mask(self._covered)
         self._version = 0
-        self._cache: Dict[Tuple[int, LabelingHeuristic], Tuple[float, int]] = {}
+        self._cache: Dict[object, Tuple[float, int]] = {}
+        self._count_cache: Dict[object, int] = {}
+
+    def _build_mask(self, covered: Set[int]) -> np.ndarray:
+        size = self._scores.size
+        if covered:
+            size = max(size, max(covered) + 1)
+        mask = np.zeros(size, dtype=bool)
+        if covered:
+            mask[list(covered)] = True
+        return mask
 
     # ----------------------------------------------------------------- state
     def update(self, scores: Optional[np.ndarray] = None,
@@ -46,40 +65,89 @@ class BenefitScorer:
             self._scores = np.asarray(scores, dtype=np.float64)
         if covered_ids is not None:
             self._covered = set(covered_ids)
+        if scores is not None or covered_ids is not None:
+            self._covered_mask = self._build_mask(self._covered)
         self.invalidate()
 
     def invalidate(self) -> None:
         """Drop all cached benefit values."""
         self._version += 1
         self._cache.clear()
+        self._count_cache.clear()
 
     @property
     def covered_ids(self) -> Set[int]:
         """The covered positive set ``P`` used for gain computation."""
         return set(self._covered)
 
+    @property
+    def covered_mask(self) -> np.ndarray:
+        """``P`` as a boolean mask (shared, do not mutate)."""
+        return self._covered_mask
+
     # --------------------------------------------------------------- scoring
+    def _new_ids_array(self, rule: LabelingHeuristic) -> np.ndarray:
+        """``C_r \\ P`` as an int array (vectorized when coverage is a view)."""
+        view = rule.coverage_view
+        if view is not None:
+            return view.new_ids_given(self._covered_mask)
+        return np.array(
+            [sid for sid in rule.coverage if sid not in self._covered],
+            dtype=np.int64,
+        )
+
     def new_ids(self, rule: LabelingHeuristic) -> List[int]:
         """Sentence ids the rule would newly cover (``C_r \\ P``)."""
-        return [sid for sid in rule.coverage if sid not in self._covered]
+        return self._new_ids_array(rule).tolist()
+
+    def new_count(self, rule: LabelingHeuristic) -> int:
+        """``|C_r \\ P|`` without materializing a Python list.
+
+        Cached per (classifier version, coverage identity): the traversal's
+        gain filter probes every candidate on every propose, and ``P`` only
+        changes between versions.
+        """
+        key = self._cache_key(rule)
+        count = self._count_cache.get(key)
+        if count is not None:
+            return count
+        cached = self._cache.get(key)
+        if cached is not None:
+            count = cached[1]
+        else:
+            view = rule.coverage_view
+            if view is not None:
+                count = view.count - view.overlap_with(self._covered_mask)
+            else:
+                count = sum(1 for sid in rule.coverage if sid not in self._covered)
+        self._count_cache[key] = count
+        return count
+
+    def _cache_key(self, rule: LabelingHeuristic) -> object:
+        view = rule.coverage_view
+        if view is not None:
+            # Interned views are content-unique, so id() keys benefits by
+            # coverage content; the store keeps the view alive.
+            return (id(view), True)
+        return (rule, False)
 
     def benefit(self, rule: LabelingHeuristic) -> float:
         """Total benefit of ``rule`` (expected number of new positives)."""
-        key = (self._version, rule)
+        key = self._cache_key(rule)
         cached = self._cache.get(key)
         if cached is not None:
             return cached[0]
-        new_ids = self.new_ids(rule)
-        if not new_ids:
+        new_ids = self._new_ids_array(rule)
+        if not new_ids.size:
             value = 0.0
         else:
-            value = float(self._scores[np.array(new_ids)].sum())
-        self._cache[key] = (value, len(new_ids))
+            value = float(self._scores[new_ids].sum())
+        self._cache[key] = (value, int(new_ids.size))
         return value
 
     def average_benefit(self, rule: LabelingHeuristic) -> float:
         """Benefit per new instance (0.0 when the rule adds nothing)."""
-        key = (self._version, rule)
+        key = self._cache_key(rule)
         if key not in self._cache:
             self.benefit(rule)
         value, count = self._cache[key]
@@ -97,14 +165,25 @@ class BenefitScorer:
         selection is deterministic.
         """
         best_rule: Optional[LabelingHeuristic] = None
-        best_key: Tuple[float, int, str] = (-1.0, 0, "")
+        best_key: Tuple[float, int] = (-1.0, 0)
+        best_render: Optional[str] = None
         for rule in rules:
             if min_average is not None and self.average_benefit(rule) <= min_average:
                 continue
-            key = (self.benefit(rule), rule.coverage_size, rule.render())
+            key = (self.benefit(rule), rule.coverage_size)
             if best_rule is None or key > best_key:
                 best_rule = rule
                 best_key = key
+                best_render = None
+            elif key == best_key:
+                # Exact tie: fall back to the rendered string, computed lazily
+                # so the common no-tie case never renders every candidate.
+                if best_render is None:
+                    best_render = best_rule.render()
+                render = rule.render()
+                if render > best_render:
+                    best_rule = rule
+                    best_render = render
         return best_rule
 
     def rank(self, rules: Iterable[LabelingHeuristic]) -> List[LabelingHeuristic]:

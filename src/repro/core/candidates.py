@@ -9,8 +9,13 @@ least partially overlap the known positives, which seeds the hierarchy.
 The paper sorts the candidate list each iteration; because the overlap of a
 fixed candidate with a fixed positive set never changes inside one invocation,
 an equivalent (and much faster) implementation uses a max-heap keyed by
-``(overlap with P, total coverage)``. Optional diversity constraints skip
-candidates that are near-duplicates of already selected ones.
+``(overlap with P, total coverage)``. Overlap counts go through the index's
+columnar coverage layer: the positive set is turned into one boolean mask up
+front and each node's interned id array is probed against it, so no per-node
+Python-set intersections are materialized. Optional diversity constraints
+skip candidates that are near-duplicates of already selected ones — detected
+by interned-view identity, which is O(1) instead of hashing a frozen copy of
+every candidate's coverage.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ..index.coverage import membership_mask
 from ..index.trie_index import ROOT_KEY, CorpusIndex
 from ..index.sketch import SketchKey
 from ..rules.heuristic import LabelingHeuristic
@@ -66,13 +72,15 @@ def generate_candidates(
         (highest positive-overlap first).
     """
     options = options or CandidateOptions()
-    positives = set(positive_ids)
+    positives_mask = membership_mask(
+        positive_ids, max(index.num_sentences, index.store.universe_size)
+    )
 
     # Max-heap entries: (-overlap, -coverage, tie_break, key)
     heap: List[Tuple[int, int, str, SketchKey]] = []
     seen: Set[SketchKey] = {ROOT_KEY}
     selected: List[SketchKey] = []
-    selected_coverages: Set[frozenset] = set()
+    selected_coverages: Set[object] = set()
 
     def push_children(of_key: SketchKey) -> None:
         children = index.children_of(of_key)
@@ -89,7 +97,7 @@ def generate_candidates(
             node = index.node(child)
             if node.count < options.min_coverage:
                 continue
-            overlap = len(node.sentence_ids & positives)
+            overlap = index.overlap_count(child, positives_mask)
             if overlap < options.min_positive_overlap:
                 continue
             heapq.heappush(heap, (-overlap, -node.count, repr(child), child))
@@ -101,7 +109,10 @@ def generate_candidates(
         _, _, _, key = heapq.heappop(heap)
         node = index.node(key)
         if options.require_diversity:
-            signature = frozenset(node.sentence_ids)
+            # Interned views are content-unique, so the view object itself is
+            # the coverage signature; unsealed indexes fall back to freezing.
+            view = node.coverage_view
+            signature: object = view if view is not None else frozenset(node.sentence_ids)
             if signature in selected_coverages:
                 # Identical coverage to an already-selected rule: still expand
                 # its children (they may differ) but do not select it.

@@ -36,7 +36,7 @@ from ..utils.rng import derive_rng
 from ..utils.timing import Stopwatch
 from .benefit import BenefitScorer
 from .candidates import CandidateOptions, generate_candidates, seed_candidates
-from .hierarchy_builder import build_hierarchy, expand_rule_neighbourhood
+from .hierarchy_builder import attach_candidates, build_hierarchy, expand_rule_neighbourhood
 from .oracle import BudgetedOracle, Oracle
 from .score_update import ScoreUpdater
 from .traversal.base import TraversalContext, make_traversal
@@ -161,6 +161,11 @@ class Darwin:
                     seed=self.config.classifier.seed,
                 )
         self._rng = derive_rng(self.config.seed, "darwin", corpus.name)
+        # Ground truth is immutable per corpus; compute it once instead of
+        # re-scanning every sentence on every oracle answer.
+        self._truth_ids: Optional[Set[int]] = (
+            corpus.positive_ids() if corpus.has_labels() else None
+        )
 
         # Mutable per-run state (populated by start()).
         self.rule_set = RuleSet()
@@ -265,8 +270,70 @@ class Darwin:
         )
         candidates = generate_candidates(self.index, self.positive_ids, options)
         return build_hierarchy(
-            candidates, index=self.index, covered_ids=self.rule_set.covered_ids
+            candidates, index=self.index, covered_ids=self.rule_set.covered_mask
         )
+
+    def _refresh_hierarchy_incremental(self, new_positive_ids: Set[int]) -> RuleHierarchy:
+        """Update the live hierarchy after new positives instead of rebuilding.
+
+        Only index nodes whose overlap with ``P`` changed — exactly those
+        covering one of the newly accepted positives, found via the index's
+        sentence→keys inverted map — are (re)considered as candidates. The
+        existing hierarchy is then cleaned of rules that no longer add
+        coverage. Per accepted rule this costs time proportional to the new
+        positives' sketch sizes, not to regenerating ``num_candidates``
+        heuristics from scratch (the ``"full"`` mode).
+        """
+        hierarchy = self.hierarchy
+        if hierarchy is None or not new_positive_ids:
+            return self._build_hierarchy()
+        affected: Set = set()
+        for sentence_id in new_positive_ids:
+            affected.update(self.index.keys_covering(sentence_id))
+        queried_keys = {
+            (rule.grammar.name, rule.expression)
+            for rule in self.traversal.context.queried
+        } if self.traversal is not None else set()
+        candidates: List[LabelingHeuristic] = []
+        for key in affected:
+            node = self.index.node(key)
+            if node.count < self.config.min_coverage:
+                continue
+            if key in queried_keys:
+                continue
+            rule = self.index.heuristic(key)
+            if rule in hierarchy:
+                continue
+            candidates.append(rule)
+        # Drop exhausted rules first so freed slots count against the cap.
+        hierarchy.cleanup(self.rule_set.covered_mask)
+        # Mirror the full path's constraints: highest positive-overlap first,
+        # skip coverage-duplicates of existing candidates (diversity), and
+        # never grow the hierarchy past num_candidates.
+        positives_mask = self.benefit.covered_mask if self.benefit is not None else None
+        def overlap(rule: LabelingHeuristic) -> int:
+            view = rule.coverage_view
+            if view is not None and positives_mask is not None:
+                return view.overlap_with(positives_mask)
+            return len(set(rule.coverage) & self.positive_ids)
+        candidates.sort(key=lambda r: (-overlap(r), -r.coverage_size, r.render()))
+        seen_coverages = {
+            rule.coverage_view if rule.coverage_view is not None
+            else frozenset(rule.coverage)
+            for rule in hierarchy.rules()
+        }
+        budget = max(0, self.config.num_candidates - len(hierarchy))
+        fresh: List[LabelingHeuristic] = []
+        for rule in candidates:
+            if len(fresh) >= budget:
+                break
+            signature = rule.coverage_view or frozenset(rule.coverage)
+            if signature in seen_coverages:
+                continue
+            seen_coverages.add(signature)
+            fresh.append(rule)
+        attach_candidates(hierarchy, fresh)
+        return hierarchy
 
     def _neighbour_provider(self, rule: LabelingHeuristic, direction: str) -> List[LabelingHeuristic]:
         return expand_rule_neighbourhood(
@@ -292,7 +359,12 @@ class Darwin:
         self._require_started()
         if self.updater.needs_hierarchy_refresh:
             with self.stopwatch.measure("hierarchy_generation"):
-                self.hierarchy = self._build_hierarchy()
+                if self.config.hierarchy_refresh == "incremental":
+                    self.hierarchy = self._refresh_hierarchy_incremental(
+                        self.updater.pending_new_positive_ids
+                    )
+                else:
+                    self.hierarchy = self._build_hierarchy()
             self.traversal.on_hierarchy_update(self.hierarchy)
             self.updater.acknowledge_hierarchy_refresh()
         with self.stopwatch.measure("traversal"):
@@ -318,8 +390,8 @@ class Darwin:
         self.traversal.feedback(rule, is_useful)
 
         truth = evaluation_positive_ids
-        if truth is None and self.corpus.has_labels():
-            truth = self.corpus.positive_ids()
+        if truth is None:
+            truth = self._truth_ids
         recall = self.rule_set.recall(truth) if truth else 0.0
         precision = self.rule_set.precision(truth) if truth else 0.0
         f1 = self.updater.classifier_f1(truth) if truth else 0.0
@@ -370,9 +442,14 @@ class Darwin:
             seed_positive_ids=seed_positive_ids,
         )
         query_budget = budget or self.config.budget
-        budgeted = oracle if isinstance(oracle, BudgetedOracle) else BudgetedOracle(
-            base=oracle, budget=query_budget
-        )
+        if isinstance(oracle, BudgetedOracle):
+            # A pre-wrapped oracle carries its own budget, which may disagree
+            # with budget/config.budget; honour the tighter of the two so the
+            # loop condition and the wrapper can never get out of sync.
+            budgeted = oracle
+            query_budget = min(query_budget, budgeted.budget)
+        else:
+            budgeted = BudgetedOracle(base=oracle, budget=query_budget)
         while budgeted.queries_used < query_budget:
             rule = self.propose_next()
             if rule is None:

@@ -33,7 +33,7 @@ def build_hierarchy(
         index: The corpus index (used only to confirm expressions exist; edges
             are derived from the grammars' generalization chains).
         covered_ids: When given, run the cleanup pass dropping rules that add
-            no sentence beyond this set.
+            no sentence beyond this set (a set of ids or a boolean mask).
         max_generalization_hops: How far up the generalization chain to look
             for a parent present in the candidate set (a candidate's immediate
             generalization may itself not have been selected).
@@ -57,8 +57,42 @@ def build_hierarchy(
                 hierarchy.add_edge(parent, rule)
 
     if covered_ids is not None:
-        hierarchy.cleanup(set(covered_ids))
+        hierarchy.cleanup(covered_ids)
     return hierarchy
+
+
+def attach_candidates(
+    hierarchy: RuleHierarchy,
+    new_rules: Iterable[LabelingHeuristic],
+    max_generalization_hops: int = 3,
+) -> List[LabelingHeuristic]:
+    """Incrementally add candidates to an existing hierarchy.
+
+    Used by Darwin's incremental hierarchy refresh: instead of regenerating
+    all candidates after every accepted rule, only the rules whose overlap
+    with the newly discovered positives changed are materialized and linked
+    into the live hierarchy. Edges are discovered the same way as in
+    :func:`build_hierarchy` (walking each new rule's generalization chain);
+    downward edges from a new rule to pre-existing candidates are not
+    re-derived, which the traversal strategies tolerate because they fall
+    back to the on-the-fly neighbour provider.
+
+    Returns the rules actually added (duplicates are skipped).
+    """
+    by_key: Dict[tuple, LabelingHeuristic] = {
+        (rule.grammar.name, rule.expression): rule for rule in hierarchy.rules()
+    }
+    added: List[LabelingHeuristic] = []
+    for rule in new_rules:
+        if hierarchy.add(rule):
+            by_key[(rule.grammar.name, rule.expression)] = rule
+            added.append(rule)
+    for rule in added:
+        parents = _find_parents(rule, by_key, max_generalization_hops)
+        for parent in parents:
+            if parent.coverage_size >= rule.coverage_size:
+                hierarchy.add_edge(parent, rule)
+    return added
 
 
 def _find_parents(

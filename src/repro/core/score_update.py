@@ -31,15 +31,26 @@ class ScoreUpdater:
         self.retrain_every = retrain_every
         self._accepted_since_retrain = 0
         self._needs_hierarchy_refresh = False
+        self._pending_new_positive_ids: Set[int] = set()
 
     @property
     def needs_hierarchy_refresh(self) -> bool:
         """True when new positives arrived since the last hierarchy build."""
         return self._needs_hierarchy_refresh
 
+    @property
+    def pending_new_positive_ids(self) -> Set[int]:
+        """Positives discovered since the last hierarchy refresh.
+
+        Darwin's incremental refresh path uses these to re-expand only the
+        index nodes whose overlap with ``P`` actually changed.
+        """
+        return set(self._pending_new_positive_ids)
+
     def acknowledge_hierarchy_refresh(self) -> None:
         """Reset the refresh flag after the hierarchy has been regenerated."""
         self._needs_hierarchy_refresh = False
+        self._pending_new_positive_ids.clear()
 
     def initialize(self, positive_ids: Set[int]) -> None:
         """Initial classifier training on the seed positives."""
@@ -60,6 +71,7 @@ class ScoreUpdater:
         self.benefit.update(scores=scores, covered_ids=positive_ids)
         if new_positive_ids:
             self._needs_hierarchy_refresh = True
+            self._pending_new_positive_ids.update(new_positive_ids)
 
     def on_reject(self) -> None:
         """Handle a NO answer (no retraining; benefits stay valid)."""

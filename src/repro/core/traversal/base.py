@@ -103,7 +103,7 @@ class TraversalStrategy(ABC):
         candidates = self._unqueried(rules)
         if require_gain:
             candidates = [
-                rule for rule in candidates if self.context.benefit.new_ids(rule)
+                rule for rule in candidates if self.context.benefit.new_count(rule)
             ]
         if not candidates:
             return None
@@ -127,18 +127,27 @@ class TraversalStrategy(ABC):
         candidates = [
             rule
             for rule in self._unqueried(rules)
-            if self.context.benefit.new_ids(rule)
+            if self.context.benefit.new_count(rule)
         ]
         if not candidates:
             return None
-        return max(
-            candidates,
-            key=lambda r: (
-                round(self.context.benefit.average_benefit(r), 1),
-                self.context.benefit.benefit(r),
-                r.render(),
-            ),
-        )
+        benefit = self.context.benefit
+        best = None
+        best_key = None
+        best_render = None
+        for rule in candidates:
+            key = (round(benefit.average_benefit(rule), 1), benefit.benefit(rule))
+            if best is None or key > best_key:
+                best, best_key, best_render = rule, key, None
+            elif key == best_key:
+                # Exact tie: rendered-string tie-break, computed lazily so the
+                # common no-tie case never renders every candidate.
+                if best_render is None:
+                    best_render = best.render()
+                render = rule.render()
+                if render > best_render:
+                    best, best_render = rule, render
+        return best
 
 
 def make_traversal(

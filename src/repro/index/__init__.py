@@ -1,10 +1,14 @@
-"""Corpus indexing: derivation sketches, the merged corpus index, hierarchies."""
+"""Corpus indexing: derivation sketches, the merged corpus index, hierarchies,
+and the columnar coverage store backing all of them."""
 
+from .coverage import CoverageStore, CoverageView
 from .sketch import DerivationSketch, build_sketch
 from .trie_index import CorpusIndex, IndexNode
 from .hierarchy import RuleHierarchy
 
 __all__ = [
+    "CoverageStore",
+    "CoverageView",
     "DerivationSketch",
     "build_sketch",
     "CorpusIndex",

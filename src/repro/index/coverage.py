@@ -1,0 +1,367 @@
+"""Columnar coverage store: interned, immutable coverage sets.
+
+Motivation (multi-layer refactor)
+---------------------------------
+
+Every layer of the reproduction used to round-trip coverage through copied
+Python sets: the index materialized a fresh ``set`` per :meth:`coverage` call,
+``heuristic()`` built a new ``frozenset`` per node, the benefit scorer walked
+``C_r \\ P`` id by id in Python, and ranking by overlap intersected Python
+sets against every index node. Following the compact in-memory representation
+argument of "Extracting and Analyzing Hidden Graphs from Relational
+Databases" (Xirogiannopoulos & Deshpande), this module replaces all of that
+with a single columnar layer:
+
+* :class:`CoverageStore` interns each **distinct** coverage exactly once as an
+  immutable, sorted ``numpy`` ``int32`` array. Nodes, heuristics, and rule
+  sets hold cheap :class:`CoverageView` handles; two nodes with identical
+  coverage share one array (and one hash).
+* :class:`CoverageView` is a :class:`collections.abc.Set` — existing callers
+  that treat coverage as a set (``len``, ``in``, ``&``, ``|``, ``-``, ``<=``,
+  ``==`` against plain sets) keep working unchanged — while hot paths use the
+  vectorized primitives ``intersect_count``, ``subtract``, ``union_into``,
+  ``overlap_with`` and ``new_ids_given`` instead of per-id Python loops.
+* Dense coverages additionally cache a packed bitset (``numpy.packbits``), so
+  intersect counts between two dense views are a few ``bitwise_and`` +
+  popcount instructions per 64 sentences instead of a hash probe per id.
+
+Migration notes
+---------------
+
+``LabelingHeuristic.coverage_ids`` may now be a :class:`CoverageView` instead
+of a ``frozenset``; both are immutable set-likes, and ``with_coverage``
+accepts either (views are kept as-is, avoiding a copy). ``CorpusIndex``
+seals node id-sets into interned views once construction finishes; code that
+mutates ``IndexNode.sentence_ids`` after sealing must go through
+``CorpusIndex.add_sketch`` (which transparently un-seals).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set as AbstractSet
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+IdsLike = Union["CoverageView", Iterable[int], np.ndarray]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int32)
+_EMPTY_IDS.setflags(write=False)
+
+# A view caches a packed bitset once its density over the store's universe
+# exceeds this fraction; below it, merge-style array intersections win.
+DENSE_BITSET_DENSITY = 1.0 / 64.0
+
+
+def _as_sorted_ids(ids: IdsLike) -> np.ndarray:
+    """Normalize ``ids`` to a sorted, unique, read-only ``int32`` array."""
+    if isinstance(ids, CoverageView):
+        return ids.ids
+    if not isinstance(ids, (np.ndarray, list, tuple)):
+        # Sets, dict views, generators, other AbstractSets: np.asarray cannot
+        # consume these directly.
+        ids = list(ids)
+    array = np.asarray(ids, dtype=np.int64)
+    if array.ndim != 1:
+        array = array.reshape(-1)
+    if array.size:
+        array = np.unique(array)  # sorts and dedups
+    array = array.astype(np.int32, copy=False)
+    array.setflags(write=False)
+    return array
+
+
+def _popcount(bits: np.ndarray) -> int:
+    """Total number of set bits in a packed ``uint8`` array."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return int(np.bitwise_count(bits).sum())
+    return int(np.unpackbits(bits).sum())
+
+
+class CoverageView(AbstractSet):
+    """Immutable handle over one interned coverage set.
+
+    Behaves like a ``frozenset`` of sentence ids (it is a
+    :class:`collections.abc.Set`, so comparisons and binary operators against
+    plain sets work, and its hash equals ``frozenset``'s for the same ids)
+    while exposing vectorized primitives for the hot paths.
+    """
+
+    __slots__ = ("_ids", "_store", "_hash", "_bits", "_bits_universe")
+
+    def __init__(self, ids: np.ndarray, store: Optional["CoverageStore"] = None) -> None:
+        self._ids = ids
+        self._store = store
+        self._hash: Optional[int] = None
+        self._bits: Optional[np.ndarray] = None
+        self._bits_universe = -1
+
+    # ------------------------------------------------------------- columnar
+    @property
+    def ids(self) -> np.ndarray:
+        """The sorted, unique, read-only ``int32`` id array."""
+        return self._ids
+
+    @property
+    def count(self) -> int:
+        """``|C|`` — number of covered sentences."""
+        return int(self._ids.size)
+
+    @property
+    def store(self) -> Optional["CoverageStore"]:
+        """The interning store this view belongs to (None for free views)."""
+        return self._store
+
+    def _packed_bits(self) -> Optional[np.ndarray]:
+        """Packed bitset over the store's universe, cached when dense enough.
+
+        The cache is keyed to the universe size it was packed under: if the
+        store's universe has grown since (e.g. the index was extended and
+        re-sealed), the bitset is re-packed so two views always produce
+        equal-length bit arrays.
+        """
+        if self._store is None or not self._ids.size:
+            return None
+        universe = self._store.universe_size
+        if self._bits is not None and self._bits_universe == universe:
+            return self._bits
+        if universe <= 0 or int(self._ids[-1]) >= universe:
+            return None
+        if self._ids.size < universe * DENSE_BITSET_DENSITY:
+            self._bits = None
+            return None
+        mask = np.zeros(universe, dtype=bool)
+        mask[self._ids] = True
+        self._bits = np.packbits(mask)
+        self._bits_universe = universe
+        return self._bits
+
+    def intersect_count(self, other: IdsLike) -> int:
+        """``|C ∩ other|`` without materializing the intersection."""
+        if isinstance(other, np.ndarray) and other.dtype == np.bool_:
+            return self.overlap_with(other)
+        if isinstance(other, CoverageView):
+            if other is self:
+                return self.count
+            mine, theirs = self._packed_bits(), other._packed_bits()
+            if mine is not None and theirs is not None:
+                return _popcount(np.bitwise_and(mine, theirs))
+            a, b = self._ids, other._ids
+        else:
+            a, b = self._ids, _as_sorted_ids(other)
+        if not a.size or not b.size:
+            return 0
+        if a.size > b.size:
+            a, b = b, a
+        # Probe the smaller array into the larger via binary search.
+        positions = np.searchsorted(b, a)
+        positions[positions == b.size] = b.size - 1
+        return int(np.count_nonzero(b[positions] == a))
+
+    def subtract(self, other: IdsLike) -> np.ndarray:
+        """Ids in ``C`` but not in ``other`` (sorted ``int32`` array)."""
+        if isinstance(other, np.ndarray) and other.dtype == np.bool_:
+            return self.new_ids_given(other)
+        b = _as_sorted_ids(other)
+        if not self._ids.size or not b.size:
+            return self._ids
+        keep = np.isin(self._ids, b, assume_unique=True, invert=True)
+        return self._ids[keep]
+
+    def union_into(self, mask: np.ndarray) -> np.ndarray:
+        """Set ``mask[id] = True`` for every covered id; returns ``mask``."""
+        if self._ids.size:
+            mask[self._ids] = True
+        return mask
+
+    def overlap_with(self, mask: np.ndarray) -> int:
+        """``|C ∩ mask|`` for a boolean membership mask."""
+        if not self._ids.size:
+            return 0
+        ids = self._ids
+        if ids[-1] >= mask.size:
+            ids = ids[ids < mask.size]
+            if not ids.size:
+                return 0
+        return int(np.count_nonzero(mask[ids]))
+
+    def new_ids_given(self, mask: np.ndarray) -> np.ndarray:
+        """Ids **not** flagged in ``mask`` (the ``C_r \\ P`` primitive)."""
+        if not self._ids.size:
+            return self._ids
+        ids = self._ids
+        if ids[-1] >= mask.size:
+            inside = ids[ids < mask.size]
+            outside = ids[ids >= mask.size]
+            kept = inside[~mask[inside]] if inside.size else inside
+            return np.concatenate([kept, outside]) if outside.size else kept
+        return ids[~mask[ids]]
+
+    def to_set(self) -> frozenset:
+        """Materialize a plain ``frozenset`` (compatibility escape hatch)."""
+        return frozenset(int(i) for i in self._ids)
+
+    # ------------------------------------------------------- set protocol
+    def __len__(self) -> int:
+        return int(self._ids.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids.tolist())
+
+    def __contains__(self, item: object) -> bool:
+        try:
+            value = int(item)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+        position = int(np.searchsorted(self._ids, value))
+        return position < self._ids.size and int(self._ids[position]) == value
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable[int]) -> frozenset:
+        # Binary Set operators (& | - ^) produce plain frozensets: callers of
+        # those operators expect generic set semantics, not interned views.
+        return frozenset(iterable)
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if isinstance(other, CoverageView):
+            return np.array_equal(self._ids, other._ids)
+        if isinstance(other, (set, frozenset, AbstractSet)):
+            return len(other) == len(self) and all(i in self for i in other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        # Matches frozenset's hash (collections.abc.Set._hash), so views and
+        # frozensets with equal contents collide correctly in dicts/sets.
+        if self._hash is None:
+            self._hash = self._hash_ids()
+        return self._hash
+
+    def _hash_ids(self) -> int:
+        return AbstractSet._hash(self)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(int(i)) for i in self._ids[:6])
+        suffix = ", ..." if self._ids.size > 6 else ""
+        return f"CoverageView({{{preview}{suffix}}}, n={self._ids.size})"
+
+
+class CoverageStore:
+    """Interning store for coverage sets over a sentence-id universe.
+
+    Each distinct coverage is held exactly once; :meth:`intern` returns the
+    shared :class:`CoverageView` for its contents, so identical coverages are
+    identical objects (``a is b``) and caches may key by ``id(view)``.
+
+    Args:
+        universe_size: Number of sentences (ids are ``0 .. universe_size-1``).
+            May be grown later with :meth:`ensure_universe`; the universe only
+            gates bitset acceleration, not correctness.
+    """
+
+    def __init__(self, universe_size: int = 0) -> None:
+        self._universe = int(universe_size)
+        self._interned: Dict[bytes, CoverageView] = {}
+        self.empty = CoverageView(_EMPTY_IDS, store=self)
+        self._interned[b""] = self.empty
+
+    # ----------------------------------------------------------------- admin
+    @property
+    def universe_size(self) -> int:
+        """Current sentence-id universe size."""
+        return self._universe
+
+    @property
+    def num_interned(self) -> int:
+        """Number of distinct coverage sets interned (including empty)."""
+        return len(self._interned)
+
+    @property
+    def bytes_interned(self) -> int:
+        """Total bytes held by the interned id arrays."""
+        return sum(view.ids.nbytes for view in self._interned.values())
+
+    def ensure_universe(self, size: int) -> None:
+        """Grow the universe to at least ``size`` sentences."""
+        if size > self._universe:
+            self._universe = int(size)
+
+    # ------------------------------------------------------------- interning
+    def intern(self, ids: IdsLike) -> CoverageView:
+        """The unique view for ``ids`` (created on first sight)."""
+        if isinstance(ids, CoverageView) and ids.store is self:
+            return ids
+        array = _as_sorted_ids(ids)
+        key = array.tobytes()
+        view = self._interned.get(key)
+        if view is None:
+            view = CoverageView(array, store=self)
+            self._interned[key] = view
+            if array.size:
+                self.ensure_universe(int(array[-1]) + 1)
+        return view
+
+    def from_mask(self, mask: np.ndarray) -> CoverageView:
+        """Intern the coverage flagged in a boolean ``mask``."""
+        return self.intern(np.flatnonzero(mask))
+
+    def union(self, coverages: Iterable[IdsLike]) -> CoverageView:
+        """Intern the union of several coverages via one running mask."""
+        mask = self.new_mask()
+        for coverage in coverages:
+            ids = _as_sorted_ids(coverage)
+            if not ids.size:
+                continue
+            if int(ids[-1]) >= mask.size:
+                grown = np.zeros(int(ids[-1]) + 1, dtype=bool)
+                grown[: mask.size] = mask
+                mask = grown
+            mask[ids] = True
+        return self.from_mask(mask)
+
+    def new_mask(self) -> np.ndarray:
+        """A fresh all-False membership mask over the universe."""
+        return np.zeros(max(self._universe, 1), dtype=bool)
+
+    def mask_of(self, ids: IdsLike) -> np.ndarray:
+        """A boolean membership mask with ``ids`` flagged."""
+        array = _as_sorted_ids(ids)
+        size = max(self._universe, int(array[-1]) + 1 if array.size else 1)
+        mask = np.zeros(size, dtype=bool)
+        if array.size:
+            mask[array] = True
+        return mask
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics for diagnostics and benchmarks."""
+        return {
+            "universe_size": float(self._universe),
+            "num_interned": float(self.num_interned),
+            "bytes_interned": float(self.bytes_interned),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageStore(universe={self._universe}, "
+            f"interned={self.num_interned})"
+        )
+
+
+def as_id_array(ids: IdsLike) -> np.ndarray:
+    """Public helper: normalize any id collection to a sorted int32 array."""
+    return _as_sorted_ids(ids)
+
+
+def membership_mask(ids: IdsLike, size: int) -> np.ndarray:
+    """Boolean membership mask of length >= ``size`` for ``ids``."""
+    array = _as_sorted_ids(ids)
+    length = max(int(size), int(array[-1]) + 1 if array.size else 1)
+    mask = np.zeros(length, dtype=bool)
+    if array.size:
+        mask[array] = True
+    return mask

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Set
 
+import numpy as np
+
 from ..errors import TraversalError
 from ..rules.heuristic import LabelingHeuristic
 
@@ -130,18 +132,35 @@ class RuleHierarchy:
         return True
 
     # ---------------------------------------------------------------- cleanup
-    def cleanup(self, covered_ids: Set[int]) -> int:
+    def cleanup(self, covered_ids) -> int:
         """Drop rules whose coverage adds nothing beyond ``covered_ids``.
 
-        Returns the number of removed rules. Mirrors the paper's cleanup step:
-        the traversal will never query a heuristic that cannot add new
-        positives.
+        Accepts a set of sentence ids or a boolean coverage mask. Returns the
+        number of removed rules. Mirrors the paper's cleanup step: the
+        traversal will never query a heuristic that cannot add new positives.
+        Rules backed by interned coverage views are tested with one vectorized
+        mask probe instead of materializing a set difference.
         """
-        removable = [
-            rule
-            for rule in self._nodes
-            if not (set(rule.coverage) - covered_ids)
-        ]
+        if isinstance(covered_ids, np.ndarray) and covered_ids.dtype == np.bool_:
+            mask: Optional[np.ndarray] = covered_ids
+            covered_set: Set[int] = set()
+        else:
+            mask = None
+            covered_set = set(covered_ids)
+
+        def has_gain(rule: LabelingHeuristic) -> bool:
+            view = rule.coverage_view
+            if view is not None:
+                if mask is not None:
+                    return bool(view.new_ids_given(mask).size)
+                return view.count > view.intersect_count(covered_set)
+            if mask is not None:
+                return any(
+                    sid >= mask.size or not mask[sid] for sid in rule.coverage
+                )
+            return bool(set(rule.coverage) - covered_set)
+
+        removable = [rule for rule in self._nodes if not has_gain(rule)]
         for rule in removable:
             self.remove(rule)
         return len(removable)
@@ -184,13 +203,20 @@ class RuleHierarchy:
         # Sort by descending coverage so parents are processed before children.
         ordered = sorted(rule_list, key=lambda r: (-r.coverage_size, r.render()))
         for child_pos, child in enumerate(ordered):
-            child_cov = set(child.coverage)
+            child_view = child.coverage_view
+            child_cov = None if child_view is not None else set(child.coverage)
             for parent in ordered[:child_pos]:
                 if link_by_grammar and parent.grammar.name != child.grammar.name:
                     continue
                 if parent.coverage_size < child.coverage_size:
                     continue
-                if not child_cov.issubset(parent.coverage):
+                if child_view is not None:
+                    contained = (
+                        child_view.intersect_count(parent.coverage) == child_view.count
+                    )
+                else:
+                    contained = child_cov.issubset(parent.coverage)
+                if not contained:
                     # Structural containment without coverage containment can
                     # happen for gapped rules; require the structural check.
                     if not parent.grammar.is_ancestor(

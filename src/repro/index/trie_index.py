@@ -11,22 +11,39 @@ represents one heuristic expression and stores
 Construction is linear in the number of sentences because the sketch of each
 sentence is bounded (``max_depth`` derivation steps). Sketches can be built for
 corpus chunks independently and merged, mirroring the parallel construction
-the paper describes; :meth:`CorpusIndex.merge` implements the merge step.
+the paper describes; :meth:`CorpusIndex.merge` implements the merge step and
+applies the same pruning as a direct build, so chunked and monolithic
+construction produce identical indexes (as long as chunks are built without
+per-chunk pruning — see :meth:`CorpusIndex.merge`).
+
+Coverage storage is columnar: while an index is under construction each node
+accumulates a plain Python set, but once built the index is *sealed* — every
+node's ids are interned into a shared :class:`~repro.index.coverage.CoverageStore`
+as an immutable sorted ``int32`` array, and a sentence→keys inverted map is
+derived. Sealing makes :meth:`coverage` / :meth:`heuristic` zero-copy and
+:meth:`top_by_overlap` proportional to the *query* coverage (it walks the
+inverted map) instead of the whole index.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from ..errors import CorpusIndexError
 from ..grammars.base import Expression, HeuristicGrammar
 from ..rules.heuristic import LabelingHeuristic
 from ..text.corpus import Corpus
+from .coverage import CoverageStore, CoverageView
 from .sketch import DerivationSketch, SketchKey, build_sketch
 
 ROOT_KEY: SketchKey = ("*", "*")
 """The virtual root node '*' matching every sentence (Algorithm 2, line 1)."""
+
+CoverageIds = Union[Set[int], CoverageView]
+"""A node's inverted list: a mutable set while building, a view once sealed."""
 
 
 @dataclass
@@ -36,14 +53,17 @@ class IndexNode:
     Attributes:
         key: ``(grammar name, expression)``.
         depth: Derivation complexity of the expression (1 for unigrams/leaves).
-        sentence_ids: Inverted list of covering sentence ids.
+        sentence_ids: Inverted list of covering sentence ids. A plain ``set``
+            while the index is being built; an interned
+            :class:`~repro.index.coverage.CoverageView` once sealed (both are
+            set-likes supporting ``len``/``in``/``&``/``<=``).
         children: Keys of specializations present in the index.
         parents: Keys of generalizations present in the index.
     """
 
     key: SketchKey
     depth: int
-    sentence_ids: Set[int] = field(default_factory=set)
+    sentence_ids: CoverageIds = field(default_factory=set)
     children: Set[SketchKey] = field(default_factory=set)
     parents: Set[SketchKey] = field(default_factory=set)
 
@@ -51,6 +71,12 @@ class IndexNode:
     def count(self) -> int:
         """Number of sentences satisfying this heuristic."""
         return len(self.sentence_ids)
+
+    @property
+    def coverage_view(self) -> Optional[CoverageView]:
+        """The interned coverage view (None until the index is sealed)."""
+        ids = self.sentence_ids
+        return ids if isinstance(ids, CoverageView) else None
 
 
 class CorpusIndex:
@@ -60,9 +86,16 @@ class CorpusIndex:
         grammars: The heuristic grammars indexed. Expressions are only
             interpreted by the grammar that produced them.
         max_depth: Sketch depth bound used at build time.
+        min_coverage: Pruning threshold re-applied by :meth:`merge` so chunked
+            construction matches a direct :meth:`build`.
     """
 
-    def __init__(self, grammars: Sequence[HeuristicGrammar], max_depth: int = 10) -> None:
+    def __init__(
+        self,
+        grammars: Sequence[HeuristicGrammar],
+        max_depth: int = 10,
+        min_coverage: int = 1,
+    ) -> None:
         if not grammars:
             raise CorpusIndexError("at least one grammar is required")
         names = [g.name for g in grammars]
@@ -70,11 +103,22 @@ class CorpusIndex:
             raise CorpusIndexError("grammar names must be unique")
         self.grammars: Dict[str, HeuristicGrammar] = {g.name: g for g in grammars}
         self.max_depth = max_depth
+        self.min_coverage = min_coverage
+        self.store = CoverageStore()
         self.nodes: Dict[SketchKey, IndexNode] = {
             ROOT_KEY: IndexNode(key=ROOT_KEY, depth=0)
         }
         self._num_sentences = 0
         self._built = False
+        self._sealed = False
+        # CSR-layout inverted map (sentence id → node indices), built at seal
+        # time: _inv_nodes[_inv_starts[sid]:_inv_starts[sid+1]] are the
+        # positions (into _key_list) of the keys covering ``sid``.
+        self._key_list: List[SketchKey] = []
+        self._key_reprs: List[str] = []
+        self._node_counts = np.empty(0, dtype=np.int64)
+        self._inv_nodes = np.empty(0, dtype=np.int32)
+        self._inv_starts = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -86,7 +130,7 @@ class CorpusIndex:
         min_coverage: int = 1,
     ) -> "CorpusIndex":
         """Build the index for ``corpus`` by merging per-sentence sketches."""
-        index = cls(grammars, max_depth=max_depth)
+        index = cls(grammars, max_depth=max_depth, min_coverage=min_coverage)
         for sentence in corpus:
             sketch = build_sketch(sentence, grammars, max_depth)
             index.add_sketch(sketch)
@@ -94,10 +138,13 @@ class CorpusIndex:
         if min_coverage > 1:
             index.prune(min_coverage)
         index._built = True
+        index.seal()
         return index
 
     def add_sketch(self, sketch: DerivationSketch) -> None:
         """Merge one sentence's derivation sketch into the index."""
+        if self._sealed:
+            self._unseal()
         self._num_sentences += 1
         root = self.nodes[ROOT_KEY]
         root.sentence_ids.add(sketch.sentence_id)
@@ -109,19 +156,39 @@ class CorpusIndex:
             node.sentence_ids.add(sketch.sentence_id)
 
     def merge(self, other: "CorpusIndex") -> "CorpusIndex":
-        """Merge another chunk index into this one (parallel construction)."""
+        """Merge another chunk index into this one (parallel construction).
+
+        The merged index re-applies ``min_coverage`` pruning and is marked
+        built and sealed, so a chunked build is indistinguishable from a
+        direct :meth:`build` over the concatenated corpus **provided the
+        chunks themselves were not pruned** (build them with
+        ``min_coverage=1`` or drive :meth:`add_sketch` directly, as the
+        tests do). A key below the threshold in every chunk but above it
+        globally cannot be recovered once per-chunk pruning dropped it.
+        Interned arrays make the merge cheap: per node it is one
+        sorted-array union instead of re-hashing every sentence id.
+        """
         if set(self.grammars) != set(other.grammars):
             raise CorpusIndexError("cannot merge indexes over different grammars")
+        if self._sealed:
+            self._unseal()
         for key, node in other.nodes.items():
             mine = self.nodes.get(key)
+            theirs = node.sentence_ids
             if mine is None:
                 self.nodes[key] = IndexNode(
-                    key=key, depth=node.depth, sentence_ids=set(node.sentence_ids)
+                    key=key, depth=node.depth, sentence_ids=set(theirs)
                 )
             else:
-                mine.sentence_ids.update(node.sentence_ids)
+                mine.sentence_ids.update(theirs)
         self._num_sentences += other._num_sentences
         self.link_structure()
+        min_coverage = max(self.min_coverage, other.min_coverage)
+        if min_coverage > 1:
+            self.prune(min_coverage)
+        self.min_coverage = min_coverage
+        self._built = True
+        self.seal()
         return self
 
     def link_structure(self) -> None:
@@ -173,7 +240,91 @@ class CorpusIndex:
                     if not child.parents:
                         child.parents.add(ROOT_KEY)
                         self.nodes[ROOT_KEY].children.add(child_key)
+        if self._sealed and to_remove:
+            self._rebuild_inverted_map()
         return len(to_remove)
+
+    # ------------------------------------------------------------------- seal
+    @property
+    def sealed(self) -> bool:
+        """True once node coverages are interned and the inverted map exists."""
+        return self._sealed
+
+    def seal(self) -> None:
+        """Intern every node's coverage and build the sentence→keys map.
+
+        Idempotent. Called automatically at the end of :meth:`build` and
+        :meth:`merge`; call it manually after driving :meth:`add_sketch` /
+        :meth:`link_structure` by hand to enable the columnar fast paths.
+        """
+        if self._sealed:
+            return
+        store = self.store
+        root = self.nodes[ROOT_KEY]
+        max_id = -1
+        if len(root.sentence_ids):
+            max_id = max(int(i) for i in root.sentence_ids)
+        store.ensure_universe(max(self._num_sentences, max_id + 1))
+        for node in self.nodes.values():
+            if not isinstance(node.sentence_ids, CoverageView):
+                node.sentence_ids = store.intern(node.sentence_ids)
+        self._sealed = True
+        self._rebuild_inverted_map()
+
+    def _unseal(self) -> None:
+        """Return nodes to mutable sets so construction may continue."""
+        for node in self.nodes.values():
+            if isinstance(node.sentence_ids, CoverageView):
+                node.sentence_ids = set(node.sentence_ids)
+        self._sealed = False
+        self._key_list = []
+        self._key_reprs = []
+        self._node_counts = np.empty(0, dtype=np.int64)
+        self._inv_nodes = np.empty(0, dtype=np.int32)
+        self._inv_starts = np.empty(0, dtype=np.int64)
+
+    def _rebuild_inverted_map(self) -> None:
+        """Vectorized CSR construction of the sentence→keys inverted map."""
+        keys = [key for key in self.nodes if key != ROOT_KEY]
+        self._key_list = keys
+        self._key_reprs = [repr(key) for key in keys]
+        self._node_counts = np.array(
+            [len(self.nodes[key].sentence_ids) for key in keys], dtype=np.int64
+        )
+        universe = max(self.store.universe_size, self._num_sentences, 1)
+        if not keys or not self._node_counts.sum():
+            self._inv_nodes = np.empty(0, dtype=np.int32)
+            self._inv_starts = np.zeros(universe + 1, dtype=np.int64)
+            return
+        id_chunks: List[np.ndarray] = []
+        node_chunks: List[np.ndarray] = []
+        for position, key in enumerate(keys):
+            ids = self.nodes[key].sentence_ids
+            ids_array = ids.ids if isinstance(ids, CoverageView) else np.fromiter(
+                ids, dtype=np.int32, count=len(ids)
+            )
+            if not ids_array.size:
+                continue
+            id_chunks.append(ids_array)
+            node_chunks.append(np.full(ids_array.size, position, dtype=np.int32))
+        all_ids = np.concatenate(id_chunks)
+        all_nodes = np.concatenate(node_chunks)
+        order = np.argsort(all_ids, kind="stable")
+        sorted_ids = all_ids[order]
+        self._inv_nodes = all_nodes[order]
+        self._inv_starts = np.searchsorted(
+            sorted_ids, np.arange(universe + 1), side="left"
+        ).astype(np.int64)
+
+    def keys_covering(self, sentence_id: int) -> List[SketchKey]:
+        """All non-root keys whose coverage includes ``sentence_id``."""
+        if not self._sealed:
+            self.seal()
+        sid = int(sentence_id)
+        if sid < 0 or sid + 1 >= self._inv_starts.size:
+            return []
+        start, stop = self._inv_starts[sid], self._inv_starts[sid + 1]
+        return [self._key_list[i] for i in self._inv_nodes[start:stop]]
 
     # -------------------------------------------------------------- accessors
     def __len__(self) -> int:
@@ -194,14 +345,36 @@ class CorpusIndex:
             raise CorpusIndexError(f"no index node for key {key!r}")
         return node
 
-    def coverage(self, key: SketchKey) -> Set[int]:
-        """Sentence ids covered by the heuristic at ``key``."""
-        return set(self.node(key).sentence_ids)
+    def coverage(self, key: SketchKey) -> CoverageIds:
+        """Sentence ids covered by the heuristic at ``key``.
+
+        Sealed indexes hand out the interned :class:`CoverageView` (no copy);
+        unsealed indexes return a defensive set copy as before.
+        """
+        ids = self.node(key).sentence_ids
+        if isinstance(ids, CoverageView):
+            return ids
+        return set(ids)
+
+    def coverage_view(self, key: SketchKey) -> CoverageView:
+        """The interned coverage view for ``key`` (seals the index if needed)."""
+        if not self._sealed:
+            self.seal()
+        ids = self.node(key).sentence_ids
+        assert isinstance(ids, CoverageView)
+        return ids
 
     def count(self, key: SketchKey) -> int:
         """Coverage count for ``key`` (0 if absent)."""
         node = self.nodes.get(key)
         return node.count if node is not None else 0
+
+    def overlap_count(self, key: SketchKey, mask: np.ndarray) -> int:
+        """``|coverage(key) ∩ mask|`` for a boolean membership mask."""
+        ids = self.node(key).sentence_ids
+        if isinstance(ids, CoverageView):
+            return ids.overlap_with(mask)
+        return sum(1 for sid in ids if sid < mask.size and mask[sid])
 
     def children_of(self, key: SketchKey) -> List[SketchKey]:
         """Keys of the specializations of ``key`` present in the index."""
@@ -227,17 +400,23 @@ class CorpusIndex:
         return (grammar_name, expression)
 
     def heuristic(self, key: SketchKey) -> LabelingHeuristic:
-        """Materialize the :class:`LabelingHeuristic` for an index node."""
+        """Materialize the :class:`LabelingHeuristic` for an index node.
+
+        On a sealed index the heuristic shares the node's interned coverage
+        view — materialization is O(1) instead of copying the id set.
+        """
         if key == ROOT_KEY:
             raise CorpusIndexError("the virtual root is not a labeling heuristic")
         grammar_name, expression = key
         grammar = self.grammars.get(grammar_name)
         if grammar is None:
             raise CorpusIndexError(f"unknown grammar {grammar_name!r}")
+        ids = self.node(key).sentence_ids
+        coverage = ids if isinstance(ids, CoverageView) else frozenset(ids)
         return LabelingHeuristic(
             grammar=grammar,
             expression=expression,
-            coverage_ids=frozenset(self.node(key).sentence_ids),
+            coverage_ids=coverage,
         )
 
     def lookup(self, grammar_name: str, expression: Expression) -> Optional[IndexNode]:
@@ -246,11 +425,12 @@ class CorpusIndex:
 
     def coverage_of_expression(
         self, grammar_name: str, expression: Expression, corpus: Optional[Corpus] = None
-    ) -> Set[int]:
+    ) -> CoverageIds:
         """Coverage of an expression, falling back to a corpus scan if unindexed."""
         node = self.lookup(grammar_name, expression)
         if node is not None:
-            return set(node.sentence_ids)
+            ids = node.sentence_ids
+            return ids if isinstance(ids, CoverageView) else set(ids)
         if corpus is None:
             return set()
         grammar = self.grammars.get(grammar_name)
@@ -271,13 +451,41 @@ class CorpusIndex:
         return ranked[:limit]
 
     def top_by_overlap(
-        self, sentence_ids: Set[int], limit: int
+        self, sentence_ids: Iterable[int], limit: int
     ) -> List[Tuple[SketchKey, int]]:
-        """Keys ranked by overlap with ``sentence_ids`` (ties by coverage)."""
+        """Keys ranked by overlap with ``sentence_ids`` (ties by coverage).
+
+        On a sealed index this walks the sentence→keys inverted map, so the
+        cost is proportional to the total sketch size of the *query* sentences
+        rather than one set intersection per index node.
+        """
+        if self._sealed:
+            starts = self._inv_starts
+            chunks = []
+            for sid in sentence_ids:
+                sid = int(sid)
+                if 0 <= sid and sid + 1 < starts.size:
+                    lo, hi = starts[sid], starts[sid + 1]
+                    if hi > lo:
+                        chunks.append(self._inv_nodes[lo:hi])
+            if not chunks:
+                return []
+            overlaps = np.bincount(
+                np.concatenate(chunks), minlength=len(self._key_list)
+            )
+            nonzero = np.flatnonzero(overlaps)
+            ranked = sorted(
+                nonzero.tolist(),
+                key=lambda i: (
+                    -int(overlaps[i]), -int(self._node_counts[i]), self._key_reprs[i]
+                ),
+            )[:limit]
+            return [(self._key_list[i], int(overlaps[i])) for i in ranked]
+        query = set(sentence_ids)
         scored = []
         for key in self.keys():
             node = self.nodes[key]
-            overlap = len(node.sentence_ids & sentence_ids)
+            overlap = len(node.sentence_ids & query)
             if overlap > 0:
                 scored.append((key, overlap))
         scored.sort(key=lambda item: (-item[1], -self.nodes[item[0]].count, repr(item[0])))
@@ -285,10 +493,17 @@ class CorpusIndex:
 
     def stats(self) -> Dict[str, float]:
         """Summary statistics (used by the efficiency bench)."""
-        counts = [node.count for key, node in self.nodes.items() if key != ROOT_KEY]
-        return {
+        counts = np.array(
+            [node.count for key, node in self.nodes.items() if key != ROOT_KEY],
+            dtype=np.int64,
+        )
+        stats = {
             "num_nodes": float(len(self.nodes) - 1),
             "num_sentences": float(self._num_sentences),
-            "mean_coverage": (sum(counts) / len(counts)) if counts else 0.0,
-            "max_coverage": float(max(counts)) if counts else 0.0,
+            "mean_coverage": float(counts.mean()) if counts.size else 0.0,
+            "max_coverage": float(counts.max()) if counts.size else 0.0,
         }
+        if self._sealed:
+            stats["interned_coverages"] = float(self.store.num_interned)
+            stats["interned_bytes"] = float(self.store.bytes_interned)
+        return stats

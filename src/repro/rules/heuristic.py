@@ -3,16 +3,39 @@
 A labeling heuristic couples a grammar expression with the grammar that
 interprets it and, once evaluated against a corpus, with its coverage set
 ``C_r`` (the ids of sentences that satisfy it).
+
+Coverage may be held either as a plain ``frozenset`` (ad-hoc rules, tests) or
+as an interned :class:`~repro.index.coverage.CoverageView` handed out by the
+corpus index's :class:`~repro.index.coverage.CoverageStore`. Both are
+immutable set-likes, so ``rule.coverage`` keeps supporting ``len``/``in`` and
+set operators regardless of the backing representation; hot paths check for a
+view via :attr:`coverage_view` and use its vectorized primitives.
 """
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Set
+from typing import FrozenSet, Iterable, Optional, Set, Union
 
 from ..grammars.base import Expression, HeuristicGrammar
 from ..text.corpus import Corpus
 from ..text.sentence import Sentence
+
+CoverageSet = Union[FrozenSet[int], "CoverageView"]  # noqa: F821
+
+_COVERAGE_VIEW_TYPE = None
+
+
+def _coverage_view_type():
+    """Resolve CoverageView lazily: index.trie_index imports this module, so a
+    top-level import of repro.index here would be circular."""
+    global _COVERAGE_VIEW_TYPE
+    if _COVERAGE_VIEW_TYPE is None:
+        from ..index.coverage import CoverageView
+
+        _COVERAGE_VIEW_TYPE = CoverageView
+    return _COVERAGE_VIEW_TYPE
 
 
 @dataclass(frozen=True)
@@ -23,13 +46,14 @@ class LabelingHeuristic:
         grammar: The :class:`HeuristicGrammar` that interprets ``expression``.
         expression: The grammar-specific expression object (hashable).
         coverage_ids: Ids of corpus sentences satisfying the rule, if already
-            computed. ``None`` means "not yet evaluated"; use
-            :meth:`with_coverage` or :meth:`evaluate` to fill it in.
+            computed — a ``frozenset`` or an interned ``CoverageView``.
+            ``None`` means "not yet evaluated"; use :meth:`with_coverage` or
+            :meth:`evaluate` to fill it in.
     """
 
     grammar: HeuristicGrammar
     expression: Expression
-    coverage_ids: Optional[FrozenSet[int]] = field(default=None, compare=False)
+    coverage_ids: Optional[CoverageSet] = field(default=None, compare=False)
 
     # Identity is (grammar name, expression): coverage is derived state.
     def __hash__(self) -> int:
@@ -54,22 +78,39 @@ class LabelingHeuristic:
         return self.with_coverage(ids)
 
     def with_coverage(self, coverage_ids: Iterable[int]) -> "LabelingHeuristic":
-        """Return a copy carrying the given coverage ids."""
+        """Return a copy carrying the given coverage ids.
+
+        An interned :class:`CoverageView` is kept as-is (no copy); any other
+        iterable is frozen into a ``frozenset``.
+        """
+        if isinstance(coverage_ids, _coverage_view_type()):
+            coverage: CoverageSet = coverage_ids
+        else:
+            coverage = frozenset(coverage_ids)
         return LabelingHeuristic(
             grammar=self.grammar,
             expression=self.expression,
-            coverage_ids=frozenset(coverage_ids),
+            coverage_ids=coverage,
         )
 
     # ------------------------------------------------------------ properties
     @property
-    def coverage(self) -> FrozenSet[int]:
+    def coverage(self) -> CoverageSet:
         """The coverage set ``C_r``; raises if not yet evaluated."""
         if self.coverage_ids is None:
             raise ValueError(
                 "coverage not computed; call evaluate(corpus) or with_coverage()"
             )
         return self.coverage_ids
+
+    @property
+    def coverage_view(self) -> Optional["CoverageView"]:
+        """The interned coverage view, or None when coverage is a frozenset."""
+        if self.coverage_ids is not None and isinstance(
+            self.coverage_ids, _coverage_view_type()
+        ):
+            return self.coverage_ids
+        return None
 
     @property
     def coverage_size(self) -> int:
@@ -80,11 +121,20 @@ class LabelingHeuristic:
         """Fraction of covered sentences that are in ``positive_ids``."""
         if not self.coverage_ids:
             return 0.0
-        hits = len(self.coverage & set(positive_ids))
-        return hits / len(self.coverage)
+        view = self.coverage_view
+        if view is not None:
+            hits = view.intersect_count(positive_ids)
+        elif isinstance(positive_ids, AbstractSet):
+            hits = sum(1 for sid in self.coverage_ids if sid in positive_ids)
+        else:
+            hits = len(set(self.coverage_ids) & set(positive_ids))
+        return hits / len(self.coverage_ids)
 
     def new_positives(self, known_positive_ids: Set[int]) -> Set[int]:
         """Covered sentences not already in ``known_positive_ids``."""
+        view = self.coverage_view
+        if view is not None:
+            return set(view.subtract(known_positive_ids).tolist())
         return set(self.coverage) - set(known_positive_ids)
 
     # -------------------------------------------------------------- rendering

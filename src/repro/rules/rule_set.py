@@ -1,8 +1,17 @@
-"""A collection of accepted labeling heuristics and their combined coverage."""
+"""A collection of accepted labeling heuristics and their combined coverage.
+
+The union coverage ``P`` is maintained two ways at once: a running boolean
+mask over sentence ids (the columnar fast path — adding a rule whose coverage
+is an interned :class:`~repro.index.coverage.CoverageView` is one fancy-index
+assignment) and a plain Python set kept for API compatibility with callers
+that expect ``covered_ids`` to be a real ``set``.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+import numpy as np
 
 from ..text.corpus import Corpus
 from .heuristic import LabelingHeuristic
@@ -20,6 +29,7 @@ class RuleSet:
     def __init__(self, rules: Optional[Iterable[LabelingHeuristic]] = None) -> None:
         self._rules: List[LabelingHeuristic] = []
         self._covered: Set[int] = set()
+        self._covered_mask = np.zeros(0, dtype=bool)
         for rule in rules or []:
             self.add(rule)
 
@@ -34,12 +44,28 @@ class RuleSet:
         return rule in self._rules
 
     # ------------------------------------------------------------------ edits
+    def _grow_mask(self, size: int) -> None:
+        if size > self._covered_mask.size:
+            grown = np.zeros(max(size, 2 * self._covered_mask.size), dtype=bool)
+            grown[: self._covered_mask.size] = self._covered_mask
+            self._covered_mask = grown
+
     def add(self, rule: LabelingHeuristic) -> bool:
         """Add ``rule`` (must have coverage computed). Returns False if present."""
         if rule in self._rules:
             return False
         self._rules.append(rule)
-        self._covered.update(rule.coverage)
+        view = rule.coverage_view
+        if view is not None and view.count:
+            self._grow_mask(int(view.ids[-1]) + 1)
+            view.union_into(self._covered_mask)
+            self._covered.update(view.ids.tolist())
+        else:
+            coverage = rule.coverage
+            self._covered.update(coverage)
+            if coverage:
+                self._grow_mask(max(coverage) + 1)
+                self._covered_mask[list(coverage)] = True
         return True
 
     # ------------------------------------------------------------- accessors
@@ -50,8 +76,14 @@ class RuleSet:
 
     @property
     def covered_ids(self) -> Set[int]:
-        """The union coverage ``P`` as a set of sentence ids."""
+        """The union coverage ``P`` as a (copied, mutable) set of sentence ids."""
         return set(self._covered)
+
+    @property
+    def covered_mask(self) -> np.ndarray:
+        """The union coverage ``P`` as a boolean mask (not copied — do not
+        mutate; grows lazily as larger sentence ids are covered)."""
+        return self._covered_mask
 
     def coverage_size(self) -> int:
         """``|P|``."""
@@ -61,16 +93,27 @@ class RuleSet:
         """Fraction of ground-truth positives contained in ``P``."""
         if not positive_ids:
             return 0.0
-        return len(self._covered & set(positive_ids)) / len(positive_ids)
+        positives = (
+            positive_ids if isinstance(positive_ids, (set, frozenset))
+            else set(positive_ids)
+        )
+        return len(self._covered & positives) / len(positives)
 
     def precision(self, positive_ids: Set[int]) -> float:
         """Fraction of ``P`` that is ground-truth positive."""
         if not self._covered:
             return 0.0
-        return len(self._covered & set(positive_ids)) / len(self._covered)
+        positives = (
+            positive_ids if isinstance(positive_ids, (set, frozenset))
+            else set(positive_ids)
+        )
+        return len(self._covered & positives) / len(self._covered)
 
     def marginal_gain(self, rule: LabelingHeuristic) -> int:
         """Number of sentences ``rule`` would add to ``P``."""
+        view = rule.coverage_view
+        if view is not None:
+            return int(view.new_ids_given(self._covered_mask).size)
         return len(set(rule.coverage) - self._covered)
 
     # ------------------------------------------------------------- rendering

@@ -33,6 +33,7 @@ class Corpus:
                     f"(expected {expected_id}, got {sentence.sentence_id})"
                 )
         self._vocabulary: Optional[Vocabulary] = None
+        self._has_labels_cache: Optional[bool] = None
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -97,8 +98,14 @@ class Corpus:
 
     # ------------------------------------------------------------ ground truth
     def has_labels(self) -> bool:
-        """True if every sentence carries a ground-truth label."""
-        return all(s.label is not None for s in self._sentences)
+        """True if every sentence carries a ground-truth label.
+
+        Cached after the first call: sentences are fixed at construction (see
+        :attr:`sentences`), and the Darwin loop asks once per oracle answer.
+        """
+        if self._has_labels_cache is None:
+            self._has_labels_cache = all(s.label is not None for s in self._sentences)
+        return self._has_labels_cache
 
     def positive_ids(self) -> Set[int]:
         """Ids of ground-truth positive sentences (empty if unlabeled)."""

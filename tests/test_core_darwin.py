@@ -173,6 +173,54 @@ class TestDarwinValidation:
         assert result.queries_used <= 8
         assert result.rule_set.coverage_size() >= 0
 
+    def test_prewrapped_oracle_budget_reconciled(self, directions_corpus, directions_index,
+                                                 directions_featurizer, fast_config):
+        """Regression: a pre-wrapped BudgetedOracle whose internal budget
+        differs from budget/config.budget must be bounded by the min of the
+        two, not by whichever the loop condition happened to use."""
+        from repro.core.oracle import BudgetedOracle
+
+        # Internal budget (3) tighter than the explicit budget (10).
+        darwin = Darwin(
+            directions_corpus, config=fast_config,
+            index=directions_index, featurizer=directions_featurizer,
+        )
+        wrapped = BudgetedOracle(base=GroundTruthOracle(directions_corpus), budget=3)
+        result = darwin.run(wrapped, seed_rule_texts=["best way to get to"], budget=10)
+        assert result.queries_used <= 3
+
+        # Explicit budget (2) tighter than the internal budget (50).
+        darwin = Darwin(
+            directions_corpus, config=fast_config,
+            index=directions_index, featurizer=directions_featurizer,
+        )
+        wrapped = BudgetedOracle(base=GroundTruthOracle(directions_corpus), budget=50)
+        result = darwin.run(wrapped, seed_rule_texts=["best way to get to"], budget=2)
+        assert result.queries_used <= 2
+        assert wrapped.queries_used <= 2
+
+    def test_incremental_and_full_refresh_both_work(self, directions_corpus, directions_index,
+                                                    directions_featurizer):
+        results = {}
+        for mode in ("incremental", "full"):
+            config = DarwinConfig(
+                budget=10, num_candidates=150, hierarchy_refresh=mode,
+                classifier=ClassifierConfig(epochs=15, embedding_dim=30),
+            )
+            darwin = Darwin(
+                directions_corpus, config=config,
+                index=directions_index, featurizer=directions_featurizer,
+            )
+            results[mode] = darwin.run(
+                GroundTruthOracle(directions_corpus),
+                seed_rule_texts=["best way to get to"],
+            )
+        for result in results.values():
+            assert result.queries_used <= 10
+            positives = directions_corpus.positive_ids()
+            for rule in result.rule_set.rules:
+                assert rule.precision(positives) >= 0.8
+
     def test_local_and_universal_traversals_run(self, directions_corpus, directions_index,
                                                 directions_featurizer):
         for traversal in ("local", "universal"):

@@ -94,6 +94,59 @@ class TestCorpusIndexConstruction:
         for key in whole.keys():
             assert merged.coverage(key) == whole.coverage(key)
 
+    def test_merge_applies_pruning_and_built_flag(self, example1_corpus, tokensregex):
+        """A merged chunk index must match a directly built one even when
+        min_coverage pruning applies (regression: merge used to skip
+        prune() and never set _built)."""
+        whole = CorpusIndex.build(
+            example1_corpus, [tokensregex], max_depth=3, min_coverage=2
+        )
+        left = CorpusIndex(grammars=[tokensregex], max_depth=3, min_coverage=2)
+        right = CorpusIndex(grammars=[tokensregex], max_depth=3, min_coverage=2)
+        from repro.index.sketch import build_sketch
+
+        for sentence in example1_corpus:
+            sketch = build_sketch(sentence, [tokensregex], 3)
+            (left if sentence.sentence_id < 3 else right).add_sketch(sketch)
+        left.link_structure()
+        right.link_structure()
+        merged = left.merge(right)
+        assert merged._built
+        assert merged.sealed
+        assert set(merged.keys()) == set(whole.keys())
+        for key in whole.keys():
+            assert merged.coverage(key) == whole.coverage(key)
+            assert merged.count(key) >= 2
+        for key in whole.keys():
+            assert set(merged.children_of(key)) == set(whole.children_of(key))
+
+    def test_sealed_index_hands_out_interned_views(self, example1_index, tokensregex):
+        from repro.index.coverage import CoverageView
+
+        assert example1_index.sealed
+        key = (tokensregex.name, ("best", "way"))
+        first = example1_index.coverage(key)
+        second = example1_index.coverage(key)
+        assert isinstance(first, CoverageView)
+        assert first is second  # no per-call copies
+        # Nodes with identical coverage share one interned view.
+        rule = example1_index.heuristic(key)
+        assert rule.coverage_view is first
+
+    def test_keys_covering_matches_node_coverage(self, example1_index):
+        for sid in range(example1_index.num_sentences):
+            for key in example1_index.keys_covering(sid):
+                assert sid in example1_index.coverage(key)
+        # Inverted map and forward lists agree on total size.
+        total_forward = sum(
+            example1_index.count(key) for key in example1_index.keys()
+        )
+        total_inverted = sum(
+            len(example1_index.keys_covering(sid))
+            for sid in range(example1_index.num_sentences)
+        )
+        assert total_forward == total_inverted
+
 
 class TestCorpusIndexLookups:
     def test_heuristic_materialization(self, example1_index, tokensregex):

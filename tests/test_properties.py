@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.benefit import BenefitScorer
 from repro.evaluation.metrics import binary_f1, binary_precision, binary_recall
+from repro.index.coverage import CoverageStore, CoverageView, membership_mask
 from repro.evaluation.runner import average_curves
 from repro.grammars.tokensregex import TokensRegexGrammar
 from repro.index.hierarchy import RuleHierarchy
@@ -164,6 +165,87 @@ class TestHierarchyProperties:
         for rule in rules:
             gains = set(rule.coverage) - covered
             assert (rule in hierarchy) == bool(gains)
+
+
+class TestCoverageStoreProperties:
+    """Set-semantics equivalence of the columnar coverage layer (interned
+    int32 arrays / bitsets) against plain Python sets on random universes."""
+
+    ids = st.sets(st.integers(min_value=0, max_value=200), max_size=60)
+
+    @given(ids)
+    @settings(max_examples=100)
+    def test_to_set_round_trip(self, ids_value):
+        store = CoverageStore(universe_size=201)
+        view = store.intern(ids_value)
+        assert isinstance(view, CoverageView)
+        assert view.to_set() == frozenset(ids_value)
+        assert set(view) == ids_value
+        assert len(view) == view.count == len(ids_value)
+        for sid in ids_value:
+            assert sid in view
+        assert -1 not in view
+        assert 10_000 not in view
+
+    @given(ids, ids)
+    @settings(max_examples=100)
+    def test_intersection_union_subtract_counts(self, a, b):
+        store = CoverageStore(universe_size=201)
+        view_a, view_b = store.intern(a), store.intern(b)
+        assert view_a.intersect_count(view_b) == len(a & b)
+        assert view_a.intersect_count(b) == len(a & b)
+        assert set(view_a.subtract(view_b).tolist()) == a - b
+        assert set(view_a.subtract(b).tolist()) == a - b
+        union = store.union([view_a, view_b])
+        assert union.to_set() == frozenset(a | b)
+        mask = store.new_mask()
+        view_a.union_into(mask)
+        view_b.union_into(mask)
+        assert store.from_mask(mask) is union  # interning dedups content
+
+    @given(ids, ids)
+    @settings(max_examples=100)
+    def test_set_protocol_matches_frozenset(self, a, b):
+        store = CoverageStore(universe_size=201)
+        view = store.intern(a)
+        other = frozenset(b)
+        assert (view == other) == (frozenset(a) == other)
+        assert (view <= other) == (frozenset(a) <= other)
+        assert (view & other) == (frozenset(a) & other)
+        assert (view | other) == (frozenset(a) | other)
+        assert (view - other) == (frozenset(a) - other)
+        assert (other - view) == (other - frozenset(a))
+        assert hash(view) == hash(frozenset(a))
+
+    @given(ids, ids)
+    @settings(max_examples=100)
+    def test_mask_primitives(self, a, b):
+        store = CoverageStore(universe_size=201)
+        view = store.intern(a)
+        mask = membership_mask(b, 201)
+        assert view.overlap_with(mask) == len(a & b)
+        assert set(view.new_ids_given(mask).tolist()) == a - b
+
+    @given(ids)
+    @settings(max_examples=60)
+    def test_interning_is_identity_preserving(self, ids_value):
+        store = CoverageStore(universe_size=201)
+        first = store.intern(ids_value)
+        second = store.intern(sorted(ids_value))
+        third = store.intern(np.array(sorted(ids_value), dtype=np.int64))
+        assert first is second is third
+        assert store.intern(first) is first
+
+    @given(st.sets(st.integers(min_value=0, max_value=63), min_size=16, max_size=64),
+           st.sets(st.integers(min_value=0, max_value=63), min_size=16, max_size=64))
+    @settings(max_examples=60)
+    def test_dense_bitset_path_agrees_with_sets(self, a, b):
+        # Small universe + dense coverage forces the packed-bitset fast path.
+        store = CoverageStore(universe_size=64)
+        view_a, view_b = store.intern(a), store.intern(b)
+        assert view_a._packed_bits() is not None
+        assert view_a.intersect_count(view_b) == len(a & b)
+        assert view_b.intersect_count(view_a) == len(a & b)
 
 
 class TestLabelMatrixProperties:
