@@ -1,0 +1,210 @@
+"""Crowd session throughput benchmark (crowd subsystem PR).
+
+Measures, on a seeded professions run:
+
+* **serial-equivalence** — a `CrowdCoordinator` with K=4 annotators,
+  ``redundancy=1`` and ``batch_size=1`` must reproduce the serial
+  ``Darwin.run`` accepted-rule set (and history) exactly,
+* **throughput** — answers/sec of the asyncio crowd runner (K annotators,
+  batched retrains) against the serial loop, with identical simulated
+  annotator latency per answer, plus the questions-to-recall curve of both.
+
+Results are written to ``BENCH_crowd.json`` next to the repo root.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_crowd.py [--budget 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.config import ClassifierConfig, CrowdConfig, DarwinConfig
+from repro.core.darwin import Darwin, DarwinResult
+from repro.core.oracle import GroundTruthOracle, Oracle, OracleAnswer, OracleQuery
+from repro.crowd import run_crowd
+from repro.datasets import load_dataset
+from repro.datasets.registry import load_bank
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_crowd.json"
+
+RECALL_TARGETS = (0.5, 0.8, 0.9)
+
+
+class LatencyOracle(Oracle):
+    """Wraps an oracle with a fixed per-answer think time (blocking sleep).
+
+    This is the serial arm's handicap: one annotator who takes
+    ``latency`` seconds per judgement, answering questions one at a time.
+    """
+
+    def __init__(self, base: Oracle, latency: float) -> None:
+        self.base = base
+        self.latency = latency
+
+    def answer(self, query: OracleQuery) -> OracleAnswer:
+        if self.latency > 0:
+            time.sleep(self.latency)
+        return self.base.answer(query)
+
+
+def questions_to_recall(result: DarwinResult) -> Dict[str, Optional[int]]:
+    """First question number reaching each recall target (None if never)."""
+    reached: Dict[str, Optional[int]] = {}
+    for target in RECALL_TARGETS:
+        number = None
+        for record in result.history:
+            if record.recall >= target:
+                number = record.question_number
+                break
+        reached[f"{target:.1f}"] = number
+    return reached
+
+
+def run_serial(
+    corpus, index, featurizer, config: DarwinConfig, seed_rule: str, latency: float
+) -> Dict[str, object]:
+    darwin = Darwin(corpus, config=config, index=index, featurizer=featurizer)
+    oracle = LatencyOracle(GroundTruthOracle(corpus), latency)
+    start = time.perf_counter()
+    result = darwin.run(oracle, seed_rule_texts=[seed_rule])
+    wall = time.perf_counter() - start
+    return {
+        "result": result,
+        "wall_seconds": wall,
+        "answers_per_sec": result.queries_used / max(wall, 1e-9),
+        "retrains": darwin.trainer.retrain_count,
+    }
+
+
+def run_crowd_arm(
+    corpus, index, featurizer, config: DarwinConfig, seed_rule: str,
+    crowd_config: CrowdConfig,
+) -> Dict[str, object]:
+    darwin = Darwin(corpus, config=config, index=index, featurizer=featurizer)
+    outcome = run_crowd(darwin, config=crowd_config, seed_rule_texts=[seed_rule])
+    return {
+        "result": outcome.darwin_result,
+        "wall_seconds": outcome.wall_seconds,
+        "answers_per_sec": outcome.answers_per_sec,
+        "votes": outcome.crowd.votes_collected,
+        "retrains": darwin.trainer.retrain_count,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="professions")
+    parser.add_argument("--num-sentences", type=int, default=2000)
+    parser.add_argument("--budget", type=int, default=40)
+    parser.add_argument("--annotators", type=int, default=4)
+    parser.add_argument("--redundancy", type=int, default=1)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--latency", type=float, default=0.05,
+                        help="simulated per-answer think time in seconds")
+    parser.add_argument("--epochs", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    args = parser.parse_args()
+
+    corpus = load_dataset(args.dataset, num_sentences=args.num_sentences,
+                          seed=args.seed, parse_trees=False)
+    seed_rule = load_bank(args.dataset).default_seed_rules[0]
+    config = DarwinConfig(
+        budget=args.budget,
+        num_candidates=1000,
+        classifier=ClassifierConfig(epochs=args.epochs),
+    )
+    # Shared index/featurizer: both arms probe the same CoverageStore-backed
+    # state, which is the whole point of multiplexing sessions over it.
+    prototype = Darwin(corpus, config=config)
+    index, featurizer = prototype.index, prototype.featurizer
+    print(f"dataset={args.dataset} sentences={len(corpus)} "
+          f"budget={args.budget} latency={1000 * args.latency:.0f}ms "
+          f"K={args.annotators}")
+
+    # --- serial-equivalence: K=4, batch_size=1, redundancy=1 ----------------
+    serial_exact = run_serial(corpus, index, featurizer, config, seed_rule,
+                              latency=0.0)
+    crowd_exact = run_crowd_arm(
+        corpus, index, featurizer, config, seed_rule,
+        CrowdConfig(num_annotators=args.annotators, redundancy=1, batch_size=1,
+                    budget=args.budget, annotator_latency=0.0, seed=args.seed),
+    )
+    serial_rules = sorted(serial_exact["result"].accepted_rules())
+    crowd_rules = sorted(crowd_exact["result"].accepted_rules())
+    rules_match = serial_rules == crowd_rules
+    history_match = [
+        (h.rule, h.answer) for h in serial_exact["result"].history
+    ] == [(h.rule, h.answer) for h in crowd_exact["result"].history]
+    print(f"  equivalence (batch_size=1): rule-set match={rules_match}, "
+          f"history match={history_match}")
+    if not rules_match:
+        print(f"    serial: {serial_rules}\n    crowd : {crowd_rules}")
+
+    # --- throughput: serial+latency vs batched crowd ------------------------
+    serial_arm = run_serial(corpus, index, featurizer, config, seed_rule,
+                            latency=args.latency)
+    crowd_arm = run_crowd_arm(
+        corpus, index, featurizer, config, seed_rule,
+        CrowdConfig(num_annotators=args.annotators, redundancy=args.redundancy,
+                    batch_size=args.batch_size, budget=args.budget,
+                    annotator_latency=args.latency, latency_jitter=0.0,
+                    seed=args.seed),
+    )
+    speedup = crowd_arm["answers_per_sec"] / max(serial_arm["answers_per_sec"], 1e-9)
+    print(f"  serial : {serial_arm['answers_per_sec']:.2f} answers/s "
+          f"({serial_arm['result'].queries_used} questions, "
+          f"{serial_arm['retrains']} retrains, {serial_arm['wall_seconds']:.2f}s)")
+    print(f"  crowd  : {crowd_arm['answers_per_sec']:.2f} answers/s "
+          f"({crowd_arm['result'].queries_used} questions, "
+          f"{crowd_arm['retrains']} retrains, {crowd_arm['wall_seconds']:.2f}s)")
+    print(f"  speedup: {speedup:.2f}x at K={args.annotators}, "
+          f"batch_size={args.batch_size}")
+    serial_qtr = questions_to_recall(serial_arm["result"])
+    crowd_qtr = questions_to_recall(crowd_arm["result"])
+    print(f"  questions-to-recall  serial={serial_qtr}  crowd={crowd_qtr}")
+
+    payload = {
+        "benchmark": "bench_crowd",
+        "dataset": args.dataset,
+        "num_sentences": args.num_sentences,
+        "budget": args.budget,
+        "annotators": args.annotators,
+        "redundancy": args.redundancy,
+        "batch_size": args.batch_size,
+        "latency_s": args.latency,
+        "equivalence": {
+            "rule_set_match": rules_match,
+            "history_match": history_match,
+            "serial_rules": serial_rules,
+            "crowd_rules": crowd_rules,
+        },
+        "throughput": {
+            "serial_answers_per_sec": round(serial_arm["answers_per_sec"], 3),
+            "crowd_answers_per_sec": round(crowd_arm["answers_per_sec"], 3),
+            "speedup": round(speedup, 2),
+            "serial_wall_s": round(serial_arm["wall_seconds"], 4),
+            "crowd_wall_s": round(crowd_arm["wall_seconds"], 4),
+            "serial_retrains": serial_arm["retrains"],
+            "crowd_retrains": crowd_arm["retrains"],
+            "crowd_votes": crowd_arm["votes"],
+        },
+        "questions_to_recall": {"serial": serial_qtr, "crowd": crowd_qtr},
+        "final_recall": {
+            "serial": round(serial_arm["result"].final_recall, 4),
+            "crowd": round(crowd_arm["result"].final_recall, 4),
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -243,7 +243,7 @@ def measure_scale(num_sentences: int, budget: int) -> Dict[str, object]:
             rule = darwin.propose_next()
             if rule is None:
                 break
-            answer = budgeted.ask(rule, darwin._sample_for_query(rule))
+            answer = budgeted.ask(rule, darwin.sample_for_query(rule))
             darwin.record_answer(rule, answer.is_useful)
         elapsed = time.perf_counter() - start
         timings = darwin.stopwatch.as_dict()

@@ -20,7 +20,7 @@ Quickstart::
     print(result.final_recall, result.accepted_rules()[:5])
 """
 
-from .config import ClassifierConfig, DarwinConfig, DEFAULT_CONFIG
+from .config import ClassifierConfig, CrowdConfig, DarwinConfig, DEFAULT_CONFIG
 from .errors import (
     BudgetExhaustedError,
     ClassifierError,
@@ -49,6 +49,14 @@ from .core import (
     QueryRecord,
     SampleBasedOracle,
 )
+from .crowd import (
+    Assignment,
+    CrowdCoordinator,
+    CrowdResult,
+    CrowdRunResult,
+    run_crowd,
+    simulated_annotators,
+)
 from .grammars import TokensRegexGrammar, TreeMatchGrammar, TreePattern
 from .index import CorpusIndex, CoverageStore, CoverageView, RuleHierarchy
 from .rules import LabelingHeuristic, RuleSet
@@ -58,6 +66,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ClassifierConfig",
+    "CrowdConfig",
     "DarwinConfig",
     "DEFAULT_CONFIG",
     "ReproError",
@@ -75,6 +84,12 @@ __all__ = [
     "DarwinResult",
     "QueryRecord",
     "LabelingSession",
+    "Assignment",
+    "CrowdCoordinator",
+    "CrowdResult",
+    "CrowdRunResult",
+    "run_crowd",
+    "simulated_annotators",
     "BenefitScorer",
     "Oracle",
     "OracleQuery",

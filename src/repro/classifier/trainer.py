@@ -69,6 +69,9 @@ class ClassifierTrainer:
         score_floor: Sentences whose previous score is below this floor are
             skipped during incremental re-scoring (0.3 in the paper).
         full_rescore_every: Do a full corpus re-score every this many retrains.
+        incremental_scoring: Overrides ``config.incremental_scoring`` when
+            given (None defers to the config, so every construction site
+            honours ``ClassifierConfig(incremental_scoring=True)``).
     """
 
     def __init__(
@@ -78,14 +81,18 @@ class ClassifierTrainer:
         config: Optional[ClassifierConfig] = None,
         score_floor: float = 0.3,
         full_rescore_every: int = 3,
-        incremental_scoring: bool = False,
+        incremental_scoring: Optional[bool] = None,
     ) -> None:
         self.corpus = corpus
         self.featurizer = featurizer
         self.config = config or ClassifierConfig()
         self.score_floor = score_floor
         self.full_rescore_every = max(1, full_rescore_every)
-        self.incremental_scoring = incremental_scoring
+        self.incremental_scoring = (
+            self.config.incremental_scoring
+            if incremental_scoring is None
+            else incremental_scoring
+        )
         self.classifier: Optional[TextClassifier] = None
         self._scores = np.full(len(corpus), 0.5, dtype=np.float64)
         self._retrain_count = 0

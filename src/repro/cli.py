@@ -7,7 +7,9 @@ writing Python:
 * ``python -m repro run`` — run Darwin on one dataset with a simulated oracle
   and print the discovered rules plus the coverage curve,
 * ``python -m repro compare`` — run Darwin against the Snuba baseline with the
-  same labeled seed subset (the Figure 7 comparison at one seed size).
+  same labeled seed subset (the Figure 7 comparison at one seed size),
+* ``python -m repro crowd`` — drive K concurrent simulated annotators with
+  redundant dispatch, majority voting and batched retrains (Section 4.3).
 """
 
 from __future__ import annotations
@@ -17,9 +19,10 @@ import sys
 from typing import List, Optional, Sequence
 
 from .baselines.snuba import SnubaBaseline
-from .config import ClassifierConfig, DarwinConfig
+from .config import ClassifierConfig, CrowdConfig, DarwinConfig
 from .core.darwin import Darwin
 from .core.oracle import GroundTruthOracle
+from .crowd import run_crowd
 from .datasets.registry import DATASET_NAMES, load_bank, load_dataset, table1_rows
 from .evaluation.reporting import format_curve_table, format_table
 from .experiments.common import prepare_dataset
@@ -70,6 +73,30 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="exclude the dataset's characteristic token "
                                      "from the seed pool (Figure 8)")
     compare_parser.add_argument("--seed", type=int, default=7)
+
+    crowd_parser = subparsers.add_parser(
+        "crowd", help="run Darwin with K concurrent simulated annotators"
+    )
+    crowd_parser.add_argument("--dataset", choices=sorted(DATASET_NAMES),
+                              default="professions")
+    crowd_parser.add_argument("--num-sentences", type=int, default=2000)
+    crowd_parser.add_argument("--budget", type=int, default=60,
+                              help="committed-question budget")
+    crowd_parser.add_argument("--annotators", type=int, default=4,
+                              help="concurrent annotator sessions K")
+    crowd_parser.add_argument("--redundancy", type=int, default=3,
+                              help="votes per question (majority commit)")
+    crowd_parser.add_argument("--batch-size", type=int, default=8,
+                              help="answers applied per retrain/refresh batch")
+    crowd_parser.add_argument("--latency", type=float, default=0.02,
+                              help="mean simulated think time per answer (s)")
+    crowd_parser.add_argument("--noise", type=float, default=0.1,
+                              help="per-annotator answer-flip probability")
+    crowd_parser.add_argument("--seed-rule", default=None,
+                              help="seed rule text (dataset default when omitted)")
+    crowd_parser.add_argument("--seed", type=int, default=7)
+    crowd_parser.add_argument("--epochs", type=int, default=40,
+                              help="benefit-classifier training epochs")
     return parser
 
 
@@ -153,10 +180,61 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_crowd(args: argparse.Namespace) -> int:
+    corpus = load_dataset(args.dataset, num_sentences=args.num_sentences,
+                          seed=args.seed, parse_trees=False)
+    bank = load_bank(args.dataset)
+    seed_rule = args.seed_rule or bank.default_seed_rules[0]
+    config = DarwinConfig(
+        budget=args.budget,
+        num_candidates=1000,
+        classifier=ClassifierConfig(epochs=args.epochs),
+    )
+    crowd_config = CrowdConfig(
+        num_annotators=args.annotators,
+        redundancy=args.redundancy,
+        batch_size=args.batch_size,
+        budget=args.budget,
+        annotator_latency=args.latency,
+        label_noise=args.noise,
+        seed=args.seed,
+    )
+    print(f"dataset={args.dataset} sentences={len(corpus)} "
+          f"positives={len(corpus.positive_ids())} seed rule={seed_rule!r}")
+    print(f"crowd: K={args.annotators} annotators, redundancy={args.redundancy}, "
+          f"batch_size={args.batch_size}, latency={args.latency * 1000:.0f}ms, "
+          f"noise={args.noise}")
+    darwin = Darwin(corpus, config=config)
+    outcome = run_crowd(darwin, config=crowd_config, seed_rule_texts=[seed_rule])
+
+    crowd = outcome.crowd
+    result = outcome.darwin_result
+    print(f"\ncommitted {crowd.questions_committed} questions from "
+          f"{crowd.votes_collected} votes in {outcome.wall_seconds:.2f}s "
+          f"({outcome.answers_per_sec:.1f} answers/s, "
+          f"{outcome.votes_per_sec:.1f} votes/s)")
+    print(f"accepted {len(result.rule_set)} rules; classifier retrains: "
+          f"{darwin.trainer.retrain_count}")
+    print(f"coverage (recall over positives): {result.final_recall:.3f}")
+    print("\nvotes per annotator:")
+    for annotator_id, votes in sorted(crowd.votes_per_annotator.items()):
+        print(f"  annotator {annotator_id}: {votes}")
+    print("\naccepted rules:")
+    for rule in result.rule_set.rules:
+        print(f"  - {rule.render()!r:40s} |C_r| = {rule.coverage_size}")
+    print()
+    print(format_curve_table(
+        {"coverage": result.recall_curve(), "F1": result.f1_curve()},
+        step=10, title="progress by #questions",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "run": _command_run,
     "compare": _command_compare,
+    "crowd": _command_crowd,
 }
 
 

@@ -16,7 +16,7 @@ threading a dozen keyword arguments through every component.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
 from .errors import ConfigurationError
 
@@ -37,6 +37,10 @@ class ClassifierConfig:
             sample per known positive when forming a training set (Section 3.3).
         batch_size: Mini-batch size.
         l2: L2 regularisation strength.
+        incremental_scoring: After a retrain, only re-score sentences whose
+            previous score exceeded the trainer's confidence floor (with a full
+            refresh every few retrains) — the paper's Section 3.7 optimization.
+            Off by default so experiment reruns stay exact.
         seed: RNG seed for weight init and negative sampling.
     """
 
@@ -48,6 +52,7 @@ class ClassifierConfig:
     negative_sample_ratio: float = 5.0
     batch_size: int = 32
     l2: float = 1e-4
+    incremental_scoring: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -150,6 +155,81 @@ class DarwinConfig:
             raise ConfigurationError(
                 "classifier override must be a mapping or ClassifierConfig"
             )
+        try:
+            return replace(self, **overrides)
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class CrowdConfig:
+    """Configuration for a concurrent multi-annotator crowd session (§4.3).
+
+    Attributes:
+        num_annotators: Number of concurrent annotator sessions ``K``.
+        redundancy: Votes collected per question before committing; the answer
+            is the majority vote, and a tie counts as NO (same strict-majority
+            rule as :class:`~repro.core.oracle.MajorityVoteOracle`).
+        batch_size: Number of committed answers accumulated before the
+            classifier retrain + hierarchy refresh are applied. Accepted rules
+            join the rule set immediately; only the expensive model updates are
+            batched (the Berkholz-style deferred-maintenance strategy). This
+            also bounds how many distinct questions may be in flight at once:
+            with ``batch_size=1`` the coordinator is sequentially consistent
+            with the serial Darwin loop.
+        budget: Total committed questions; ``None`` falls back to the Darwin
+            configuration's ``budget``.
+        max_in_flight: Overrides the in-flight question bound (defaults to
+            ``batch_size``).
+        annotator_latency: Mean simulated think time per answer in seconds
+            (used by the asyncio runner; 0 disables sleeping).
+        latency_jitter: Uniform jitter applied to the latency, as a fraction
+            of ``annotator_latency``.
+        label_noise: Per-annotator probability of flipping an answer in the
+            simulated crowd (``repro.crowd.simulated_annotators``).
+        seed: Seed for the per-annotator RNGs (latency jitter and noise).
+    """
+
+    num_annotators: int = 4
+    redundancy: int = 1
+    batch_size: int = 8
+    budget: Optional[int] = None
+    max_in_flight: Optional[int] = None
+    annotator_latency: float = 0.02
+    latency_jitter: float = 0.5
+    label_noise: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_annotators < 1:
+            raise ConfigurationError("num_annotators must be at least 1")
+        if self.redundancy < 1:
+            raise ConfigurationError("redundancy must be at least 1")
+        if self.redundancy > self.num_annotators:
+            raise ConfigurationError(
+                "redundancy cannot exceed num_annotators: each vote on a "
+                "question must come from a distinct annotator"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        if self.budget is not None and self.budget <= 0:
+            raise ConfigurationError("budget must be positive when given")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be at least 1 when given")
+        if self.annotator_latency < 0:
+            raise ConfigurationError("annotator_latency must be non-negative")
+        if not 0.0 <= self.latency_jitter <= 1.0:
+            raise ConfigurationError("latency_jitter must be in [0, 1]")
+        if not 0.0 <= self.label_noise <= 1.0:
+            raise ConfigurationError("label_noise must be in [0, 1]")
+
+    @property
+    def in_flight_limit(self) -> int:
+        """Maximum distinct questions dispatched but not yet committed."""
+        return self.max_in_flight if self.max_in_flight is not None else self.batch_size
+
+    def with_overrides(self, **overrides: Any) -> "CrowdConfig":
+        """Return a copy of this config with ``overrides`` applied."""
         try:
             return replace(self, **overrides)
         except TypeError as exc:  # unknown field name

@@ -176,6 +176,7 @@ class Darwin:
         self.hierarchy: Optional[RuleHierarchy] = None
         self.traversal = None
         self.history: List[QueryRecord] = []
+        self._in_flight: Set[LabelingHeuristic] = set()
         self._started = False
 
     # ------------------------------------------------------------------ setup
@@ -251,6 +252,7 @@ class Darwin:
             self.config.traversal, context, seeds_for_traversal, tau=self.config.tau
         )
         self.history = []
+        self._in_flight = set()
         self._started = True
 
     def _fallback_seed_rules(self) -> List[LabelingHeuristic]:
@@ -344,7 +346,8 @@ class Darwin:
             min_coverage=self.config.min_coverage,
         )
 
-    def _sample_for_query(self, rule: LabelingHeuristic) -> List[int]:
+    def sample_for_query(self, rule: LabelingHeuristic) -> List[int]:
+        """Sentence ids shown to the annotator as examples for ``rule``."""
         coverage = sorted(rule.coverage)
         if len(coverage) <= self.config.oracle_sample_size:
             return coverage
@@ -353,9 +356,19 @@ class Darwin:
         )
         return [coverage[i] for i in sorted(chosen)]
 
+    def _sample_for_query(self, rule: LabelingHeuristic) -> List[int]:
+        """Deprecated alias of :meth:`sample_for_query` (kept for callers that
+        predate the public name)."""
+        return self.sample_for_query(rule)
+
     # ------------------------------------------------------------------- step
     def propose_next(self) -> Optional[LabelingHeuristic]:
-        """The next rule Darwin would submit to the oracle (None if exhausted)."""
+        """The next rule Darwin would submit to the oracle (None if exhausted).
+
+        Rules marked in-flight (dispatched but unanswered) are never proposed
+        again, so repeated calls interleaved with :meth:`mark_in_flight` yield
+        distinct questions.
+        """
         self._require_started()
         if self.updater.needs_hierarchy_refresh:
             with self.stopwatch.measure("hierarchy_generation"):
@@ -370,25 +383,94 @@ class Darwin:
         with self.stopwatch.measure("traversal"):
             return self.traversal.propose()
 
-    def record_answer(
+    # ------------------------------------------------- concurrent dispatch API
+    @property
+    def in_flight(self) -> Set[LabelingHeuristic]:
+        """Rules dispatched to annotators but not yet answered (a copy)."""
+        return set(self._in_flight)
+
+    def mark_in_flight(self, rule: LabelingHeuristic) -> None:
+        """Reserve ``rule`` so subsequent proposals never duplicate it.
+
+        In-flight rules join the traversal's queried set (every selection path
+        filters on it); :meth:`apply_answer` finalizes the reservation and
+        :meth:`release_in_flight` cancels it.
+        """
+        self._require_started()
+        self.traversal.context.queried.add(rule)
+        self._in_flight.add(rule)
+
+    def release_in_flight(self, rule: LabelingHeuristic) -> None:
+        """Cancel an in-flight reservation, making the rule proposable again."""
+        if rule in self._in_flight:
+            self._in_flight.discard(rule)
+            self.traversal.context.queried.discard(rule)
+
+    def propose_batch(self, limit: int) -> List[LabelingHeuristic]:
+        """Up to ``limit`` distinct rules, each marked in-flight.
+
+        This is the propose-many half of the crowd coordinator's contract:
+        every returned rule is reserved until answered (or released), so two
+        annotators can never be asked to verify the same proposal.
+        """
+        proposals: List[LabelingHeuristic] = []
+        for _ in range(max(0, limit)):
+            rule = self.propose_next()
+            if rule is None:
+                break
+            self.mark_in_flight(rule)
+            proposals.append(rule)
+        return proposals
+
+    # ------------------------------------------------------------ answer flow
+    def apply_answer(
         self,
         rule: LabelingHeuristic,
         is_useful: bool,
-        evaluation_positive_ids: Optional[Set[int]] = None,
-    ) -> QueryRecord:
-        """Incorporate an oracle answer and append a history record."""
+        defer_update: bool = False,
+    ) -> None:
+        """Commit an oracle answer to the rule set and traversal state.
+
+        With ``defer_update=True`` an accepted rule still joins ``R`` and
+        grows ``P`` immediately (so later proposals see the new coverage), but
+        the classifier retrain and hierarchy-refresh signal are buffered until
+        :meth:`flush_updates` — the batched-apply half of the crowd
+        coordinator's contract.
+        """
         self._require_started()
         self.traversal.context.queried.add(rule)
+        self._in_flight.discard(rule)
         if is_useful:
             new_positives = rule.new_positives(self.positive_ids)
             self.rule_set.add(rule)
             self.positive_ids.update(rule.coverage)
             with self.stopwatch.measure("score_update"):
-                self.updater.on_accept(self.positive_ids, new_positives)
+                self.updater.on_accept(
+                    self.positive_ids, new_positives, defer=defer_update
+                )
         else:
             self.updater.on_reject()
         self.traversal.feedback(rule, is_useful)
 
+    def flush_updates(self) -> int:
+        """Apply deferred retrain/refresh work; returns answers flushed."""
+        self._require_started()
+        with self.stopwatch.measure("score_update"):
+            return self.updater.flush(self.positive_ids)
+
+    @property
+    def pending_update_count(self) -> int:
+        """Accepted answers applied with ``defer_update`` and not yet flushed."""
+        return self.updater.pending_update_count if self.updater else 0
+
+    def log_answer(
+        self,
+        rule: LabelingHeuristic,
+        is_useful: bool,
+        evaluation_positive_ids: Optional[Set[int]] = None,
+    ) -> QueryRecord:
+        """Append (and return) the history record for an applied answer."""
+        self._require_started()
         truth = evaluation_positive_ids
         if truth is None:
             truth = self._truth_ids
@@ -408,6 +490,19 @@ class Darwin:
         )
         self.history.append(record)
         return record
+
+    def record_answer(
+        self,
+        rule: LabelingHeuristic,
+        is_useful: bool,
+        evaluation_positive_ids: Optional[Set[int]] = None,
+        defer_update: bool = False,
+    ) -> QueryRecord:
+        """Incorporate an oracle answer and append a history record."""
+        self.apply_answer(rule, is_useful, defer_update=defer_update)
+        return self.log_answer(
+            rule, is_useful, evaluation_positive_ids=evaluation_positive_ids
+        )
 
     def _require_started(self) -> None:
         if not self._started:

@@ -5,6 +5,12 @@ positives were discovered, (2) refresh the benefit estimates of every
 candidate heuristic, and (3) signal the hierarchy generator that new
 candidates should be considered. :class:`ScoreUpdater` encapsulates that
 bookkeeping so the main loop and the interactive session share it.
+
+The crowd coordinator batches step (1) and (3): accepted answers are applied
+to the covered set immediately (so benefit gains stay correct for subsequent
+proposals) while the retrain and the hierarchy-refresh signal are deferred
+until :meth:`ScoreUpdater.flush` — with a batch of one, the deferred path is
+step-for-step equivalent to the serial one.
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ class ScoreUpdater:
         self._accepted_since_retrain = 0
         self._needs_hierarchy_refresh = False
         self._pending_new_positive_ids: Set[int] = set()
+        self._deferred_accepts = 0
+        self._deferred_new_positive_ids: Set[int] = set()
 
     @property
     def needs_hierarchy_refresh(self) -> bool:
@@ -47,6 +55,11 @@ class ScoreUpdater:
         """
         return set(self._pending_new_positive_ids)
 
+    @property
+    def pending_update_count(self) -> int:
+        """Accepted answers applied with ``defer=True`` and not yet flushed."""
+        return self._deferred_accepts
+
     def acknowledge_hierarchy_refresh(self) -> None:
         """Reset the refresh flag after the hierarchy has been regenerated."""
         self._needs_hierarchy_refresh = False
@@ -59,9 +72,31 @@ class ScoreUpdater:
             scores=self.trainer.score_corpus(), covered_ids=positive_ids
         )
 
-    def on_accept(self, positive_ids: Set[int], new_positive_ids: Set[int]) -> None:
-        """Handle a YES answer: retrain (per policy) and refresh benefits."""
+    def on_accept(
+        self,
+        positive_ids: Set[int],
+        new_positive_ids: Set[int],
+        defer: bool = False,
+    ) -> None:
+        """Handle a YES answer: retrain (per policy) and refresh benefits.
+
+        With ``defer=True`` the covered set still grows immediately — benefit
+        gains for subsequent proposals must see the newly covered sentences —
+        but the retrain and the hierarchy-refresh signal are buffered until
+        :meth:`flush` (the crowd coordinator's batched-apply path).
+        """
         self._accepted_since_retrain += 1
+        if defer:
+            self._deferred_accepts += 1
+            self._deferred_new_positive_ids.update(new_positive_ids)
+            self.benefit.update(covered_ids=positive_ids)
+            return
+        self._apply_accepts(positive_ids, new_positive_ids)
+
+    def _apply_accepts(self, positive_ids: Set[int], new_positive_ids: Set[int]) -> None:
+        """Retrain (per the retrain-every policy), refresh benefits, and flag
+        the hierarchy refresh — the shared tail of the serial and batched
+        paths, kept in one place so they cannot drift."""
         retrained = False
         if new_positive_ids and self._accepted_since_retrain >= self.retrain_every:
             self.trainer.retrain(positive_ids)
@@ -77,6 +112,24 @@ class ScoreUpdater:
         """Handle a NO answer (no retraining; benefits stay valid)."""
         # Rejected rules only shrink the candidate pools; nothing to update.
         return None
+
+    def flush(self, positive_ids: Set[int]) -> int:
+        """Apply deferred accepts: retrain once and refresh benefits.
+
+        Returns the number of deferred accepts flushed (0 when nothing was
+        pending, in which case no work is done). The retrain-every policy is
+        honoured across the batch exactly as the serial loop honours it per
+        answer, so ``batch_size=1`` reproduces serial behaviour for any
+        ``retrain_every``.
+        """
+        flushed = self._deferred_accepts
+        if not flushed:
+            return 0
+        self._deferred_accepts = 0
+        new_positive_ids = self._deferred_new_positive_ids
+        self._deferred_new_positive_ids = set()
+        self._apply_accepts(positive_ids, new_positive_ids)
+        return flushed
 
     def current_scores(self):
         """The trainer's latest per-sentence probability estimates."""

@@ -4,15 +4,22 @@
 UI (or a command-line prompt, as in ``examples/interactive_session.py``) needs:
 ask for the next question, show the rule plus a few matching sentences, submit
 the YES/NO answer, repeat until the budget runs out.
+
+Since the crowd subsystem landed, the session is a single-annotator client of
+the same :class:`~repro.crowd.CrowdCoordinator` that serves concurrent crowds
+(K=1, redundancy 1, batch size 1), so the interactive path and the crowd path
+can never drift apart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from ..errors import BudgetExhaustedError
+from ..config import CrowdConfig
+from ..errors import BudgetExhaustedError, ConfigurationError
 from ..rules.heuristic import LabelingHeuristic
+from ..core.oracle import BudgetedOracle, Oracle
 from .darwin import Darwin, DarwinResult, QueryRecord
 
 
@@ -25,15 +32,29 @@ class PendingQuestion:
         rendered: The rule as a human-readable string.
         example_texts: Texts of a few sentences matching the rule (what
             Figure 2 shows the annotator).
+        sample_ids: Sentence ids of the examples (the oracle sample).
     """
 
     rule: LabelingHeuristic
     rendered: str
     example_texts: Sequence[str]
+    sample_ids: Tuple[int, ...] = ()
 
 
 class LabelingSession:
-    """Step-by-step interactive wrapper around :class:`Darwin`."""
+    """Step-by-step interactive wrapper around :class:`Darwin`.
+
+    Args:
+        darwin: The Darwin instance to drive (started here from the seeds).
+        budget: Maximum questions for this session. Reconciled against
+            ``darwin.config.budget`` (and, when ``oracle`` is a pre-wrapped
+            :class:`BudgetedOracle`, against its remaining budget) by taking
+            the tightest bound, so no component can out-ask another.
+        oracle: Optional auto-answering oracle; when given,
+            :meth:`submit_answer` may be called without an argument.
+        seed_rule_texts / seed_rules / seed_positive_ids: Seeds; see
+            :meth:`Darwin.start`.
+    """
 
     def __init__(
         self,
@@ -42,15 +63,42 @@ class LabelingSession:
         seed_rule_texts: Optional[Sequence[str]] = None,
         seed_rules: Optional[Sequence[LabelingHeuristic]] = None,
         seed_positive_ids: Optional[Sequence[int]] = None,
+        oracle: Optional[Oracle] = None,
     ) -> None:
+        from ..crowd.coordinator import CrowdCoordinator
+
         self.darwin = darwin
-        self.budget = budget or darwin.config.budget
+        self.oracle = oracle
+        # Budget reconciliation (the Darwin.run double-budget fix, applied
+        # here too): an explicit session budget and the config budget must not
+        # disagree with a pre-wrapped BudgetedOracle's own allowance — honour
+        # the tightest of the bounds that are in play.
+        session_budget = min(budget or darwin.config.budget, darwin.config.budget)
+        if isinstance(oracle, BudgetedOracle):
+            session_budget = min(session_budget, oracle.remaining)
+        if session_budget <= 0:
+            raise ConfigurationError("session budget must be positive")
+        self.budget = session_budget
         self._pending: Optional[PendingQuestion] = None
+        self._pending_assignment = None
         self._questions_asked = 0
         darwin.start(
             seed_rules=seed_rules,
             seed_rule_texts=seed_rule_texts,
             seed_positive_ids=seed_positive_ids,
+        )
+        # A single-annotator crowd: one question in flight, every answer
+        # applied and flushed immediately — the serial Darwin loop, served
+        # through the shared dispatcher.
+        self._coordinator = CrowdCoordinator(
+            darwin,
+            CrowdConfig(
+                num_annotators=1,
+                redundancy=1,
+                batch_size=1,
+                budget=self.budget,
+                annotator_latency=0.0,
+            ),
         )
 
     # -------------------------------------------------------------- stepping
@@ -75,22 +123,39 @@ class LabelingSession:
             return None
         if self._pending is not None:
             return self._pending
-        rule = self.darwin.propose_next()
-        if rule is None:
+        assignment = self._coordinator.request_question(0)
+        if assignment is None:
             return None
-        sample_ids = self.darwin._sample_for_query(rule)
-        examples = [self.darwin.corpus[sid].text for sid in sample_ids]
+        self._pending_assignment = assignment
         self._pending = PendingQuestion(
-            rule=rule, rendered=rule.render(), example_texts=tuple(examples)
+            rule=assignment.rule,
+            rendered=assignment.rendered,
+            example_texts=assignment.example_texts,
+            sample_ids=assignment.sample_ids,
         )
         return self._pending
 
-    def submit_answer(self, is_useful: bool) -> QueryRecord:
-        """Record the annotator's YES/NO answer to the pending question."""
-        if self._pending is None:
+    def submit_answer(self, is_useful: Optional[bool] = None) -> QueryRecord:
+        """Record the annotator's YES/NO answer to the pending question.
+
+        When the session was built with an ``oracle``, ``is_useful`` may be
+        omitted and the oracle answers in the annotator's place.
+        """
+        if self._pending is None or self._pending_assignment is None:
             raise BudgetExhaustedError("no pending question; call next_question() first")
-        record = self.darwin.record_answer(self._pending.rule, is_useful)
+        if is_useful is None:
+            if self.oracle is None:
+                raise ConfigurationError(
+                    "no oracle attached to the session; pass is_useful explicitly"
+                )
+            answer = self.oracle.ask(self._pending.rule, self._pending.sample_ids)
+            is_useful = answer.is_useful
+        record = self._coordinator.submit_answer(
+            self._pending_assignment, bool(is_useful)
+        )
+        assert record is not None  # redundancy=1 commits on the first vote
         self._pending = None
+        self._pending_assignment = None
         self._questions_asked += 1
         return record
 
@@ -101,11 +166,4 @@ class LabelingSession:
 
     def result(self) -> DarwinResult:
         """Snapshot the session as a :class:`DarwinResult`."""
-        return DarwinResult(
-            rule_set=self.darwin.rule_set,
-            covered_ids=self.darwin.rule_set.covered_ids,
-            history=list(self.darwin.history),
-            queries_used=self._questions_asked,
-            timings=self.darwin.stopwatch.as_dict(),
-            config=self.darwin.config,
-        )
+        return self._coordinator.result().darwin_result

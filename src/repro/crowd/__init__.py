@@ -1,0 +1,24 @@
+"""Crowd session service: concurrent multi-annotator rule verification.
+
+The subsystem multiplexes K annotator sessions over one shared
+:class:`~repro.core.darwin.Darwin` state (the paper's Section 4.3 crowd
+setting): :class:`CrowdCoordinator` dispatches distinct in-flight questions
+with redundancy-r assignment and majority-vote commit, and :func:`run_crowd`
+drives it with asyncio workers that simulate per-annotator latency and noise.
+Expensive classifier retrains and hierarchy refreshes are batched across
+``batch_size`` committed answers.
+"""
+
+from ..config import CrowdConfig
+from .coordinator import Assignment, CrowdCoordinator, CrowdResult
+from .runner import CrowdRunResult, run_crowd, simulated_annotators
+
+__all__ = [
+    "Assignment",
+    "CrowdConfig",
+    "CrowdCoordinator",
+    "CrowdResult",
+    "CrowdRunResult",
+    "run_crowd",
+    "simulated_annotators",
+]
