@@ -1,0 +1,58 @@
+"""Resume smoke test: checkpoint/resume must replay question-for-question.
+
+Runs 10 questions, checkpoints, resumes for 10 more, and diffs the resulting
+history against 20 questions asked straight through. Exits non-zero on any
+mismatch — CI runs this to guard the engine's replay guarantee.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import DarwinEngine
+
+SPEC = {
+    "dataset": {"name": "directions", "num_sentences": 500, "seed": 3,
+                "parse_trees": False},
+    "config": {"budget": 20, "traversal": "hybrid", "num_candidates": 400,
+               "grammars": ["tokensregex"], "oracle": "ground_truth",
+               "classifier": {"model": "logistic", "epochs": 12}},
+    "seeds": {"rule_texts": ["best way to get to"]},
+}
+
+
+def main() -> int:
+    straight = DarwinEngine.from_config(SPEC).run()
+    print(f"straight run: {straight.queries_used} questions, "
+          f"{len(straight.rule_set)} rules, recall {straight.final_recall:.3f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "resume_smoke.npz")
+        interrupted = DarwinEngine.from_config(SPEC)
+        interrupted.run(budget=10)
+        interrupted.save(path)
+        print(f"checkpointed after {interrupted.questions_asked} questions")
+
+        resumed_engine = DarwinEngine.load(path)
+        resumed = resumed_engine.run(budget=20)
+    print(f"resumed run:  {resumed.queries_used} questions, "
+          f"{len(resumed.rule_set)} rules, recall {resumed.final_recall:.3f}")
+
+    if resumed.history != straight.history:
+        for straight_rec, resumed_rec in zip(straight.history, resumed.history):
+            marker = "  " if straight_rec == resumed_rec else "!!"
+            print(f"{marker} q{straight_rec.question_number}: "
+                  f"{straight_rec.rule!r} vs {resumed_rec.rule!r}")
+        print("FAIL: resumed history diverged from the straight run")
+        return 1
+    if resumed.rule_set.describe() != straight.rule_set.describe():
+        print("FAIL: accepted rule sets differ")
+        return 1
+    print("OK: resume replayed question-for-question identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

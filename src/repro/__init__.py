@@ -8,7 +8,22 @@ label model, the Snuba / active-learning / keyword-sampling baselines, five
 synthetic dataset generators mirroring the paper's corpora, and an experiment
 harness regenerating every table and figure of the evaluation.
 
-Quickstart::
+Quickstart (declarative engine API)::
+
+    from repro import DarwinEngine
+
+    engine = DarwinEngine.from_config({
+        "dataset": {"name": "directions", "scale": 0.2, "seed": 7},
+        "config": {"budget": 50, "oracle": "ground_truth",
+                   "grammars": ["tokensregex"]},
+        "seeds": {"rule_texts": ["best way to get to"]},
+    })
+    result = engine.run()
+    print(result.final_recall, result.accepted_rules()[:5])
+
+The engine supports whole-session checkpointing (``engine.save(path)`` /
+``DarwinEngine.load(path)``) with question-for-question identical resume.
+The pre-engine entry points remain available::
 
     from repro import Darwin, DarwinConfig, GroundTruthOracle
     from repro.datasets import load_dataset
@@ -17,7 +32,6 @@ Quickstart::
     darwin = Darwin(corpus, config=DarwinConfig(budget=50))
     oracle = GroundTruthOracle(corpus)
     result = darwin.run(oracle, seed_rule_texts=["best way to get to"])
-    print(result.final_recall, result.accepted_rules()[:5])
 """
 
 from .config import ClassifierConfig, CrowdConfig, DarwinConfig, DEFAULT_CONFIG
@@ -57,12 +71,20 @@ from .crowd import (
     run_crowd,
     simulated_annotators,
 )
+from .engine.engine import DarwinEngine
+from .engine.registry import (
+    register_classifier,
+    register_dataset,
+    register_grammar,
+    register_oracle,
+    register_traversal,
+)
 from .grammars import TokensRegexGrammar, TreeMatchGrammar, TreePattern
 from .index import CorpusIndex, CoverageStore, CoverageView, RuleHierarchy
 from .rules import LabelingHeuristic, RuleSet
 from .text import Corpus, Sentence
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClassifierConfig",
@@ -81,9 +103,15 @@ __all__ = [
     "DatasetError",
     "EvaluationError",
     "Darwin",
+    "DarwinEngine",
     "DarwinResult",
     "QueryRecord",
     "LabelingSession",
+    "register_grammar",
+    "register_classifier",
+    "register_traversal",
+    "register_oracle",
+    "register_dataset",
     "Assignment",
     "CrowdCoordinator",
     "CrowdResult",

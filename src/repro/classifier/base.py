@@ -71,6 +71,26 @@ class TextClassifier(ABC):
         if not self._fitted:
             raise ClassifierError(f"{type(self).__name__} used before fit()")
 
+    # -------------------------------------------------------- state protocol
+    def state_arrays(self) -> "dict[str, np.ndarray]":
+        """The classifier's learned weights as named numpy arrays.
+
+        Used by the engine's checkpoint protocol: the arrays land in the
+        checkpoint bundle and :meth:`load_state_arrays` restores them into a
+        freshly-constructed classifier of the same model, making the restored
+        instance answer :meth:`predict_proba` identically without a retrain.
+        Subclasses must override both methods together.
+        """
+        raise ClassifierError(
+            f"{type(self).__name__} does not implement the weight-state protocol"
+        )
+
+    def load_state_arrays(self, arrays: "dict[str, np.ndarray]") -> None:
+        """Restore weights captured by :meth:`state_arrays`; marks fitted."""
+        raise ClassifierError(
+            f"{type(self).__name__} does not implement the weight-state protocol"
+        )
+
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
     """Numerically-stable logistic sigmoid."""

@@ -127,6 +127,36 @@ class CNNTextClassifier(TextClassifier):
         self.dense_w -= self.learning_rate * grad_dense_w
         self.dense_b -= self.learning_rate * grad_dense_b
 
+    # -------------------------------------------------------- state protocol
+    def state_arrays(self) -> "dict[str, np.ndarray]":
+        self._check_fitted()
+        arrays: "dict[str, np.ndarray]" = {
+            "dense_w": self.dense_w,
+            "dense_b": np.array([self.dense_b]),
+            "widths": np.array(self.filter_widths, dtype=np.int64),
+        }
+        for width in self.filter_widths:
+            arrays[f"filters_{width}"] = self.filters[width]
+            arrays[f"filter_bias_{width}"] = self.filter_bias[width]
+        return arrays
+
+    def load_state_arrays(self, arrays: "dict[str, np.ndarray]") -> None:
+        widths = tuple(int(w) for w in np.asarray(arrays["widths"]).reshape(-1))
+        self.filter_widths = widths
+        self.filters = {
+            width: np.asarray(arrays[f"filters_{width}"], dtype=np.float64)
+            for width in widths
+        }
+        self.filter_bias = {
+            width: np.asarray(arrays[f"filter_bias_{width}"], dtype=np.float64)
+            for width in widths
+        }
+        self.dense_w = np.asarray(arrays["dense_w"], dtype=np.float64)
+        self.dense_b = float(np.asarray(arrays["dense_b"]).reshape(-1)[0])
+        if self.filters:
+            self.num_filters = next(iter(self.filters.values())).shape[0]
+        self._fitted = True
+
     # ------------------------------------------------------------- inference
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         self._check_fitted()

@@ -70,6 +70,16 @@ class LogisticTextClassifier(TextClassifier):
         self._fitted = True
         return self
 
+    # -------------------------------------------------------- state protocol
+    def state_arrays(self) -> "dict[str, np.ndarray]":
+        self._check_fitted()
+        return {"weights": self.weights, "bias": np.array([self.bias])}
+
+    def load_state_arrays(self, arrays: "dict[str, np.ndarray]") -> None:
+        self.weights = np.asarray(arrays["weights"], dtype=np.float64)
+        self.bias = float(np.asarray(arrays["bias"]).reshape(-1)[0])
+        self._fitted = True
+
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         self._check_fitted()
         features = np.asarray(features, dtype=np.float64)

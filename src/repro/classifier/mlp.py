@@ -82,6 +82,23 @@ class MLPTextClassifier(TextClassifier):
         self._fitted = True
         return self
 
+    # -------------------------------------------------------- state protocol
+    def state_arrays(self) -> "dict[str, np.ndarray]":
+        self._check_fitted()
+        return {
+            "w1": self.w1,
+            "b1": self.b1,
+            "w2": self.w2,
+            "b2": np.array([self.b2]),
+        }
+
+    def load_state_arrays(self, arrays: "dict[str, np.ndarray]") -> None:
+        self.w1 = np.asarray(arrays["w1"], dtype=np.float64)
+        self.b1 = np.asarray(arrays["b1"], dtype=np.float64)
+        self.w2 = np.asarray(arrays["w2"], dtype=np.float64)
+        self.b2 = float(np.asarray(arrays["b2"]).reshape(-1)[0])
+        self._fitted = True
+
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         self._check_fitted()
         features = np.asarray(features, dtype=np.float64)

@@ -23,40 +23,22 @@ from ..errors import ClassifierError
 from ..text.corpus import Corpus
 from ..utils.rng import derive_rng
 from .base import TextClassifier, TrainingSet
-from .cnn import CNNTextClassifier
 from .features import SentenceFeaturizer
-from .logistic import LogisticTextClassifier
-from .mlp import MLPTextClassifier
 
 
 def make_classifier(config: ClassifierConfig) -> TextClassifier:
-    """Instantiate the classifier selected by ``config.model``."""
-    if config.model == "logistic":
-        return LogisticTextClassifier(
-            epochs=config.epochs,
-            learning_rate=config.learning_rate,
-            l2=config.l2,
-            batch_size=config.batch_size,
-            seed=config.seed,
-        )
-    if config.model == "mlp":
-        return MLPTextClassifier(
-            hidden_dim=config.hidden_dim,
-            epochs=config.epochs,
-            learning_rate=config.learning_rate,
-            l2=config.l2,
-            batch_size=config.batch_size,
-            seed=config.seed,
-        )
-    if config.model == "cnn":
-        return CNNTextClassifier(
-            epochs=config.epochs,
-            learning_rate=config.learning_rate,
-            l2=config.l2,
-            batch_size=config.batch_size,
-            seed=config.seed,
-        )
-    raise ClassifierError(f"unknown classifier model {config.model!r}")
+    """Instantiate the classifier selected by ``config.model``.
+
+    Resolution goes through :data:`repro.engine.registry.CLASSIFIERS`, so
+    custom models registered with ``@register_classifier("name")`` are
+    constructible here (and therefore from a plain config dict) exactly like
+    the shipped ``"logistic"``/``"mlp"``/``"cnn"`` factories.
+    """
+    from ..engine.registry import CLASSIFIERS
+
+    if config.model not in CLASSIFIERS:
+        raise ClassifierError(f"unknown classifier model {config.model!r}")
+    return CLASSIFIERS.create(config.model, config)
 
 
 class ClassifierTrainer:
@@ -176,6 +158,54 @@ class ClassifierTrainer:
     def retrain_count(self) -> int:
         """How many times the classifier has been retrained."""
         return self._retrain_count
+
+    # ---------------------------------------------------------- state protocol
+    def state_dict(self, bundle, prefix: str = "trainer/") -> "dict":
+        """Serialize scores, retrain counter, RNG stream, and model weights.
+
+        The per-sentence score column and the negative-sampling RNG state are
+        what replay determinism needs (the classifier object is recreated
+        from scratch at every retrain); the weights additionally let a
+        restored trainer answer :meth:`predict_proba`-style queries without a
+        retrain. Arrays go into ``bundle``; the returned dict is JSON-able.
+        """
+        from ..engine.state import rng_state_dict
+
+        state = {
+            "scores": bundle.put(prefix + "scores", self._scores),
+            "retrain_count": self._retrain_count,
+            "rng": rng_state_dict(self._rng),
+            "classifier": None,
+        }
+        if self.classifier is not None and self.classifier.is_fitted:
+            arrays = self.classifier.state_arrays()
+            state["classifier"] = {
+                "model": self.config.model,
+                "arrays": {
+                    name: bundle.put(prefix + "classifier/" + name, array)
+                    for name, array in arrays.items()
+                },
+            }
+        return state
+
+    def load_state(self, state: "dict", bundle) -> None:
+        """Restore :meth:`state_dict` output into this trainer."""
+        from ..engine.state import restore_rng
+
+        self._scores = np.asarray(bundle.get(state["scores"]), dtype=np.float64).copy()
+        self._retrain_count = int(state["retrain_count"])
+        self._rng = restore_rng(state["rng"])
+        classifier_state = state.get("classifier")
+        if classifier_state is None:
+            self.classifier = None
+        else:
+            self.classifier = make_classifier(self.config)
+            self.classifier.load_state_arrays(
+                {
+                    name: bundle.get(key)
+                    for name, key in classifier_state["arrays"].items()
+                }
+            )
 
     # -------------------------------------------------------------- evaluation
     def f1_against(self, positive_ids: Set[int], threshold: float = 0.5) -> float:

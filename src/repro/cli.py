@@ -9,7 +9,10 @@ writing Python:
 * ``python -m repro compare`` — run Darwin against the Snuba baseline with the
   same labeled seed subset (the Figure 7 comparison at one seed size),
 * ``python -m repro crowd`` — drive K concurrent simulated annotators with
-  redundant dispatch, majority voting and batched retrains (Section 4.3).
+  redundant dispatch, majority voting and batched retrains (Section 4.3),
+* ``python -m repro resume`` — continue a checkpointed run
+  (``run --checkpoint ... --checkpoint-every N`` writes the checkpoints),
+* ``python -m repro export-state`` — inspect a checkpoint's manifest.
 """
 
 from __future__ import annotations
@@ -18,12 +21,13 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from . import __version__
 from .baselines.snuba import SnubaBaseline
 from .config import ClassifierConfig, CrowdConfig, DarwinConfig
-from .core.darwin import Darwin
-from .core.oracle import GroundTruthOracle
+from .core.darwin import Darwin, DarwinResult
 from .crowd import run_crowd
 from .datasets.registry import DATASET_NAMES, load_bank, load_dataset, table1_rows
+from .engine.engine import DarwinEngine, export_state_json
 from .evaluation.reporting import format_curve_table, format_table
 from .experiments.common import prepare_dataset
 from .experiments.seed_size import sample_labeled_subset
@@ -34,6 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Darwin: adaptive rule discovery for labeling text data",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -59,6 +66,31 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=7)
     run_parser.add_argument("--epochs", type=int, default=40,
                             help="benefit-classifier training epochs")
+    run_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                            help="write session checkpoints to this file")
+    run_parser.add_argument("--checkpoint-every", type=int, default=None,
+                            metavar="N",
+                            help="checkpoint after every N answered questions "
+                                 "(requires --checkpoint)")
+
+    resume_parser = subparsers.add_parser(
+        "resume", help="continue a checkpointed run question-for-question"
+    )
+    resume_parser.add_argument("--checkpoint", required=True, metavar="PATH",
+                               help="checkpoint written by 'run --checkpoint'")
+    resume_parser.add_argument("--budget", type=int, default=None,
+                               help="total question budget including already-"
+                                    "answered ones (default: config budget)")
+    resume_parser.add_argument("--checkpoint-every", type=int, default=None,
+                               metavar="N",
+                               help="keep checkpointing every N answers")
+
+    export_parser = subparsers.add_parser(
+        "export-state", help="print a checkpoint's manifest summary as JSON"
+    )
+    export_parser.add_argument("--checkpoint", required=True, metavar="PATH")
+    export_parser.add_argument("--output", default=None, metavar="FILE",
+                               help="write the JSON here instead of stdout")
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare Darwin against Snuba for one seed-set size"
@@ -117,23 +149,7 @@ def _command_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    corpus = load_dataset(args.dataset, num_sentences=args.num_sentences,
-                          seed=args.seed, parse_trees=False)
-    bank = load_bank(args.dataset)
-    seed_rule = args.seed_rule or bank.default_seed_rules[0]
-    config = DarwinConfig(
-        budget=args.budget,
-        traversal=args.traversal,
-        num_candidates=1000,
-        classifier=ClassifierConfig(epochs=args.epochs),
-    )
-    print(f"dataset={args.dataset} sentences={len(corpus)} "
-          f"positives={len(corpus.positive_ids())} seed rule={seed_rule!r}")
-    darwin = Darwin(corpus, config=config)
-    oracle = GroundTruthOracle(corpus)
-    result = darwin.run(oracle, seed_rule_texts=[seed_rule])
-
+def _print_run_summary(result: DarwinResult) -> None:
     print(f"\nasked {result.queries_used} questions, accepted "
           f"{len(result.rule_set)} rules")
     print(f"coverage (recall over positives): {result.final_recall:.3f}")
@@ -146,6 +162,58 @@ def _command_run(args: argparse.Namespace) -> int:
         {"coverage": result.recall_curve(), "F1": result.f1_curve()},
         step=10, title="progress by #questions",
     ))
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    bank = load_bank(args.dataset)
+    seed_rule = args.seed_rule or bank.default_seed_rules[0]
+    # Declarative construction: the whole engine comes from one config dict
+    # (the same shape DarwinEngine.from_config accepts from a JSON file).
+    engine = DarwinEngine.from_config({
+        "dataset": {"name": args.dataset, "num_sentences": args.num_sentences,
+                    "seed": args.seed, "parse_trees": False},
+        "config": {"budget": args.budget, "traversal": args.traversal,
+                   "num_candidates": 1000, "oracle": "ground_truth",
+                   "classifier": {"model": "logistic", "epochs": args.epochs}},
+        "seeds": {"rule_texts": [seed_rule]},
+    })
+    corpus = engine.corpus
+    print(f"dataset={args.dataset} sentences={len(corpus)} "
+          f"positives={len(corpus.positive_ids())} seed rule={seed_rule!r}")
+    result = engine.run(
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint,
+    )
+    if args.checkpoint:
+        # engine.run always leaves the file holding the end-of-run state.
+        print(f"checkpoint written to {args.checkpoint}")
+    _print_run_summary(result)
+    return 0
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    engine = DarwinEngine.load(args.checkpoint)
+    print(f"resuming {args.checkpoint}: {engine.questions_asked} questions "
+          f"already answered, budget "
+          f"{args.budget or engine.config.budget}")
+    result = engine.run(
+        budget=args.budget,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint,
+    )
+    print(f"checkpoint updated: {args.checkpoint}")
+    _print_run_summary(result)
+    return 0
+
+
+def _command_export_state(args: argparse.Namespace) -> int:
+    rendered = export_state_json(args.checkpoint)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"manifest summary written to {args.output}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -233,6 +301,8 @@ def _command_crowd(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "datasets": _command_datasets,
     "run": _command_run,
+    "resume": _command_resume,
+    "export-state": _command_export_state,
     "compare": _command_compare,
     "crowd": _command_crowd,
 }

@@ -15,10 +15,33 @@ threading a dozen keyword arguments through every component.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from .errors import ConfigurationError
+
+
+def _registry_names(registry_attr: str) -> Optional[Tuple[str, ...]]:
+    """Names registered in one of the engine registries, or None when the
+    registry module is not loaded yet.
+
+    Deliberately reads ``sys.modules`` instead of importing: the registry
+    module imports the component modules (grammars, classifiers, datasets,
+    ...), so importing it from here would both bolt that whole tree onto
+    ``import repro.config`` and create a config→engine→components import
+    chain that is one careless ``from repro.config import DEFAULT_CONFIG``
+    away from a cycle. In practice ``repro/__init__`` loads the registry
+    right after this module, so every user-constructed config is validated;
+    only the module-level ``DEFAULT_CONFIG`` (all-default, known-good names)
+    skips the registry check during bootstrap.
+    """
+    import sys
+
+    root_package = __name__.rsplit(".", 1)[0]
+    module = sys.modules.get(f"{root_package}.engine.registry")
+    if module is None:
+        return None
+    return getattr(module, registry_attr).names()
 
 
 @dataclass(frozen=True)
@@ -56,7 +79,8 @@ class ClassifierConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.model not in {"logistic", "mlp", "cnn"}:
+        known_models = _registry_names("CLASSIFIERS") or ("logistic", "mlp", "cnn")
+        if self.model not in known_models:
             raise ConfigurationError(f"unknown classifier model: {self.model!r}")
         if self.epochs <= 0:
             raise ConfigurationError("epochs must be positive")
@@ -64,6 +88,18 @@ class ClassifierConfig:
             raise ConfigurationError("learning_rate must be positive")
         if self.negative_sample_ratio <= 0:
             raise ConfigurationError("negative_sample_ratio must be positive")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able mapping of this config (checkpoint manifests)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "ClassifierConfig":
+        """Rebuild a config from :meth:`as_dict` output / a plain JSON dict."""
+        try:
+            return cls(**dict(mapping))
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(f"bad classifier config: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -93,7 +129,16 @@ class DarwinConfig:
             changed after each accepted rule; ``"full"`` regenerates every
             candidate from scratch (the pre-columnar behaviour, kept for
             experiments that need exact Algorithm 2 reruns).
-        classifier: Nested :class:`ClassifierConfig`.
+        grammars: Registry names of the heuristic grammars to search over
+            (see :data:`repro.engine.registry.GRAMMARS`); used by
+            :class:`~repro.engine.DarwinEngine` to build grammars
+            declaratively. ``Darwin`` callers passing grammar instances
+            directly bypass this field.
+        oracle: Registry name of the oracle built by
+            :meth:`repro.engine.DarwinEngine.build_oracle`
+            (see :data:`repro.engine.registry.ORACLES`).
+        classifier: Nested :class:`ClassifierConfig` (its ``model`` field is a
+            :data:`repro.engine.registry.CLASSIFIERS` name).
         seed: Seed for all stochastic tie-breaking inside the search.
     """
 
@@ -109,13 +154,44 @@ class DarwinConfig:
     oracle_sample_size: int = 5
     retrain_every: int = 1
     hierarchy_refresh: str = "incremental"
+    grammars: Tuple[str, ...] = ("tokensregex",)
+    oracle: str = "ground_truth"
     classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if not isinstance(self.grammars, tuple):
+            object.__setattr__(self, "grammars", tuple(self.grammars))
+        if not self.grammars or not all(
+            isinstance(name, str) and name for name in self.grammars
+        ):
+            raise ConfigurationError(
+                "grammars must be a non-empty sequence of registry names"
+            )
+        if len(set(self.grammars)) != len(self.grammars):
+            raise ConfigurationError("grammar names must be unique")
+        if not isinstance(self.oracle, str) or not self.oracle:
+            raise ConfigurationError("oracle must be a registry name")
+        known_grammars = _registry_names("GRAMMARS")
+        if known_grammars is not None:
+            for name in self.grammars:
+                if name not in known_grammars:
+                    raise ConfigurationError(
+                        f"unknown grammar {name!r}; registered: "
+                        f"{', '.join(known_grammars)}"
+                    )
+        known_oracles = _registry_names("ORACLES")
+        if known_oracles is not None and self.oracle not in known_oracles:
+            raise ConfigurationError(
+                f"unknown oracle {self.oracle!r}; registered: "
+                f"{', '.join(known_oracles)}"
+            )
         if self.budget <= 0:
             raise ConfigurationError("budget must be positive")
-        if self.traversal not in {"local", "universal", "hybrid"}:
+        known_traversals = _registry_names("TRAVERSALS") or (
+            "local", "universal", "hybrid"
+        )
+        if self.traversal not in known_traversals:
             raise ConfigurationError(f"unknown traversal: {self.traversal!r}")
         if self.tau <= 0:
             raise ConfigurationError("tau must be positive")
@@ -159,6 +235,32 @@ class DarwinConfig:
             return replace(self, **overrides)
         except TypeError as exc:  # unknown field name
             raise ConfigurationError(str(exc)) from exc
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able mapping of this config, nested classifier included."""
+        record = asdict(self)
+        record["grammars"] = list(self.grammars)
+        return record
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "DarwinConfig":
+        """Rebuild a config from :meth:`as_dict` output / a plain JSON dict.
+
+        The nested ``classifier`` entry may be a mapping or a
+        :class:`ClassifierConfig`; ``grammars`` may be any sequence of names.
+        Unknown keys raise :class:`~repro.errors.ConfigurationError`.
+        """
+        record = dict(mapping)
+        classifier = record.get("classifier")
+        if isinstance(classifier, Mapping):
+            record["classifier"] = ClassifierConfig.from_dict(classifier)
+        grammars = record.get("grammars")
+        if grammars is not None and not isinstance(grammars, tuple):
+            record["grammars"] = tuple(grammars)
+        try:
+            return cls(**record)
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(f"bad darwin config: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -234,6 +336,18 @@ class CrowdConfig:
             return replace(self, **overrides)
         except TypeError as exc:  # unknown field name
             raise ConfigurationError(str(exc)) from exc
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able mapping of this config (checkpoint manifests)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "CrowdConfig":
+        """Rebuild a config from :meth:`as_dict` output / a plain JSON dict."""
+        try:
+            return cls(**dict(mapping))
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(f"bad crowd config: {exc}") from exc
 
 
 DEFAULT_CONFIG = DarwinConfig()

@@ -18,8 +18,10 @@ F-score against the number of questions, exactly as Figures 9 and 10 do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
 
 from ..classifier.features import SentenceFeaturizer
 from ..classifier.trainer import ClassifierTrainer
@@ -116,6 +118,14 @@ class DarwinResult:
 class Darwin:
     """Adaptive rule discovery over a text corpus.
 
+    .. deprecated:: 1.1
+        ``Darwin`` remains fully supported as the in-process core, but new
+        code should enter through :class:`repro.engine.DarwinEngine`, which
+        adds declarative construction (``from_config``), checkpoint/resume
+        (``save``/``load``), and session handles (``session``/``crowd``) on
+        top of this class. ``Darwin`` is kept importable as the thin
+        compatibility entry point.
+
     Args:
         corpus: The corpus to label.
         grammars: Heuristic grammars to search over (default: TokensRegex).
@@ -178,6 +188,7 @@ class Darwin:
         self.history: List[QueryRecord] = []
         self._in_flight: Set[LabelingHeuristic] = set()
         self._started = False
+        self._ref_cache: Dict[tuple, LabelingHeuristic] = {}
 
     # ------------------------------------------------------------------ setup
     def parse_seed_rule(self, text: str, grammar_name: Optional[str] = None) -> LabelingHeuristic:
@@ -507,6 +518,124 @@ class Darwin:
     def _require_started(self) -> None:
         if not self._started:
             raise ConfigurationError("call start() with seeds before stepping Darwin")
+
+    # ---------------------------------------------------------- state protocol
+    def resolve_rule_ref(self, ref: Dict[str, str]) -> LabelingHeuristic:
+        """Rebuild the :class:`LabelingHeuristic` a checkpoint ref names.
+
+        The coverage representation matches what the live run held: rules
+        materialized by the corpus index come back with the interned coverage
+        view (shared identity and all), rules the index never saw are
+        re-evaluated by a corpus scan into a frozenset — exactly the two
+        paths proposals take in a running session.
+        """
+        cache_key = (ref["g"], ref["e"])
+        cached = self._ref_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        grammar = self._grammar_by_name(ref["g"])
+        expression = grammar.parse(ref["e"])
+        coverage = self.index.coverage_of_expression(
+            grammar.name, expression, self.corpus
+        )
+        rule = LabelingHeuristic(
+            grammar=grammar, expression=expression
+        ).with_coverage(coverage)
+        self._ref_cache[cache_key] = rule
+        return rule
+
+    def to_state(self, bundle) -> Dict[str, object]:
+        """Serialize every mutable piece of the session (started runs only).
+
+        Covers the ISSUE's state layers: accepted rules and ``P``, the live
+        hierarchy (nodes *and* edges), the traversal pools/mode, the queried
+        and in-flight bookkeeping, the score updater's counters, the trainer
+        (scores, RNG, classifier weights), the query history, and Darwin's
+        own sampling RNG. Arrays go into ``bundle``; the returned dict is
+        JSON-able. In-flight rules are recorded but deliberately restored as
+        *released*: their votes are lost with the process, so a resumed
+        session must be free to re-propose them.
+        """
+        from ..engine.state import rng_state_dict
+
+        self._require_started()
+        positive_ids = np.fromiter(
+            sorted(self.positive_ids), dtype=np.int64, count=len(self.positive_ids)
+        )
+        in_flight = set(self._in_flight)
+        queried = [
+            rule.ref()
+            for rule in self.traversal.context.queried
+            if rule not in in_flight
+        ]
+        return {
+            "positive_ids": bundle.put("darwin/positive_ids", positive_ids),
+            "rule_set": self.rule_set.to_state(),
+            "hierarchy": self.hierarchy.to_state(),
+            # The registry key the traversal was created under (custom
+            # strategies may not define a `name` class attribute, and their
+            # class-level name need not match their registration).
+            "traversal": {
+                "kind": self.config.traversal,
+                "state": self.traversal.state_dict(),
+            },
+            "queried": sorted(queried, key=lambda ref: (ref["g"], ref["e"])),
+            "in_flight": sorted(
+                (rule.ref() for rule in in_flight),
+                key=lambda ref: (ref["g"], ref["e"]),
+            ),
+            "updater": self.updater.state_dict(),
+            "trainer": self.trainer.state_dict(bundle, prefix="darwin/trainer/"),
+            "history": [asdict(record) for record in self.history],
+            "rng": rng_state_dict(self._rng),
+        }
+
+    def restore_state(self, state: Dict[str, object], bundle) -> None:
+        """Restore :meth:`to_state` output, leaving this instance started.
+
+        The restored session replays question-for-question identically to
+        the uninterrupted run: hierarchy, pools, scores, counters, and RNG
+        streams all resume from their serialized values.
+        """
+        from ..engine.state import restore_rng
+
+        resolve = self.resolve_rule_ref
+        self.positive_ids = set(
+            np.asarray(bundle.get(state["positive_ids"])).tolist()
+        )
+        self.rule_set = RuleSet.from_state(state["rule_set"], resolve)
+        self.trainer = ClassifierTrainer(
+            self.corpus, self.featurizer, config=self.config.classifier
+        )
+        self.trainer.load_state(state["trainer"], bundle)
+        self.benefit = BenefitScorer(
+            scores=self.trainer.score_corpus(), covered_ids=self.positive_ids
+        )
+        self.updater = ScoreUpdater(
+            self.trainer, self.benefit, retrain_every=self.config.retrain_every
+        )
+        self.updater.load_state(state["updater"])
+        self.hierarchy = RuleHierarchy.from_state(state["hierarchy"], resolve)
+        traversal_state = state["traversal"]
+        context = TraversalContext(
+            hierarchy=self.hierarchy,
+            benefit=self.benefit,
+            neighbours=self._neighbour_provider,
+            benefit_cutoff=self.config.benefit_cutoff,
+        )
+        seeds = [
+            resolve(ref)
+            for ref in traversal_state["state"].get("seed_rules", [])
+        ]
+        self.traversal = make_traversal(
+            traversal_state["kind"], context, seeds, tau=self.config.tau
+        )
+        self.traversal.load_state(traversal_state["state"], resolve)
+        context.queried = {resolve(ref) for ref in state.get("queried", [])}
+        self.history = [QueryRecord(**record) for record in state.get("history", [])]
+        self._in_flight = set()
+        self._rng = restore_rng(state["rng"])
+        self._started = True
 
     # -------------------------------------------------------------------- run
     def run(

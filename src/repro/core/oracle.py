@@ -61,6 +61,21 @@ class Oracle(ABC):
         query = OracleQuery(rule=rule, sample_ids=tuple(sample_ids), rendered=rule.render())
         return self.answer(query)
 
+    # -------------------------------------------------------- state protocol
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of any mutable answering state (RNG streams).
+
+        Stateless oracles (the default) return ``{}``. Stochastic oracles
+        override this so an engine checkpoint can resume their answer stream
+        exactly where it stopped — the checkpoint/resume replay guarantee
+        covers noisy oracles only through this hook.
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (no-op for stateless oracles)."""
+        return None
+
 
 class GroundTruthOracle(Oracle):
     """Simulated perfect annotator (Section 4.1).
@@ -133,6 +148,17 @@ class SampleBasedOracle(Oracle):
             true_precision=true_precision,
         )
 
+    def state_dict(self) -> dict:
+        from ..engine.state import rng_state_dict
+
+        return {"rng": rng_state_dict(self._rng)}
+
+    def load_state(self, state: dict) -> None:
+        from ..engine.state import restore_rng
+
+        if "rng" in state:
+            self._rng = restore_rng(state["rng"])
+
 
 class NoisyOracle(Oracle):
     """Wraps another oracle and flips its answer with probability ``flip_prob``."""
@@ -151,6 +177,18 @@ class NoisyOracle(Oracle):
                 is_useful=not answer.is_useful, true_precision=answer.true_precision
             )
         return answer
+
+    def state_dict(self) -> dict:
+        from ..engine.state import rng_state_dict
+
+        return {"rng": rng_state_dict(self._rng), "base": self.base.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        from ..engine.state import restore_rng
+
+        if "rng" in state:
+            self._rng = restore_rng(state["rng"])
+        self.base.load_state(state.get("base", {}))
 
 
 class MajorityVoteOracle(Oracle):
@@ -177,6 +215,19 @@ class MajorityVoteOracle(Oracle):
         return OracleAnswer(
             is_useful=yes_votes * 2 > len(votes), true_precision=true_precision
         )
+
+    def state_dict(self) -> dict:
+        return {
+            "total_votes": self.total_votes,
+            "annotators": [annotator.state_dict() for annotator in self.annotators],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.total_votes = int(state.get("total_votes", 0))
+        for annotator, annotator_state in zip(
+            self.annotators, state.get("annotators", [])
+        ):
+            annotator.load_state(annotator_state)
 
 
 @dataclass
@@ -214,3 +265,11 @@ class BudgetedOracle(Oracle):
         self.queries.append(query)
         self.answers.append(answer)
         return answer
+
+    def state_dict(self) -> dict:
+        # The query/answer log is analysis output, not answering state; only
+        # the wrapped oracle's stream needs to survive a checkpoint.
+        return {"base": self.base.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self.base.load_state(state.get("base", {}))

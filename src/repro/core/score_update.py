@@ -131,6 +131,29 @@ class ScoreUpdater:
         self._apply_accepts(positive_ids, new_positive_ids)
         return flushed
 
+    # ---------------------------------------------------------- state protocol
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the updater's counters and pending id sets."""
+        return {
+            "accepted_since_retrain": self._accepted_since_retrain,
+            "needs_hierarchy_refresh": self._needs_hierarchy_refresh,
+            "pending_new_positive_ids": sorted(self._pending_new_positive_ids),
+            "deferred_accepts": self._deferred_accepts,
+            "deferred_new_positive_ids": sorted(self._deferred_new_positive_ids),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this updater."""
+        self._accepted_since_retrain = int(state["accepted_since_retrain"])
+        self._needs_hierarchy_refresh = bool(state["needs_hierarchy_refresh"])
+        self._pending_new_positive_ids = {
+            int(i) for i in state["pending_new_positive_ids"]
+        }
+        self._deferred_accepts = int(state["deferred_accepts"])
+        self._deferred_new_positive_ids = {
+            int(i) for i in state["deferred_new_positive_ids"]
+        }
+
     def current_scores(self):
         """The trainer's latest per-sentence probability estimates."""
         return self.trainer.score_corpus()

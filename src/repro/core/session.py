@@ -53,7 +53,9 @@ class LabelingSession:
         oracle: Optional auto-answering oracle; when given,
             :meth:`submit_answer` may be called without an argument.
         seed_rule_texts / seed_rules / seed_positive_ids: Seeds; see
-            :meth:`Darwin.start`.
+            :meth:`Darwin.start`. May be omitted when ``darwin`` is already
+            started (e.g. restored from an engine checkpoint) — the session
+            then continues the existing run instead of reseeding it.
     """
 
     def __init__(
@@ -69,24 +71,30 @@ class LabelingSession:
 
         self.darwin = darwin
         self.oracle = oracle
+        self._pending: Optional[PendingQuestion] = None
+        self._pending_assignment = None
+        self._questions_asked = 0
+        has_seeds = bool(seed_rules or seed_rule_texts or seed_positive_ids)
+        if has_seeds or not getattr(darwin, "_started", False):
+            darwin.start(
+                seed_rules=seed_rules,
+                seed_rule_texts=seed_rule_texts,
+                seed_positive_ids=seed_positive_ids,
+            )
         # Budget reconciliation (the Darwin.run double-budget fix, applied
         # here too): an explicit session budget and the config budget must not
         # disagree with a pre-wrapped BudgetedOracle's own allowance — honour
-        # the tightest of the bounds that are in play.
-        session_budget = min(budget or darwin.config.budget, darwin.config.budget)
+        # the tightest of the bounds in play. Computed after the start
+        # decision: a continued session (started darwin, no reseed) only gets
+        # what the config budget has left after the questions already in the
+        # run's history, so resuming can never out-ask the original budget.
+        config_remaining = max(0, darwin.config.budget - len(darwin.history))
+        session_budget = min(budget or config_remaining, config_remaining)
         if isinstance(oracle, BudgetedOracle):
             session_budget = min(session_budget, oracle.remaining)
         if session_budget <= 0:
             raise ConfigurationError("session budget must be positive")
         self.budget = session_budget
-        self._pending: Optional[PendingQuestion] = None
-        self._pending_assignment = None
-        self._questions_asked = 0
-        darwin.start(
-            seed_rules=seed_rules,
-            seed_rule_texts=seed_rule_texts,
-            seed_positive_ids=seed_positive_ids,
-        )
         # A single-annotator crowd: one question in flight, every answer
         # applied and flushed immediately — the serial Darwin loop, served
         # through the shared dispatcher.

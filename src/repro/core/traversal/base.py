@@ -79,6 +79,21 @@ class TraversalStrategy(ABC):
         """Called when Darwin regenerates the candidate hierarchy."""
         self.context.hierarchy = hierarchy
 
+    # -------------------------------------------------------- state protocol
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the strategy's mutable search state.
+
+        Subclasses extend this with their candidate pools / mode counters;
+        the context-level ``queried`` set is serialized by Darwin (it is
+        shared with the in-flight bookkeeping, not owned by the strategy).
+        """
+        return {"seed_rules": [rule.ref() for rule in self.seed_rules]}
+
+    def load_state(self, state: dict, resolve) -> None:
+        """Restore :meth:`state_dict` output; ``resolve`` maps rule refs to
+        :class:`LabelingHeuristic` instances with coverage attached."""
+        self.seed_rules = [resolve(ref) for ref in state.get("seed_rules", [])]
+
     # Shared helpers ---------------------------------------------------------
     def _unqueried(self, rules: List[LabelingHeuristic]) -> List[LabelingHeuristic]:
         return [rule for rule in rules if rule not in self.context.queried]
@@ -156,15 +171,14 @@ def make_traversal(
     seed_rules: List[LabelingHeuristic],
     tau: int = 5,
 ) -> TraversalStrategy:
-    """Factory for traversal strategies by name ("local"/"universal"/"hybrid")."""
-    from .local import LocalSearch
-    from .universal import UniversalSearch
-    from .hybrid import HybridSearch
+    """Factory for traversal strategies by name ("local"/"universal"/"hybrid").
 
-    if kind == "local":
-        return LocalSearch(context, seed_rules)
-    if kind == "universal":
-        return UniversalSearch(context, seed_rules)
-    if kind == "hybrid":
-        return HybridSearch(context, seed_rules, tau=tau)
-    raise TraversalError(f"unknown traversal strategy {kind!r}")
+    Resolution goes through :data:`repro.engine.registry.TRAVERSALS`, so
+    strategies registered with ``@register_traversal("name")`` plug into
+    Darwin (and config dicts) without touching this module.
+    """
+    from ...engine.registry import TRAVERSALS
+
+    if kind not in TRAVERSALS:
+        raise TraversalError(f"unknown traversal strategy {kind!r}")
+    return TRAVERSALS.create(kind, context, seed_rules, tau=tau)

@@ -107,3 +107,25 @@ class HybridSearch(TraversalStrategy):
             self._local_candidates.update(
                 r for r in self.context.children_of(rule) if r not in self.context.queried
             )
+
+    # -------------------------------------------------------- state protocol
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["universal_mode"] = self.universal_mode
+        state["attempts"] = self._attempts
+        state["local_candidates"] = [rule.ref() for rule in self._local_candidates]
+        state["universal_candidates"] = [
+            rule.ref() for rule in self._universal_candidates
+        ]
+        return state
+
+    def load_state(self, state: dict, resolve) -> None:
+        super().load_state(state, resolve)
+        self.universal_mode = bool(state["universal_mode"])
+        self._attempts = int(state["attempts"])
+        self._local_candidates = {
+            resolve(ref) for ref in state.get("local_candidates", [])
+        }
+        self._universal_candidates = {
+            resolve(ref) for ref in state.get("universal_candidates", [])
+        }

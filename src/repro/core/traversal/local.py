@@ -56,3 +56,13 @@ class LocalSearch(TraversalStrategy):
             self._candidates.update(
                 r for r in self.context.children_of(rule) if r not in self.context.queried
             )
+
+    # -------------------------------------------------------- state protocol
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["candidates"] = [rule.ref() for rule in self._candidates]
+        return state
+
+    def load_state(self, state: dict, resolve) -> None:
+        super().load_state(state, resolve)
+        self._candidates = {resolve(ref) for ref in state.get("candidates", [])}

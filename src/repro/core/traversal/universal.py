@@ -52,3 +52,13 @@ class UniversalSearch(TraversalStrategy):
         # Queried rules leave the pool regardless of the answer; the Darwin
         # loop retrains the classifier on YES, which refreshes all benefits.
         self._candidates.discard(rule)
+
+    # -------------------------------------------------------- state protocol
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["candidates"] = [rule.ref() for rule in self._candidates]
+        return state
+
+    def load_state(self, state: dict, resolve) -> None:
+        super().load_state(state, resolve)
+        self._candidates = {resolve(ref) for ref in state.get("candidates", [])}

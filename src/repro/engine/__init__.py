@@ -1,0 +1,71 @@
+"""The declarative engine API: registries, state protocol, and the facade.
+
+Public surface:
+
+* :class:`DarwinEngine` — construct from a config dict
+  (:meth:`~DarwinEngine.from_config`), hand out serial/crowd sessions, and
+  checkpoint/resume whole sessions (:meth:`~DarwinEngine.save` /
+  :meth:`~DarwinEngine.load`);
+* the component registries (:data:`GRAMMARS`, :data:`CLASSIFIERS`,
+  :data:`TRAVERSALS`, :data:`ORACLES`, :data:`DATASETS`) and their
+  ``@register_*`` decorators;
+* the checkpoint primitives (:data:`STATE_SCHEMA_VERSION`,
+  :func:`read_checkpoint`, :func:`write_checkpoint`, :class:`ArrayBundle`).
+
+This ``__init__`` stays import-light (:class:`DarwinEngine` loads lazily):
+``repro.config`` validates its name fields against the registries during its
+own module initialization, so pulling the full facade in here would be a
+circular import.
+"""
+
+from .registry import (
+    CLASSIFIERS,
+    DATASETS,
+    GRAMMARS,
+    ORACLES,
+    TRAVERSALS,
+    Registry,
+    check_shipped_registrations,
+    register_classifier,
+    register_dataset,
+    register_grammar,
+    register_oracle,
+    register_traversal,
+)
+from .state import (
+    STATE_SCHEMA_VERSION,
+    ArrayBundle,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = [
+    "DarwinEngine",
+    "export_state_json",
+    "Registry",
+    "GRAMMARS",
+    "CLASSIFIERS",
+    "TRAVERSALS",
+    "ORACLES",
+    "DATASETS",
+    "register_grammar",
+    "register_classifier",
+    "register_traversal",
+    "register_oracle",
+    "register_dataset",
+    "check_shipped_registrations",
+    "STATE_SCHEMA_VERSION",
+    "ArrayBundle",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+_LAZY = {"DarwinEngine", "export_state_json"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import engine as _engine
+
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,393 @@
+"""String-keyed component registries for the declarative engine API.
+
+Every pluggable component family — heuristic grammars, benefit classifiers,
+traversal strategies, oracles, and dataset loaders — gets a :class:`Registry`
+mapping short names to factories. The shipped implementations register
+themselves here, and user code can add its own with the ``@register_*``
+decorators:
+
+    from repro.engine import register_grammar
+
+    @register_grammar("my-grammar")
+    def _build(**options):
+        return MyGrammar(**options)
+
+A full engine is then constructible from a plain dict/JSON config via
+:meth:`repro.engine.DarwinEngine.from_config` with no direct class imports:
+the config names components ("tokensregex", "logistic", "hybrid",
+"ground_truth", "directions") and the registries resolve them.
+
+This module deliberately imports only leaf modules (grammars, classifier
+models, traversal strategies, oracles, dataset loaders) and **not**
+``repro.config`` — :class:`~repro.config.DarwinConfig` validates its name
+fields against these registries lazily, so an import in the other direction
+would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+Factory = Callable[..., Any]
+
+
+class Registry:
+    """A named mapping from string keys to component factories.
+
+    Args:
+        kind: Human-readable family name used in error messages
+            (e.g. ``"grammar"``).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Factory] = {}
+
+    # ------------------------------------------------------------ registration
+    def register(
+        self, name: str, factory: Optional[Factory] = None, overwrite: bool = False
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Args:
+            name: Registry key (non-empty string).
+            factory: The factory callable; when omitted a decorator is
+                returned.
+            overwrite: Allow replacing an existing registration (off by
+                default so two components cannot silently shadow each other).
+        """
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(f"{self.kind} name must be a non-empty string")
+
+        def _register(fn: Factory) -> Factory:
+            if not overwrite and name in self._factories:
+                raise ConfigurationError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pass overwrite=True to replace it"
+                )
+            self._factories[name] = fn
+            return fn
+
+        if factory is None:
+            return _register
+        return _register(factory)
+
+    # ----------------------------------------------------------------- lookup
+    def get(self, name: str) -> Factory:
+        """The factory registered under ``name``."""
+        factory = self._factories.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}"
+            )
+        return factory
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the component registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self.names())})"
+
+
+GRAMMARS = Registry("grammar")
+CLASSIFIERS = Registry("classifier")
+TRAVERSALS = Registry("traversal")
+ORACLES = Registry("oracle")
+DATASETS = Registry("dataset")
+
+register_grammar = GRAMMARS.register
+register_classifier = CLASSIFIERS.register
+register_traversal = TRAVERSALS.register
+register_oracle = ORACLES.register
+register_dataset = DATASETS.register
+
+
+# --------------------------------------------------------------------- grammars
+# Grammar factories receive the engine's DarwinConfig as the optional
+# ``config`` keyword; each factory decides which config fields feed its
+# defaults, keeping the engine free of per-grammar special cases.
+@register_grammar("tokensregex")
+def _make_tokensregex(
+    max_phrase_len: Optional[int] = None,
+    allow_gaps: bool = False,
+    config: Any = None,
+    **_: Any,
+):
+    from ..grammars.tokensregex import TokensRegexGrammar
+
+    if max_phrase_len is None:
+        max_phrase_len = config.max_phrase_len if config is not None else 4
+    return TokensRegexGrammar(max_phrase_len=max_phrase_len, allow_gaps=allow_gaps)
+
+
+@register_grammar("treematch")
+def _make_treematch(
+    max_pattern_size: int = 5, include_pos_leaves: bool = True, **_: Any
+):
+    from ..grammars.treematch import TreeMatchGrammar
+
+    return TreeMatchGrammar(
+        max_pattern_size=max_pattern_size, include_pos_leaves=include_pos_leaves
+    )
+
+
+# ------------------------------------------------------------------ classifiers
+# Factories take a ClassifierConfig-shaped object (duck-typed so this module
+# never has to import repro.config).
+@register_classifier("logistic")
+def _make_logistic(config):
+    from ..classifier.logistic import LogisticTextClassifier
+
+    return LogisticTextClassifier(
+        epochs=config.epochs,
+        learning_rate=config.learning_rate,
+        l2=config.l2,
+        batch_size=config.batch_size,
+        seed=config.seed,
+    )
+
+
+@register_classifier("mlp")
+def _make_mlp(config):
+    from ..classifier.mlp import MLPTextClassifier
+
+    return MLPTextClassifier(
+        hidden_dim=config.hidden_dim,
+        epochs=config.epochs,
+        learning_rate=config.learning_rate,
+        l2=config.l2,
+        batch_size=config.batch_size,
+        seed=config.seed,
+    )
+
+
+@register_classifier("cnn")
+def _make_cnn(config):
+    from ..classifier.cnn import CNNTextClassifier
+
+    return CNNTextClassifier(
+        epochs=config.epochs,
+        learning_rate=config.learning_rate,
+        l2=config.l2,
+        batch_size=config.batch_size,
+        seed=config.seed,
+    )
+
+
+# ------------------------------------------------------------------- traversals
+@register_traversal("local")
+def _make_local(context, seed_rules, tau: int = 5, **_: Any):
+    from ..core.traversal.local import LocalSearch
+
+    return LocalSearch(context, seed_rules)
+
+
+@register_traversal("universal")
+def _make_universal(context, seed_rules, tau: int = 5, **_: Any):
+    from ..core.traversal.universal import UniversalSearch
+
+    return UniversalSearch(context, seed_rules)
+
+
+@register_traversal("hybrid")
+def _make_hybrid(context, seed_rules, tau: int = 5, **_: Any):
+    from ..core.traversal.hybrid import HybridSearch
+
+    return HybridSearch(context, seed_rules, tau=tau)
+
+
+# ---------------------------------------------------------------------- oracles
+@register_oracle("ground_truth")
+def _make_ground_truth(corpus, precision_threshold: float = 0.8, **_: Any):
+    from ..core.oracle import GroundTruthOracle
+
+    return GroundTruthOracle(corpus, precision_threshold=precision_threshold)
+
+
+@register_oracle("sample_based")
+def _make_sample_based(
+    corpus,
+    precision_threshold: float = 0.8,
+    label_noise: float = 0.0,
+    seed: int = 0,
+    **_: Any,
+):
+    from ..core.oracle import SampleBasedOracle
+
+    return SampleBasedOracle(
+        corpus,
+        precision_threshold=precision_threshold,
+        label_noise=label_noise,
+        seed=seed,
+    )
+
+
+@register_oracle("noisy_ground_truth")
+def _make_noisy_ground_truth(
+    corpus,
+    precision_threshold: float = 0.8,
+    flip_prob: float = 0.1,
+    seed: int = 0,
+    **_: Any,
+):
+    from ..core.oracle import GroundTruthOracle, NoisyOracle
+
+    return NoisyOracle(
+        GroundTruthOracle(corpus, precision_threshold=precision_threshold),
+        flip_prob=flip_prob,
+        seed=seed,
+    )
+
+
+@register_oracle("majority_vote")
+def _make_majority_vote(
+    corpus,
+    precision_threshold: float = 0.8,
+    label_noise: float = 0.1,
+    num_votes: int = 3,
+    seed: int = 0,
+    **_: Any,
+):
+    from ..core.oracle import MajorityVoteOracle, SampleBasedOracle
+
+    annotators = [
+        SampleBasedOracle(
+            corpus,
+            precision_threshold=precision_threshold,
+            label_noise=label_noise,
+            seed=seed + i,
+        )
+        for i in range(num_votes)
+    ]
+    return MajorityVoteOracle(annotators)
+
+
+# --------------------------------------------------------------------- datasets
+def _register_shipped_datasets() -> None:
+    from ..datasets.registry import DATASET_NAMES, load_dataset
+
+    for dataset_name in DATASET_NAMES:
+        if dataset_name in DATASETS:
+            continue
+
+        def _loader(name: str = dataset_name, **options: Any):
+            return load_dataset(name, **options)
+
+        DATASETS.register(dataset_name, _loader)
+
+
+_register_shipped_datasets()
+
+
+# ---------------------------------------------------------------- completeness
+def check_shipped_registrations() -> None:
+    """Verify that every shipped component is reachable through the registries.
+
+    Raises :class:`~repro.errors.ConfigurationError` listing anything missing.
+    Run by the CI registry-completeness step so a new grammar, classifier,
+    traversal strategy, oracle, or dataset cannot ship without a registry
+    entry: the check imports the shipping subpackages and walks the concrete
+    subclasses of each family's base class (instantiating classifier/oracle
+    factories to learn which classes the registries can actually produce), so
+    a subclass added to the package without a registration fails here. The
+    one blind spot is a component module that nothing imports — keep new
+    modules exported from their subpackage ``__init__`` as usual.
+    """
+    import repro.classifier as _classifier_pkg  # noqa: F401 - loads subclasses
+    import repro.core.traversal as _traversal_pkg  # noqa: F401
+
+    from ..classifier.base import TextClassifier
+    from ..config import ClassifierConfig
+    from ..core.oracle import BudgetedOracle, Oracle
+    from ..core.traversal.base import TraversalStrategy
+    from ..core.traversal.hybrid import HybridSearch  # noqa: F401 - loads subclasses
+    from ..datasets.registry import DATASET_NAMES
+    from ..grammars.base import HeuristicGrammar
+    from ..text.corpus import Corpus
+
+    missing = []
+
+    def concrete_subclasses(base):
+        found = set()
+        frontier = list(base.__subclasses__())
+        while frontier:
+            cls = frontier.pop()
+            frontier.extend(cls.__subclasses__())
+            if not getattr(cls, "__abstractmethods__", None):
+                found.add(cls)
+        return found
+
+    shipped_grammars = {
+        cls.name
+        for cls in concrete_subclasses(HeuristicGrammar)
+        if cls.name != "abstract"
+    }
+    for name in sorted(shipped_grammars):
+        if name not in GRAMMARS:
+            missing.append(f"grammar {name!r}")
+
+    producible_classifiers = {
+        type(CLASSIFIERS.get(name)(ClassifierConfig())) for name in CLASSIFIERS
+    }
+    for cls in sorted(
+        concrete_subclasses(TextClassifier) - producible_classifiers,
+        key=lambda c: c.__name__,
+    ):
+        missing.append(f"classifier class {cls.__name__!r}")
+
+    shipped_traversals = {
+        cls.name
+        for cls in concrete_subclasses(TraversalStrategy)
+        if cls.name != "abstract"
+    }
+    for name in sorted(shipped_traversals):
+        if name not in TRAVERSALS:
+            missing.append(f"traversal {name!r}")
+
+    probe_corpus = Corpus.from_texts(
+        ["alpha beta", "beta gamma", "gamma delta", "delta alpha"],
+        [True, True, False, False],
+        name="registry-probe",
+    )
+    producible_oracles = set()
+    for name in ORACLES:
+        oracle = ORACLES.get(name)(probe_corpus)
+        while isinstance(oracle, Oracle):
+            producible_oracles.add(type(oracle))
+            oracle = getattr(oracle, "base", None) or (
+                getattr(oracle, "annotators", [None])[0]
+            )
+    # BudgetedOracle is a budget-tracking wrapper applied by callers, not an
+    # answering strategy a config would name.
+    for cls in sorted(
+        concrete_subclasses(Oracle) - producible_oracles - {BudgetedOracle},
+        key=lambda c: c.__name__,
+    ):
+        missing.append(f"oracle class {cls.__name__!r}")
+
+    for name in DATASET_NAMES:
+        if name not in DATASETS:
+            missing.append(f"dataset {name!r}")
+
+    if missing:
+        raise ConfigurationError(
+            "shipped components missing from the engine registries: "
+            + ", ".join(missing)
+        )

@@ -337,6 +337,55 @@ class CoverageStore:
             mask[array] = True
         return mask
 
+    # -------------------------------------------------------- state protocol
+    def interned_views(self) -> list:
+        """The interned views in insertion order (slot order for checkpoints)."""
+        return list(self._interned.values())
+
+    def to_state(self, bundle, prefix: str = "coverage/") -> Dict[str, object]:
+        """Serialize every interned coverage as one columnar array pair.
+
+        The distinct coverages are concatenated into a single ``int32``
+        values array plus an ``int64`` offsets array (CSR layout); slot ``i``
+        is ``values[offsets[i]:offsets[i+1]]``, in interning order, so other
+        layers can reference coverages by slot index. This is also the seam
+        the planned memory-mapped arena plugs into: the values column can be
+        backed by an mmap without changing :class:`CoverageView` handles.
+
+        Args:
+            bundle: :class:`repro.engine.state.ArrayBundle` receiving arrays.
+            prefix: Namespace for the bundle keys.
+        """
+        views = self.interned_views()
+        offsets = np.zeros(len(views) + 1, dtype=np.int64)
+        for position, view in enumerate(views):
+            offsets[position + 1] = offsets[position] + view.ids.size
+        values = (
+            np.concatenate([view.ids for view in views])
+            if views and int(offsets[-1])
+            else np.empty(0, dtype=np.int32)
+        )
+        return {
+            "universe_size": int(self._universe),
+            "num_interned": len(views),
+            "values": bundle.put(prefix + "values", values.astype(np.int32, copy=False)),
+            "offsets": bundle.put(prefix + "offsets", offsets),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object], bundle) -> "CoverageStore":
+        """Rebuild a store (re-interning every slot) from :meth:`to_state`.
+
+        Returns the store; slot order is preserved, so
+        ``store.interned_views()[i]`` is the view serialized at slot ``i``.
+        """
+        store = cls(universe_size=int(state.get("universe_size", 0)))
+        values = np.asarray(bundle.get(state["values"]), dtype=np.int32)
+        offsets = np.asarray(bundle.get(state["offsets"]), dtype=np.int64)
+        for position in range(int(state.get("num_interned", offsets.size - 1))):
+            store.intern(values[offsets[position]:offsets[position + 1]])
+        return store
+
     def stats(self) -> Dict[str, float]:
         """Summary statistics for diagnostics and benchmarks."""
         return {

@@ -165,6 +165,44 @@ class RuleHierarchy:
             self.remove(rule)
         return len(removable)
 
+    # ------------------------------------------------------- state protocol
+    def to_state(self) -> Dict[str, object]:
+        """JSON-able snapshot: nodes in insertion order plus edge index pairs.
+
+        Edges are serialized explicitly (rather than re-derived on load) so a
+        restored hierarchy is *identical* to the live one — including edges
+        discovered incrementally — which the checkpoint/resume replay
+        guarantee depends on.
+        """
+        rules = list(self._nodes)
+        positions = {rule: position for position, rule in enumerate(rules)}
+        edges = sorted(
+            (positions[parent], positions[child])
+            for parent, children in self._children.items()
+            for child in children
+        )
+        return {
+            "nodes": [rule.ref() for rule in rules],
+            "edges": [[parent, child] for parent, child in edges],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object], resolve) -> "RuleHierarchy":
+        """Rebuild a hierarchy from :meth:`to_state` output.
+
+        Args:
+            state: The serialized snapshot.
+            resolve: Callable mapping a rule ref to a
+                :class:`LabelingHeuristic` with coverage attached.
+        """
+        hierarchy = cls()
+        rules = [resolve(ref) for ref in state.get("nodes", [])]
+        for rule in rules:
+            hierarchy.add(rule)
+        for parent_pos, child_pos in state.get("edges", []):
+            hierarchy.add_edge(rules[parent_pos], rules[child_pos])
+        return hierarchy
+
     # ------------------------------------------------------------ construction
     @classmethod
     def from_rules(

@@ -27,6 +27,7 @@ inverted map) instead of the whole index.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -44,6 +45,24 @@ ROOT_KEY: SketchKey = ("*", "*")
 
 CoverageIds = Union[Set[int], CoverageView]
 """A node's inverted list: a mutable set while building, a view once sealed."""
+
+
+def _build_chunk_index(job) -> "CorpusIndex":
+    """Worker for :meth:`CorpusIndex.build_parallel`: one unpruned chunk index.
+
+    Module-level so multiprocessing can pickle it. The shard is a plain
+    sentence list (``Corpus`` requires 0-based consecutive ids, which shards
+    don't have); sentence ids stay global, so shard indexes merge without
+    renumbering.
+    """
+    sentences, grammars, max_depth = job
+    index = CorpusIndex(grammars, max_depth=max_depth, min_coverage=1)
+    for sentence in sentences:
+        index.add_sketch(build_sketch(sentence, grammars, max_depth))
+    # Left unlinked and unsealed on purpose: the driver's merge loop re-links
+    # and seals exactly once at the end, so per-chunk finalization (interning
+    # + CSR build) would be thrown-away work.
+    return index
 
 
 @dataclass
@@ -155,7 +174,58 @@ class CorpusIndex:
                 self.nodes[key] = node
             node.sentence_ids.add(sketch.sentence_id)
 
-    def merge(self, other: "CorpusIndex") -> "CorpusIndex":
+    @classmethod
+    def build_parallel(
+        cls,
+        corpus: Corpus,
+        grammars: Sequence[HeuristicGrammar],
+        max_depth: int = 10,
+        min_coverage: int = 1,
+        num_chunks: int = 4,
+    ) -> "CorpusIndex":
+        """Build the index over ``num_chunks`` corpus shards in parallel.
+
+        Each shard is sketched and merged into a chunk index by a worker
+        process (``min_coverage=1``, i.e. unpruned — per-chunk pruning would
+        lose keys that only clear the threshold globally; see :meth:`merge`),
+        the chunk indexes are merged on the driver, and the final pruning is
+        applied once, so the result is identical to a serial :meth:`build`.
+
+        Falls back to a serial build when ``num_chunks <= 1``, the corpus is
+        smaller than the chunk count, or no worker pool can be started (e.g.
+        sandboxed environments without fork support).
+        """
+        sentences = list(corpus)
+        if num_chunks <= 1 or len(sentences) < max(2, num_chunks):
+            return cls.build(
+                corpus, grammars, max_depth=max_depth, min_coverage=min_coverage
+            )
+        bounds = np.linspace(0, len(sentences), num_chunks + 1).astype(int)
+        shards = [
+            sentences[bounds[i]:bounds[i + 1]]
+            for i in range(num_chunks)
+            if bounds[i] < bounds[i + 1]
+        ]
+        jobs = [(shard, list(grammars), max_depth) for shard in shards]
+        try:
+            import multiprocessing
+
+            with multiprocessing.Pool(processes=min(len(jobs), os.cpu_count() or 1)) as pool:
+                chunk_indexes = pool.map(_build_chunk_index, jobs)
+        except (ImportError, OSError, PermissionError):
+            chunk_indexes = [_build_chunk_index(job) for job in jobs]
+        merged = chunk_indexes[0]
+        for chunk in chunk_indexes[1:]:
+            merged.merge(chunk, finalize=False)
+        merged.link_structure()
+        merged.min_coverage = min_coverage
+        if min_coverage > 1:
+            merged.prune(min_coverage)
+        merged._built = True
+        merged.seal()
+        return merged
+
+    def merge(self, other: "CorpusIndex", finalize: bool = True) -> "CorpusIndex":
         """Merge another chunk index into this one (parallel construction).
 
         The merged index re-applies ``min_coverage`` pruning and is marked
@@ -167,6 +237,16 @@ class CorpusIndex:
         globally cannot be recovered once per-chunk pruning dropped it.
         Interned arrays make the merge cheap: per node it is one
         sorted-array union instead of re-hashing every sentence id.
+
+        Args:
+            other: The chunk index to union in.
+            finalize: Re-link, prune, and seal after merging (the default).
+                A caller folding many chunks together — see
+                :meth:`build_parallel` — passes ``False`` for the
+                intermediate merges and finalizes once at the end, since
+                per-merge linking and sealing over the growing index is
+                thrown-away work; the merged index is left unlinked and
+                unsealed until the caller finalizes it.
         """
         if set(self.grammars) != set(other.grammars):
             raise CorpusIndexError("cannot merge indexes over different grammars")
@@ -182,11 +262,13 @@ class CorpusIndex:
             else:
                 mine.sentence_ids.update(theirs)
         self._num_sentences += other._num_sentences
+        self.min_coverage = max(self.min_coverage, other.min_coverage)
+        if not finalize:
+            self._built = False
+            return self
         self.link_structure()
-        min_coverage = max(self.min_coverage, other.min_coverage)
-        if min_coverage > 1:
-            self.prune(min_coverage)
-        self.min_coverage = min_coverage
+        if self.min_coverage > 1:
+            self.prune(self.min_coverage)
         self._built = True
         self.seal()
         return self
@@ -490,6 +572,103 @@ class CorpusIndex:
                 scored.append((key, overlap))
         scored.sort(key=lambda item: (-item[1], -self.nodes[item[0]].count, repr(item[0])))
         return scored[:limit]
+
+    # -------------------------------------------------------- state protocol
+    def to_state(self, bundle, prefix: str = "index/") -> Dict[str, object]:
+        """Serialize the sealed index: store columns, nodes, and the CSR map.
+
+        Layout:
+
+        * the :class:`CoverageStore` contributes the interned coverage
+          columns (values + offsets, see :meth:`CoverageStore.to_state`);
+        * each node is ``{"g": grammar, "e": rendered expression, "d": depth,
+          "s": store slot}`` in insertion order (the root first, under the
+          reserved grammar name ``"*"``) — parent/child links are re-derived
+          by :meth:`link_structure`, which is deterministic given the nodes;
+        * the sentence→keys CSR inverted map (``inv_nodes``/``inv_starts``/
+          ``node_counts``) is stored verbatim so :meth:`from_state` restores
+          the sealed fast paths without a rebuild pass.
+        """
+        if not self._sealed:
+            self.seal()
+        store_state = self.store.to_state(bundle, prefix=prefix + "store/")
+        slots = {
+            id(view): position
+            for position, view in enumerate(self.store.interned_views())
+        }
+        nodes = []
+        for key, node in self.nodes.items():
+            grammar_name, expression = key
+            rendered = (
+                "*" if key == ROOT_KEY
+                else self.grammars[grammar_name].render(expression)
+            )
+            view = node.coverage_view
+            nodes.append(
+                {
+                    "g": grammar_name,
+                    "e": rendered,
+                    "d": node.depth,
+                    "s": slots[id(view)],
+                }
+            )
+        return {
+            "max_depth": self.max_depth,
+            "min_coverage": self.min_coverage,
+            "num_sentences": self._num_sentences,
+            "store": store_state,
+            "nodes": nodes,
+            "inv_nodes": bundle.put(prefix + "inv_nodes", self._inv_nodes),
+            "inv_starts": bundle.put(prefix + "inv_starts", self._inv_starts),
+            "node_counts": bundle.put(prefix + "node_counts", self._node_counts),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], bundle, grammars: Sequence[HeuristicGrammar]
+    ) -> "CorpusIndex":
+        """Rebuild a sealed index from :meth:`to_state` output.
+
+        Args:
+            state: The serialized snapshot.
+            bundle: Array source (:class:`repro.engine.state.ArrayBundle`).
+            grammars: Grammar instances matching the serialized grammar names
+                (built by the engine from its config before the index loads).
+        """
+        index = cls(
+            grammars,
+            max_depth=int(state["max_depth"]),
+            min_coverage=int(state["min_coverage"]),
+        )
+        index.store = CoverageStore.from_state(state["store"], bundle)
+        views = index.store.interned_views()
+        index._num_sentences = int(state["num_sentences"])
+        for record in state["nodes"]:
+            grammar_name = record["g"]
+            view = views[int(record["s"])]
+            if grammar_name == "*":
+                index.nodes[ROOT_KEY].sentence_ids = view
+                continue
+            grammar = index.grammars.get(grammar_name)
+            if grammar is None:
+                raise CorpusIndexError(
+                    f"checkpoint references unknown grammar {grammar_name!r}"
+                )
+            key = (grammar_name, grammar.parse(record["e"]))
+            index.nodes[key] = IndexNode(
+                key=key, depth=int(record["d"]), sentence_ids=view
+            )
+        index.link_structure()
+        index._built = True
+        index._sealed = True
+        index._key_list = [key for key in index.nodes if key != ROOT_KEY]
+        index._key_reprs = [repr(key) for key in index._key_list]
+        index._node_counts = np.asarray(
+            bundle.get(state["node_counts"]), dtype=np.int64
+        )
+        index._inv_nodes = np.asarray(bundle.get(state["inv_nodes"]), dtype=np.int32)
+        index._inv_starts = np.asarray(bundle.get(state["inv_starts"]), dtype=np.int64)
+        return index
 
     def stats(self) -> Dict[str, float]:
         """Summary statistics (used by the efficiency bench)."""

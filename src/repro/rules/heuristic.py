@@ -142,6 +142,18 @@ class LabelingHeuristic:
         """Human-readable rule string (as shown in oracle queries)."""
         return self.grammar.render(self.expression)
 
+    # ------------------------------------------------------------ state protocol
+    def ref(self) -> dict:
+        """A JSON-able reference to this rule for checkpoint manifests.
+
+        The reference is ``{"g": grammar name, "e": rendered expression}``;
+        both built-in grammars round-trip ``render``/``parse`` exactly, so
+        :meth:`Darwin.resolve_rule_ref <repro.core.darwin.Darwin.resolve_rule_ref>`
+        can rebuild the identical rule (coverage re-attached from the corpus
+        index, or by a corpus scan for rules the index never materialized).
+        """
+        return {"g": self.grammar.name, "e": self.render()}
+
     def __repr__(self) -> str:
         size = self.coverage_size if self.coverage_ids is not None else "?"
         return f"Rule<{self.grammar.name}: {self.render()!r} |C|={size}>"

@@ -116,6 +116,29 @@ class RuleSet:
             return int(view.new_ids_given(self._covered_mask).size)
         return len(set(rule.coverage) - self._covered)
 
+    # -------------------------------------------------------- state protocol
+    def to_state(self) -> Dict[str, object]:
+        """JSON-able snapshot: the accepted rules in acceptance order.
+
+        Coverage is not serialized — it is derived state, re-attached by the
+        resolver on :meth:`from_state` (from the corpus index's interned
+        views, or a corpus scan for un-indexed rules), so the checkpoint
+        stays small and the restored set shares the index's columnar arrays.
+        """
+        return {"rules": [rule.ref() for rule in self._rules]}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object], resolve) -> "RuleSet":
+        """Rebuild a rule set from :meth:`to_state` output.
+
+        Args:
+            state: The serialized snapshot.
+            resolve: Callable mapping a rule ref (``{"g", "e"}``) to a
+                :class:`LabelingHeuristic` with coverage attached
+                (:meth:`repro.core.darwin.Darwin.resolve_rule_ref`).
+        """
+        return cls(resolve(ref) for ref in state.get("rules", []))
+
     # ------------------------------------------------------------- rendering
     def label_vector(self, corpus: Corpus) -> Dict[int, bool]:
         """Weak labels implied by the rule set: covered sentences are positive."""
