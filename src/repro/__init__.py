@@ -34,7 +34,7 @@ The pre-engine entry points remain available::
     result = darwin.run(oracle, seed_rule_texts=["best way to get to"])
 """
 
-from .config import ClassifierConfig, CrowdConfig, DarwinConfig, DEFAULT_CONFIG
+from .config import ClassifierConfig, CrowdConfig, DarwinConfig, IndexConfig, DEFAULT_CONFIG
 from .errors import (
     BudgetExhaustedError,
     ClassifierError,
@@ -80,7 +80,7 @@ from .engine.registry import (
     register_traversal,
 )
 from .grammars import TokensRegexGrammar, TreeMatchGrammar, TreePattern
-from .index import CorpusIndex, CoverageStore, CoverageView, RuleHierarchy
+from .index import ArenaConfig, CorpusIndex, CoverageArena, CoverageStore, CoverageView, RuleHierarchy
 from .rules import LabelingHeuristic, RuleSet
 from .text import Corpus, Sentence
 
@@ -90,6 +90,7 @@ __all__ = [
     "ClassifierConfig",
     "CrowdConfig",
     "DarwinConfig",
+    "IndexConfig",
     "DEFAULT_CONFIG",
     "ReproError",
     "ConfigurationError",
@@ -131,6 +132,8 @@ __all__ = [
     "TreeMatchGrammar",
     "TreePattern",
     "CorpusIndex",
+    "ArenaConfig",
+    "CoverageArena",
     "CoverageStore",
     "CoverageView",
     "RuleHierarchy",

@@ -72,6 +72,19 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="N",
                             help="checkpoint after every N answered questions "
                                  "(requires --checkpoint)")
+    run_parser.add_argument("--coverage-backend", choices=("memory", "arena"),
+                            default="memory",
+                            help="where interned coverage columns live: the "
+                                 "heap, or a memory-mapped arena file for "
+                                 "larger-than-memory corpora")
+    run_parser.add_argument("--arena-path", default=None, metavar="PATH",
+                            help="arena file for --coverage-backend arena "
+                                 "(default: a temporary file; pass a real "
+                                 "path to make checkpoints resumable)")
+    run_parser.add_argument("--bitset-cache-bytes", type=int,
+                            default=8 << 20, metavar="BYTES",
+                            help="LRU byte budget for the arena backend's "
+                                 "packed-bitset fast path")
 
     resume_parser = subparsers.add_parser(
         "resume", help="continue a checkpointed run question-for-question"
@@ -174,12 +187,19 @@ def _command_run(args: argparse.Namespace) -> int:
                     "seed": args.seed, "parse_trees": False},
         "config": {"budget": args.budget, "traversal": args.traversal,
                    "num_candidates": 1000, "oracle": "ground_truth",
-                   "classifier": {"model": "logistic", "epochs": args.epochs}},
+                   "classifier": {"model": "logistic", "epochs": args.epochs},
+                   "index": {"coverage_backend": args.coverage_backend,
+                             "arena_path": args.arena_path,
+                             "bitset_cache_bytes": args.bitset_cache_bytes}},
         "seeds": {"rule_texts": [seed_rule]},
     })
     corpus = engine.corpus
     print(f"dataset={args.dataset} sentences={len(corpus)} "
           f"positives={len(corpus.positive_ids())} seed rule={seed_rule!r}")
+    if args.coverage_backend == "arena":
+        arena = engine.darwin.index.store.arena
+        print(f"coverage backend: arena at {arena.path} "
+              f"({arena.values_bytes} column bytes on disk)")
     result = engine.run(
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,

@@ -103,6 +103,53 @@ class ClassifierConfig:
 
 
 @dataclass(frozen=True)
+class IndexConfig:
+    """Configuration of the corpus index's coverage storage.
+
+    Attributes:
+        coverage_backend: ``"memory"`` (interned coverage arrays on the heap,
+            the default) or ``"arena"`` (arrays spilled to a memory-mapped
+            :class:`~repro.index.arena.CoverageArena` file, so corpora whose
+            coverage columns exceed RAM stay queryable through unchanged
+            ``CoverageView`` handles).
+        arena_path: Arena file location for the arena backend. ``None`` uses
+            an unlinked-on-exit temporary file — fine for one-shot runs, but
+            checkpoints taken over a temp arena cannot be resumed after the
+            process exits; pass a real path for durable runs.
+        bitset_cache_bytes: LRU byte budget for the packed-bitset fast path
+            on the arena backend (resident memory for coverage stays on the
+            order of this budget). ``0`` disables bitsets entirely.
+    """
+
+    coverage_backend: str = "memory"
+    arena_path: Optional[str] = None
+    bitset_cache_bytes: int = 8 << 20
+
+    def __post_init__(self) -> None:
+        if self.coverage_backend not in ("memory", "arena"):
+            raise ConfigurationError(
+                f"unknown coverage_backend: {self.coverage_backend!r} "
+                f"(expected 'memory' or 'arena')"
+            )
+        if self.arena_path is not None and not isinstance(self.arena_path, str):
+            raise ConfigurationError("arena_path must be a string path or None")
+        if self.bitset_cache_bytes < 0:
+            raise ConfigurationError("bitset_cache_bytes must be non-negative")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able mapping of this config (checkpoint manifests)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "IndexConfig":
+        """Rebuild a config from :meth:`as_dict` output / a plain JSON dict."""
+        try:
+            return cls(**dict(mapping))
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(f"bad index config: {exc}") from exc
+
+
+@dataclass(frozen=True)
 class DarwinConfig:
     """Top-level configuration for a Darwin run (Algorithm 1).
 
@@ -139,6 +186,8 @@ class DarwinConfig:
             (see :data:`repro.engine.registry.ORACLES`).
         classifier: Nested :class:`ClassifierConfig` (its ``model`` field is a
             :data:`repro.engine.registry.CLASSIFIERS` name).
+        index: Nested :class:`IndexConfig` selecting where interned coverage
+            columns live (``memory`` or the memory-mapped ``arena`` backend).
         seed: Seed for all stochastic tie-breaking inside the search.
     """
 
@@ -157,6 +206,7 @@ class DarwinConfig:
     grammars: Tuple[str, ...] = ("tokensregex",)
     oracle: str = "ground_truth"
     classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    index: IndexConfig = field(default_factory=IndexConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -219,8 +269,8 @@ class DarwinConfig:
     def with_overrides(self, **overrides: Any) -> "DarwinConfig":
         """Return a copy of this config with ``overrides`` applied.
 
-        Nested classifier options may be overridden by passing a mapping under
-        the ``classifier`` key or a :class:`ClassifierConfig` instance.
+        Nested classifier/index options may be overridden by passing a mapping
+        under the ``classifier``/``index`` key or the config instance itself.
         """
         classifier = overrides.pop("classifier", None)
         if isinstance(classifier, Mapping):
@@ -230,6 +280,15 @@ class DarwinConfig:
         elif classifier is not None:
             raise ConfigurationError(
                 "classifier override must be a mapping or ClassifierConfig"
+            )
+        index = overrides.pop("index", None)
+        if isinstance(index, Mapping):
+            overrides["index"] = replace(self.index, **dict(index))
+        elif isinstance(index, IndexConfig):
+            overrides["index"] = index
+        elif index is not None:
+            raise ConfigurationError(
+                "index override must be a mapping or IndexConfig"
             )
         try:
             return replace(self, **overrides)
@@ -254,6 +313,9 @@ class DarwinConfig:
         classifier = record.get("classifier")
         if isinstance(classifier, Mapping):
             record["classifier"] = ClassifierConfig.from_dict(classifier)
+        index = record.get("index")
+        if isinstance(index, Mapping):
+            record["index"] = IndexConfig.from_dict(index)
         grammars = record.get("grammars")
         if grammars is not None and not isinstance(grammars, tuple):
             record["grammars"] = tuple(grammars)

@@ -154,12 +154,23 @@ class Darwin:
         if index is not None:
             self.index = index
         else:
+            index_config = self.config.index
+            arena_config = None
+            if index_config.coverage_backend == "arena":
+                from ..index.arena import ArenaConfig
+
+                arena_config = ArenaConfig(
+                    path=index_config.arena_path,
+                    bitset_cache_bytes=index_config.bitset_cache_bytes,
+                )
             with self.stopwatch.measure("index_build"):
                 self.index = CorpusIndex.build(
                     corpus,
                     self.grammars,
                     max_depth=self.config.max_sketch_depth,
                     min_coverage=self.config.min_coverage,
+                    coverage_backend=index_config.coverage_backend,
+                    arena_config=arena_config,
                 )
         if featurizer is not None:
             self.featurizer = featurizer

@@ -464,9 +464,19 @@ class DarwinEngine:
                     "the same instances to DarwinEngine.load(path, grammars=...)"
                 )
             grammars = _build_grammars(config, grammar_options)
+        from ..index.arena import ArenaConfig
         from ..index.trie_index import CorpusIndex
 
-        index = CorpusIndex.from_state(manifest["index"], bundle, grammars)
+        # Runtime arena tuning (bitset cache budget) comes from the config;
+        # the arena *file* is located by the checkpoint's reference and its
+        # content digest is verified on reattach.
+        arena_config = ArenaConfig(
+            path=config.index.arena_path,
+            bitset_cache_bytes=config.index.bitset_cache_bytes,
+        )
+        index = CorpusIndex.from_state(
+            manifest["index"], bundle, grammars, arena_config=arena_config
+        )
         engine = cls(
             corpus,
             config=config,
@@ -538,6 +548,10 @@ class DarwinEngine:
             "traversal": darwin_state.get("traversal", {}).get("kind"),
             "index_nodes": len(index_state.get("nodes", [])),
             "num_sentences": index_state.get("num_sentences"),
+            "coverage_backend": index_state.get("store", {}).get(
+                "backend", "memory"
+            ),
+            "arena": index_state.get("store", {}).get("arena"),
             "arrays": {name: inventory[name] for name in sorted(inventory)},
         }
         return summary

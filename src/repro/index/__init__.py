@@ -1,12 +1,16 @@
 """Corpus indexing: derivation sketches, the merged corpus index, hierarchies,
-and the columnar coverage store backing all of them."""
+and the columnar coverage store backing all of them (with an optional
+memory-mapped arena backend for larger-than-memory coverage columns)."""
 
+from .arena import ArenaConfig, CoverageArena
 from .coverage import CoverageStore, CoverageView
 from .sketch import DerivationSketch, build_sketch
 from .trie_index import CorpusIndex, IndexNode
 from .hierarchy import RuleHierarchy
 
 __all__ = [
+    "ArenaConfig",
+    "CoverageArena",
     "CoverageStore",
     "CoverageView",
     "DerivationSketch",

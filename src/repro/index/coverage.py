@@ -25,6 +25,22 @@ with a single columnar layer:
   intersect counts between two dense views are a few ``bitwise_and`` +
   popcount instructions per 64 sentences instead of a hash probe per id.
 
+Backends
+--------
+
+The store supports two backends behind the same :class:`CoverageView` handle:
+
+* ``backend="memory"`` (default) — interned arrays live on the Python heap,
+  exactly as before.
+* ``backend="arena"`` — interned arrays live in a memory-mapped
+  :class:`~repro.index.arena.CoverageArena` file; ``view.ids`` is a
+  **zero-copy mmap slice**, so the OS page cache decides which coverage
+  bytes are resident and corpora larger than RAM stay queryable. Packed
+  bitsets (the dense fast path) are materialized lazily into an LRU cache
+  bounded by :attr:`~repro.index.arena.ArenaConfig.bitset_cache_bytes`, so
+  resident memory stays O(cache budget) while ``top_by_overlap``/benefit
+  keep their columnar speed.
+
 Migration notes
 ---------------
 
@@ -38,10 +54,16 @@ mutates ``IndexNode.sentence_ids`` after sealing must go through
 
 from __future__ import annotations
 
+import hashlib
+import os
+from collections import OrderedDict
 from collections.abc import Set as AbstractSet
-from typing import Dict, Iterable, Iterator, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..errors import ConfigurationError
+from .arena import ArenaConfig, CoverageArena
 
 IdsLike = Union["CoverageView", Iterable[int], np.ndarray]
 
@@ -51,6 +73,8 @@ _EMPTY_IDS.setflags(write=False)
 # A view caches a packed bitset once its density over the store's universe
 # exceeds this fraction; below it, merge-style array intersections win.
 DENSE_BITSET_DENSITY = 1.0 / 64.0
+
+COVERAGE_BACKENDS = ("memory", "arena")
 
 
 def _as_sorted_ids(ids: IdsLike) -> np.ndarray:
@@ -84,14 +108,23 @@ class CoverageView(AbstractSet):
     Behaves like a ``frozenset`` of sentence ids (it is a
     :class:`collections.abc.Set`, so comparisons and binary operators against
     plain sets work, and its hash equals ``frozenset``'s for the same ids)
-    while exposing vectorized primitives for the hot paths.
+    while exposing vectorized primitives for the hot paths. The backing id
+    array may live on the heap or be a zero-copy slice of a memory-mapped
+    :class:`~repro.index.arena.CoverageArena` — callers cannot tell the
+    difference.
     """
 
-    __slots__ = ("_ids", "_store", "_hash", "_bits", "_bits_universe")
+    __slots__ = ("_ids", "_store", "_slot", "_hash", "_bits", "_bits_universe")
 
-    def __init__(self, ids: np.ndarray, store: Optional["CoverageStore"] = None) -> None:
+    def __init__(
+        self,
+        ids: np.ndarray,
+        store: Optional["CoverageStore"] = None,
+        slot: Optional[int] = None,
+    ) -> None:
         self._ids = ids
         self._store = store
+        self._slot = slot
         self._hash: Optional[int] = None
         self._bits: Optional[np.ndarray] = None
         self._bits_universe = -1
@@ -112,17 +145,28 @@ class CoverageView(AbstractSet):
         """The interning store this view belongs to (None for free views)."""
         return self._store
 
+    @property
+    def slot(self) -> Optional[int]:
+        """This view's interning slot in its store (None for free views)."""
+        return self._slot
+
     def _packed_bits(self) -> Optional[np.ndarray]:
         """Packed bitset over the store's universe, cached when dense enough.
 
-        The cache is keyed to the universe size it was packed under: if the
-        store's universe has grown since (e.g. the index was extended and
-        re-sealed), the bitset is re-packed so two views always produce
-        equal-length bit arrays.
+        Stores with a bitset byte budget (the arena backend) own the cache:
+        bitsets are materialized lazily and evicted LRU so resident memory
+        stays bounded. Budget-less stores keep the original per-view cache,
+        keyed to the universe size it was packed under: if the store's
+        universe has grown since (e.g. the index was extended and re-sealed),
+        the bitset is re-packed so two views always produce equal-length bit
+        arrays.
         """
-        if self._store is None or not self._ids.size:
+        store = self._store
+        if store is None or not self._ids.size:
             return None
-        universe = self._store.universe_size
+        if store.bitset_cache_budget is not None:
+            return store._packed_bits_for(self)
+        universe = store.universe_size
         if self._bits is not None and self._bits_universe == universe:
             return self._bits
         if universe <= 0 or int(self._ids[-1]) >= universe:
@@ -262,13 +306,95 @@ class CoverageStore:
         universe_size: Number of sentences (ids are ``0 .. universe_size-1``).
             May be grown later with :meth:`ensure_universe`; the universe only
             gates bitset acceleration, not correctness.
+        backend: ``"memory"`` (heap arrays, the default) or ``"arena"``
+            (arrays live in a memory-mapped :class:`CoverageArena` file and
+            views are zero-copy mmap slices).
+        path: Arena file location for ``backend="arena"``. An existing arena
+            file is reattached; a missing one is created. ``None`` defers to
+            ``arena_config.path`` (and ultimately to a temporary file).
+        arena_config: :class:`~repro.index.arena.ArenaConfig` tuning (bitset
+            cache budget, default path).
+        create: Force a **fresh** arena, truncating any existing file at the
+            path instead of attaching to it. Index builds pass this: adopting
+            a stale arena's slots into a new build would inflate the universe
+            (silently disabling the bitset fast path) and grow the file
+            without bound across reruns.
     """
 
-    def __init__(self, universe_size: int = 0) -> None:
+    def __init__(
+        self,
+        universe_size: int = 0,
+        backend: str = "memory",
+        path: Optional[str] = None,
+        arena_config: Optional[ArenaConfig] = None,
+        create: bool = False,
+        _arena: Optional[CoverageArena] = None,
+    ) -> None:
+        if backend not in COVERAGE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown coverage backend {backend!r}; expected one of "
+                f"{', '.join(COVERAGE_BACKENDS)}"
+            )
+        self.backend = backend
         self._universe = int(universe_size)
-        self._interned: Dict[bytes, CoverageView] = {}
-        self.empty = CoverageView(_EMPTY_IDS, store=self)
-        self._interned[b""] = self.empty
+        self._views: List[CoverageView] = []
+        self._by_key: Dict[bytes, int] = {}
+        self._arena: Optional[CoverageArena] = None
+        self._bitset_budget: Optional[int] = None
+        self._bitset_cache: "OrderedDict[int, Tuple[np.ndarray, int]]" = OrderedDict()
+        self._bitset_cache_bytes = 0
+        self._bitset_hits = 0
+        self._bitset_misses = 0
+        if backend == "arena":
+            config = arena_config or ArenaConfig()
+            self._bitset_budget = int(config.bitset_cache_bytes)
+            if _arena is not None:
+                self._arena = _arena
+            else:
+                target = path if path is not None else config.path
+                if not create and target is not None and os.path.exists(target):
+                    self._arena = CoverageArena.open(target)
+                else:
+                    self._arena = CoverageArena.create(target)
+            self._adopt_arena_slots()
+        self.empty = self.intern(())
+
+    def _adopt_arena_slots(self) -> None:
+        """Register views for every slot already present in the arena.
+
+        Runs once at attach time: one sequential pass over the mapped values
+        column computes each slot's dedup digest and the universe bound.
+        The digests hash the mmap slices in place (no per-slot heap copy),
+        so the pass streams through the page cache the digest verification
+        in :meth:`CoverageArena.open` just warmed.
+        """
+        arena = self._arena
+        assert arena is not None
+        max_id = -1
+        for slot in range(arena.num_interned):
+            ids = arena.values_slice(slot)
+            view = CoverageView(ids, store=self, slot=slot)
+            self._views.append(view)
+            self._by_key.setdefault(self._key_of(ids), slot)
+            if ids.size:
+                max_id = max(max_id, int(ids[-1]))
+        if max_id >= 0:
+            self.ensure_universe(max_id + 1)
+
+    def _key_of(self, array: np.ndarray) -> bytes:
+        """Dedup key for one normalized (sorted ``int32``) coverage array.
+
+        The memory backend keys by the raw bytes themselves (exact). The
+        arena backend keys by a 128-bit BLAKE2b digest of the array buffer —
+        computed without copying the column onto the heap — so the dedup map
+        stays O(digest) per distinct coverage instead of keeping every
+        column resident, the whole point of spilling columns to the arena.
+        """
+        if self._arena is not None:
+            return hashlib.blake2b(
+                np.ascontiguousarray(array, dtype=np.int32), digest_size=16
+            ).digest()
+        return array.tobytes()
 
     # ----------------------------------------------------------------- admin
     @property
@@ -279,17 +405,48 @@ class CoverageStore:
     @property
     def num_interned(self) -> int:
         """Number of distinct coverage sets interned (including empty)."""
-        return len(self._interned)
+        return len(self._views)
 
     @property
     def bytes_interned(self) -> int:
-        """Total bytes held by the interned id arrays."""
-        return sum(view.ids.nbytes for view in self._interned.values())
+        """Total bytes held by the interned id arrays.
+
+        For the arena backend this is the on-disk values column size; the
+        heap-resident footprint is :attr:`resident_coverage_bytes`.
+        """
+        return sum(view.ids.nbytes for view in self._views)
+
+    @property
+    def arena(self) -> Optional[CoverageArena]:
+        """The backing arena (None for the memory backend)."""
+        return self._arena
+
+    @property
+    def bitset_cache_budget(self) -> Optional[int]:
+        """LRU byte budget for packed bitsets (None = unbounded per-view)."""
+        return self._bitset_budget
+
+    @property
+    def resident_coverage_bytes(self) -> int:
+        """Heap bytes pinned by coverage data (excludes mmap'd columns).
+
+        Memory backend: the interned arrays themselves. Arena backend: the
+        bitset LRU cache plus the offsets column — the values column lives in
+        the file and is only resident at the OS page cache's discretion.
+        """
+        if self._arena is not None:
+            return self._bitset_cache_bytes + (self.num_interned + 1) * 8
+        return self.bytes_interned + self._bitset_cache_bytes
 
     def ensure_universe(self, size: int) -> None:
         """Grow the universe to at least ``size`` sentences."""
         if size > self._universe:
             self._universe = int(size)
+            if self._bitset_budget is not None and self._bitset_cache:
+                # Budgeted bitsets are keyed to the universe they were packed
+                # under; a grown universe invalidates them all at once.
+                self._bitset_cache.clear()
+                self._bitset_cache_bytes = 0
 
     # ------------------------------------------------------------- interning
     def intern(self, ids: IdsLike) -> CoverageView:
@@ -297,14 +454,76 @@ class CoverageStore:
         if isinstance(ids, CoverageView) and ids.store is self:
             return ids
         array = _as_sorted_ids(ids)
-        key = array.tobytes()
-        view = self._interned.get(key)
-        if view is None:
-            view = CoverageView(array, store=self)
-            self._interned[key] = view
-            if array.size:
-                self.ensure_universe(int(array[-1]) + 1)
+        key = self._key_of(array)
+        slot = self._by_key.get(key)
+        if slot is not None:
+            return self._views[slot]
+        if array.size:
+            self.ensure_universe(int(array[-1]) + 1)
+        if self._arena is not None:
+            new_slot = self._arena.append(array)
+            view = CoverageView(
+                self._arena.values_slice(new_slot), store=self, slot=new_slot
+            )
+        else:
+            view = CoverageView(array, store=self, slot=len(self._views))
+        self._by_key[key] = len(self._views)
+        self._views.append(view)
         return view
+
+    def intern_many(self, ids_list: Sequence[IdsLike]) -> List[CoverageView]:
+        """Intern several coverages with one backend write; returns views.
+
+        On the arena backend all new coverages are appended as **one**
+        contiguous values segment (column concatenation, offsets rebased onto
+        the current extent) — this is what :meth:`CorpusIndex.seal` and the
+        parallel shard-arena merge call, keeping the number of file writes
+        O(batches) instead of O(coverages).
+        """
+        resolved: List[Optional[CoverageView]] = []
+        keys: List[Optional[bytes]] = []
+        new_order: List[bytes] = []
+        new_arrays: Dict[bytes, np.ndarray] = {}
+        for ids in ids_list:
+            if isinstance(ids, CoverageView) and ids.store is self:
+                resolved.append(ids)
+                keys.append(None)
+                continue
+            array = _as_sorted_ids(ids)
+            key = self._key_of(array)
+            if key in self._by_key:
+                resolved.append(self._views[self._by_key[key]])
+                keys.append(None)
+                continue
+            resolved.append(None)
+            keys.append(key)
+            if key not in new_arrays:
+                new_arrays[key] = array
+                new_order.append(key)
+        if new_order:
+            arrays = [new_arrays[key] for key in new_order]
+            max_id = max(
+                (int(a[-1]) for a in arrays if a.size), default=-1
+            )
+            if max_id >= 0:
+                self.ensure_universe(max_id + 1)
+            if self._arena is not None:
+                slots = self._arena.append_many(arrays)
+                for key, slot in zip(new_order, slots):
+                    view = CoverageView(
+                        self._arena.values_slice(slot), store=self, slot=slot
+                    )
+                    self._by_key[key] = len(self._views)
+                    self._views.append(view)
+            else:
+                for key, array in zip(new_order, arrays):
+                    view = CoverageView(array, store=self, slot=len(self._views))
+                    self._by_key[key] = len(self._views)
+                    self._views.append(view)
+        return [
+            view if view is not None else self._views[self._by_key[keys[i]]]
+            for i, view in enumerate(resolved)
+        ]
 
     def from_mask(self, mask: np.ndarray) -> CoverageView:
         """Intern the coverage flagged in a boolean ``mask``."""
@@ -337,26 +556,104 @@ class CoverageStore:
             mask[array] = True
         return mask
 
+    # ------------------------------------------------------ budgeted bitsets
+    def _packed_bits_for(self, view: CoverageView) -> Optional[np.ndarray]:
+        """Packed bitset for ``view`` under the LRU byte budget.
+
+        Returns None when the view is too sparse for the bitset fast path
+        (the caller falls back to merge intersections). A bitset larger than
+        the whole budget is computed but never cached, so one giant coverage
+        cannot pin the budget.
+        """
+        budget = self._bitset_budget
+        if budget is not None and budget <= 0:
+            return None
+        ids = view._ids
+        slot = view._slot
+        if slot is None or not ids.size:
+            return None
+        universe = self._universe
+        if universe <= 0 or int(ids[-1]) >= universe:
+            return None
+        if ids.size < universe * DENSE_BITSET_DENSITY:
+            return None
+        entry = self._bitset_cache.get(slot)
+        if entry is not None:
+            bits, packed_universe = entry
+            if packed_universe == universe:
+                self._bitset_cache.move_to_end(slot)
+                self._bitset_hits += 1
+                return bits
+            del self._bitset_cache[slot]
+            self._bitset_cache_bytes -= bits.nbytes
+        mask = np.zeros(universe, dtype=bool)
+        mask[ids] = True
+        bits = np.packbits(mask)
+        self._bitset_misses += 1
+        if budget is None or bits.nbytes <= budget:
+            self._bitset_cache[slot] = (bits, universe)
+            self._bitset_cache_bytes += bits.nbytes
+            while (
+                budget is not None
+                and self._bitset_cache_bytes > budget
+                and len(self._bitset_cache) > 1
+            ):
+                _, (evicted, _) = self._bitset_cache.popitem(last=False)
+                self._bitset_cache_bytes -= evicted.nbytes
+        return bits
+
+    def bitset_cache_stats(self) -> Dict[str, float]:
+        """Budget, residency and hit-rate counters for the bitset cache."""
+        return {
+            "budget_bytes": float(self._bitset_budget or 0),
+            "cached_bytes": float(self._bitset_cache_bytes),
+            "cached_entries": float(len(self._bitset_cache)),
+            "hits": float(self._bitset_hits),
+            "misses": float(self._bitset_misses),
+        }
+
     # -------------------------------------------------------- state protocol
     def interned_views(self) -> list:
         """The interned views in insertion order (slot order for checkpoints)."""
-        return list(self._interned.values())
+        return list(self._views)
+
+    def flush(self) -> None:
+        """Persist the backing arena (no-op for the memory backend)."""
+        if self._arena is not None:
+            self._arena.flush()
 
     def to_state(self, bundle, prefix: str = "coverage/") -> Dict[str, object]:
-        """Serialize every interned coverage as one columnar array pair.
+        """Serialize the interned coverages.
 
-        The distinct coverages are concatenated into a single ``int32``
-        values array plus an ``int64`` offsets array (CSR layout); slot ``i``
-        is ``values[offsets[i]:offsets[i+1]]``, in interning order, so other
-        layers can reference coverages by slot index. This is also the seam
-        the planned memory-mapped arena plugs into: the values column can be
-        backed by an mmap without changing :class:`CoverageView` handles.
+        Memory backend: the distinct coverages are concatenated into a single
+        ``int32`` values array plus an ``int64`` offsets array (CSR layout);
+        slot ``i`` is ``values[offsets[i]:offsets[i+1]]``, in interning order,
+        so other layers can reference coverages by slot index.
+
+        Arena backend: the columns already live in the arena file, so the
+        state is a **reference** — the arena path plus a content digest —
+        instead of a re-serialized copy; :meth:`from_state` reattaches the
+        file and verifies the digest. The checkpoint stays O(manifest) no
+        matter how large the coverage columns are.
 
         Args:
             bundle: :class:`repro.engine.state.ArrayBundle` receiving arrays.
             prefix: Namespace for the bundle keys.
         """
-        views = self.interned_views()
+        if self._arena is not None:
+            self._arena.flush()
+            return {
+                "universe_size": int(self._universe),
+                "num_interned": self.num_interned,
+                "backend": "arena",
+                "arena": {
+                    "path": os.path.abspath(self._arena.path),
+                    "digest": self._arena.digest,
+                    "num_interned": self._arena.num_interned,
+                    "num_values": self._arena.num_values,
+                },
+            }
+        views = self._views
         offsets = np.zeros(len(views) + 1, dtype=np.int64)
         for position, view in enumerate(views):
             offsets[position + 1] = offsets[position] + view.ids.size
@@ -368,36 +665,105 @@ class CoverageStore:
         return {
             "universe_size": int(self._universe),
             "num_interned": len(views),
+            "backend": "memory",
             "values": bundle.put(prefix + "values", values.astype(np.int32, copy=False)),
             "offsets": bundle.put(prefix + "offsets", offsets),
         }
 
     @classmethod
-    def from_state(cls, state: Dict[str, object], bundle) -> "CoverageStore":
-        """Rebuild a store (re-interning every slot) from :meth:`to_state`.
+    def from_state(
+        cls,
+        state: Dict[str, object],
+        bundle,
+        arena_config: Optional[ArenaConfig] = None,
+    ) -> "CoverageStore":
+        """Rebuild a store from :meth:`to_state` output.
 
-        Returns the store; slot order is preserved, so
-        ``store.interned_views()[i]`` is the view serialized at slot ``i``.
+        Arena references are reattached in place (the file is opened and its
+        content digest verified — a missing, truncated, or modified arena
+        raises :class:`~repro.errors.ConfigurationError`); inline column
+        states are re-interned as before. Slot order is preserved either
+        way, so ``store.interned_views()[i]`` is the view serialized at slot
+        ``i``.
+
+        Args:
+            state: :meth:`to_state` output.
+            bundle: Array source for inline states.
+            arena_config: Runtime arena tuning (bitset cache budget) applied
+                when reattaching; the arena *path* always comes from the
+                state reference, not the config.
         """
-        store = cls(universe_size=int(state.get("universe_size", 0)))
+        backend = state.get("backend", "memory")
+        if backend == "arena":
+            reference = state.get("arena")
+            if not isinstance(reference, dict) or not reference.get("path"):
+                raise ConfigurationError(
+                    "arena-backed coverage state records no arena reference"
+                )
+            arena = CoverageArena.open(
+                str(reference["path"]), expected_digest=reference.get("digest")
+            )
+            store = cls(
+                universe_size=int(state.get("universe_size", 0)),
+                backend="arena",
+                arena_config=arena_config,
+                _arena=arena,
+            )
+            recorded = state.get("num_interned")
+            if recorded is not None and int(recorded) != store.num_interned:
+                raise ConfigurationError(
+                    f"coverage state records num_interned={recorded} but the "
+                    f"arena at {arena.path} holds {store.num_interned} slots"
+                )
+            return store
+        if backend != "memory":
+            raise ConfigurationError(
+                f"unknown coverage state backend {backend!r}"
+            )
         values = np.asarray(bundle.get(state["values"]), dtype=np.int32)
         offsets = np.asarray(bundle.get(state["offsets"]), dtype=np.int64)
-        for position in range(int(state.get("num_interned", offsets.size - 1))):
+        if (
+            offsets.size == 0
+            or int(offsets[0]) != 0
+            or int(offsets[-1]) != values.size
+            or (offsets.size > 1 and bool(np.any(np.diff(offsets) < 0)))
+        ):
+            raise ConfigurationError(
+                "coverage state offsets column is inconsistent with its "
+                "values column"
+            )
+        recorded = state.get("num_interned")
+        if recorded is not None and int(recorded) != offsets.size - 1:
+            # The offsets column is the ground truth for how many coverages
+            # were serialized; trusting a disagreeing num_interned used to
+            # silently truncate (or overrun) the restored store.
+            raise ConfigurationError(
+                f"coverage state records num_interned={recorded} but its "
+                f"offsets column holds {offsets.size - 1} slots"
+            )
+        store = cls(universe_size=int(state.get("universe_size", 0)))
+        for position in range(offsets.size - 1):
             store.intern(values[offsets[position]:offsets[position + 1]])
         return store
 
     def stats(self) -> Dict[str, float]:
         """Summary statistics for diagnostics and benchmarks."""
-        return {
+        stats = {
             "universe_size": float(self._universe),
             "num_interned": float(self.num_interned),
             "bytes_interned": float(self.bytes_interned),
+            "resident_coverage_bytes": float(self.resident_coverage_bytes),
         }
+        if self._arena is not None:
+            stats.update(
+                {f"bitset_{k}": v for k, v in self.bitset_cache_stats().items()}
+            )
+        return stats
 
     def __repr__(self) -> str:
         return (
             f"CoverageStore(universe={self._universe}, "
-            f"interned={self.num_interned})"
+            f"interned={self.num_interned}, backend={self.backend!r})"
         )
 
 

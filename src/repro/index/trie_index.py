@@ -28,6 +28,8 @@ inverted map) instead of the whole index.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -37,6 +39,7 @@ from ..errors import CorpusIndexError
 from ..grammars.base import Expression, HeuristicGrammar
 from ..rules.heuristic import LabelingHeuristic
 from ..text.corpus import Corpus
+from .arena import ArenaConfig, CoverageArena
 from .coverage import CoverageStore, CoverageView
 from .sketch import DerivationSketch, SketchKey, build_sketch
 
@@ -63,6 +66,38 @@ def _build_chunk_index(job) -> "CorpusIndex":
     # and seals exactly once at the end, so per-chunk finalization (interning
     # + CSR build) would be thrown-away work.
     return index
+
+
+def _build_chunk_arena(job) -> Tuple[List[Tuple[SketchKey, int, int]], int]:
+    """Worker for the arena-backed :meth:`CorpusIndex.build_parallel` path.
+
+    Sketches one corpus shard, interns every node's coverage into a
+    **shard arena** file at the given path, and returns a lightweight payload
+    — ``(key, depth, shard slot)`` per node plus the sentence count — instead
+    of pickling the whole chunk index back to the driver. The driver merges
+    the shard arenas into the final arena by column concatenation with
+    offset rebase (see :meth:`CorpusIndex.build_parallel`).
+    """
+    sentences, grammars, max_depth, shard_path = job
+    index = CorpusIndex(grammars, max_depth=max_depth, min_coverage=1)
+    for sentence in sentences:
+        index.add_sketch(build_sketch(sentence, grammars, max_depth))
+    store = CoverageStore(
+        backend="arena",
+        path=shard_path,
+        # Shards are write-only scratch: no query runs against them, so the
+        # bitset fast path would be thrown-away work.
+        arena_config=ArenaConfig(bitset_cache_bytes=0),
+        create=True,
+    )
+    nodes = list(index.nodes.values())  # root included: the driver unions it
+    views = store.intern_many([node.sentence_ids for node in nodes])
+    records = [
+        (node.key, node.depth, view.slot) for node, view in zip(nodes, views)
+    ]
+    store.flush()
+    store.arena.close()
+    return records, index._num_sentences
 
 
 @dataclass
@@ -107,6 +142,11 @@ class CorpusIndex:
         max_depth: Sketch depth bound used at build time.
         min_coverage: Pruning threshold re-applied by :meth:`merge` so chunked
             construction matches a direct :meth:`build`.
+        coverage_backend: ``"memory"`` (default) or ``"arena"`` — where the
+            interned coverage columns live (see
+            :class:`~repro.index.coverage.CoverageStore`).
+        arena_config: :class:`~repro.index.arena.ArenaConfig` for the arena
+            backend (file path, bitset cache budget).
     """
 
     def __init__(
@@ -114,6 +154,8 @@ class CorpusIndex:
         grammars: Sequence[HeuristicGrammar],
         max_depth: int = 10,
         min_coverage: int = 1,
+        coverage_backend: str = "memory",
+        arena_config: Optional[ArenaConfig] = None,
     ) -> None:
         if not grammars:
             raise CorpusIndexError("at least one grammar is required")
@@ -123,7 +165,14 @@ class CorpusIndex:
         self.grammars: Dict[str, HeuristicGrammar] = {g.name: g for g in grammars}
         self.max_depth = max_depth
         self.min_coverage = min_coverage
-        self.store = CoverageStore()
+        self.coverage_backend = coverage_backend
+        self.arena_config = arena_config
+        # create=True: a build always starts from an empty arena, truncating
+        # any stale file at the path (reattach is the checkpoint-restore
+        # path, via CoverageStore.from_state, never a fresh build).
+        self.store = CoverageStore(
+            backend=coverage_backend, arena_config=arena_config, create=True
+        )
         self.nodes: Dict[SketchKey, IndexNode] = {
             ROOT_KEY: IndexNode(key=ROOT_KEY, depth=0)
         }
@@ -147,9 +196,17 @@ class CorpusIndex:
         grammars: Sequence[HeuristicGrammar],
         max_depth: int = 10,
         min_coverage: int = 1,
+        coverage_backend: str = "memory",
+        arena_config: Optional[ArenaConfig] = None,
     ) -> "CorpusIndex":
         """Build the index for ``corpus`` by merging per-sentence sketches."""
-        index = cls(grammars, max_depth=max_depth, min_coverage=min_coverage)
+        index = cls(
+            grammars,
+            max_depth=max_depth,
+            min_coverage=min_coverage,
+            coverage_backend=coverage_backend,
+            arena_config=arena_config,
+        )
         for sentence in corpus:
             sketch = build_sketch(sentence, grammars, max_depth)
             index.add_sketch(sketch)
@@ -182,6 +239,8 @@ class CorpusIndex:
         max_depth: int = 10,
         min_coverage: int = 1,
         num_chunks: int = 4,
+        coverage_backend: str = "memory",
+        arena_config: Optional[ArenaConfig] = None,
     ) -> "CorpusIndex":
         """Build the index over ``num_chunks`` corpus shards in parallel.
 
@@ -191,6 +250,14 @@ class CorpusIndex:
         the chunk indexes are merged on the driver, and the final pruning is
         applied once, so the result is identical to a serial :meth:`build`.
 
+        With ``coverage_backend="arena"`` each worker seals its shard into a
+        temporary **shard arena** and returns only ``(key, depth, slot)``
+        records; the driver folds the shard arenas into the final arena by
+        column concatenation with offset rebase (keys unique to one shard,
+        the common case for deep keys, are bulk-copied as one contiguous
+        segment per shard) and interns the union coverage for keys that
+        appear in several shards. The shard files are deleted afterwards.
+
         Falls back to a serial build when ``num_chunks <= 1``, the corpus is
         smaller than the chunk count, or no worker pool can be started (e.g.
         sandboxed environments without fork support).
@@ -198,7 +265,12 @@ class CorpusIndex:
         sentences = list(corpus)
         if num_chunks <= 1 or len(sentences) < max(2, num_chunks):
             return cls.build(
-                corpus, grammars, max_depth=max_depth, min_coverage=min_coverage
+                corpus,
+                grammars,
+                max_depth=max_depth,
+                min_coverage=min_coverage,
+                coverage_backend=coverage_backend,
+                arena_config=arena_config,
             )
         bounds = np.linspace(0, len(sentences), num_chunks + 1).astype(int)
         shards = [
@@ -206,6 +278,14 @@ class CorpusIndex:
             for i in range(num_chunks)
             if bounds[i] < bounds[i + 1]
         ]
+        if coverage_backend == "arena":
+            return cls._build_parallel_arena(
+                shards,
+                grammars,
+                max_depth=max_depth,
+                min_coverage=min_coverage,
+                arena_config=arena_config,
+            )
         jobs = [(shard, list(grammars), max_depth) for shard in shards]
         try:
             import multiprocessing
@@ -224,6 +304,118 @@ class CorpusIndex:
         merged._built = True
         merged.seal()
         return merged
+
+    @classmethod
+    def _build_parallel_arena(
+        cls,
+        shards: List[List],
+        grammars: Sequence[HeuristicGrammar],
+        max_depth: int,
+        min_coverage: int,
+        arena_config: Optional[ArenaConfig],
+    ) -> "CorpusIndex":
+        """Arena-backed chunked build: shard arenas → one merged arena.
+
+        Shard sentence-id ranges are consecutive and increasing (the shards
+        are corpus slices), so the union of a key's per-shard coverages is
+        the plain concatenation of its shard slices in shard order — already
+        sorted, no re-sort needed.
+        """
+        scratch = tempfile.mkdtemp(prefix="repro-arena-shards-")
+        shard_arenas: List[CoverageArena] = []
+        try:
+            jobs = [
+                (shard, list(grammars), max_depth,
+                 os.path.join(scratch, f"shard{position}.arena"))
+                for position, shard in enumerate(shards)
+            ]
+            try:
+                import multiprocessing
+
+                with multiprocessing.Pool(
+                    processes=min(len(jobs), os.cpu_count() or 1)
+                ) as pool:
+                    payloads = pool.map(_build_chunk_arena, jobs)
+            except (ImportError, OSError, PermissionError):
+                payloads = [_build_chunk_arena(job) for job in jobs]
+
+            index = cls(
+                grammars,
+                max_depth=max_depth,
+                min_coverage=min_coverage,
+                coverage_backend="arena",
+                arena_config=arena_config,
+            )
+            store = index.store
+            shard_arenas = [CoverageArena.open(job[3]) for job in jobs]
+            total_sentences = sum(count for _, count in payloads)
+            store.ensure_universe(total_sentences)
+
+            # key → per-shard occurrences, in shard order.
+            occurrences: Dict[SketchKey, List[Tuple[int, int]]] = {}
+            depths: Dict[SketchKey, int] = {}
+            for shard_position, (records, _) in enumerate(payloads):
+                for key, depth, slot in records:
+                    occurrences.setdefault(key, []).append((shard_position, slot))
+                    depths[key] = depth
+
+            views: Dict[SketchKey, CoverageView] = {}
+            # Keys owned by exactly one shard: copy each shard's column slices
+            # into the final arena as one contiguous segment (concatenation +
+            # offset rebase) via a single bulk append per shard.
+            for shard_position, arena in enumerate(shard_arenas):
+                owned = [
+                    (key, occ[0][1])
+                    for key, occ in occurrences.items()
+                    if len(occ) == 1 and occ[0][0] == shard_position
+                ]
+                owned_views = store.intern_many(
+                    [arena.values_slice(slot) for _, slot in owned]
+                )
+                for (key, _), view in zip(owned, owned_views):
+                    views[key] = view
+            # Keys spanning shards (the root always does): concatenate the
+            # shard slices — disjoint, increasing id ranges — and intern.
+            spanning = [
+                key for key, occ in occurrences.items() if len(occ) > 1
+            ]
+            spanning_views = store.intern_many(
+                [
+                    np.concatenate(
+                        [
+                            shard_arenas[shard].values_slice(slot)
+                            for shard, slot in occurrences[key]
+                        ]
+                    )
+                    for key in spanning
+                ]
+            )
+            views.update(zip(spanning, spanning_views))
+
+            root = index.nodes[ROOT_KEY]
+            root.sentence_ids = views.get(ROOT_KEY, store.empty)
+            for key, view in views.items():
+                if key == ROOT_KEY:
+                    continue
+                index.nodes[key] = IndexNode(
+                    key=key, depth=depths[key], sentence_ids=view
+                )
+            index._num_sentences = total_sentences
+            index.link_structure()
+            if min_coverage > 1:
+                # Pruned nodes leave their slots behind as dead segments in
+                # the arena file (append-only layout); the columns the index
+                # actually references stay correct.
+                index.prune(min_coverage)
+            index._built = True
+            index._sealed = True
+            index._rebuild_inverted_map()
+            store.flush()
+            return index
+        finally:
+            for arena in shard_arenas:
+                arena.close()
+            shutil.rmtree(scratch, ignore_errors=True)
 
     def merge(self, other: "CorpusIndex", finalize: bool = True) -> "CorpusIndex":
         """Merge another chunk index into this one (parallel construction).
@@ -347,9 +539,18 @@ class CorpusIndex:
         if len(root.sentence_ids):
             max_id = max(int(i) for i in root.sentence_ids)
         store.ensure_universe(max(self._num_sentences, max_id + 1))
-        for node in self.nodes.values():
-            if not isinstance(node.sentence_ids, CoverageView):
-                node.sentence_ids = store.intern(node.sentence_ids)
+        # One bulk intern: on the arena backend this appends every new
+        # coverage as a single contiguous values segment (one file write)
+        # instead of one write per node.
+        pending = [
+            node
+            for node in self.nodes.values()
+            if not isinstance(node.sentence_ids, CoverageView)
+        ]
+        views = store.intern_many([node.sentence_ids for node in pending])
+        for node, view in zip(pending, views):
+            node.sentence_ids = view
+        store.flush()
         self._sealed = True
         self._rebuild_inverted_map()
 
@@ -625,7 +826,11 @@ class CorpusIndex:
 
     @classmethod
     def from_state(
-        cls, state: Dict[str, object], bundle, grammars: Sequence[HeuristicGrammar]
+        cls,
+        state: Dict[str, object],
+        bundle,
+        grammars: Sequence[HeuristicGrammar],
+        arena_config: Optional[ArenaConfig] = None,
     ) -> "CorpusIndex":
         """Rebuild a sealed index from :meth:`to_state` output.
 
@@ -634,13 +839,19 @@ class CorpusIndex:
             bundle: Array source (:class:`repro.engine.state.ArrayBundle`).
             grammars: Grammar instances matching the serialized grammar names
                 (built by the engine from its config before the index loads).
+            arena_config: Runtime arena tuning for arena-backed stores (the
+                arena path itself comes from the state's arena reference).
         """
         index = cls(
             grammars,
             max_depth=int(state["max_depth"]),
             min_coverage=int(state["min_coverage"]),
         )
-        index.store = CoverageStore.from_state(state["store"], bundle)
+        index.store = CoverageStore.from_state(
+            state["store"], bundle, arena_config=arena_config
+        )
+        index.coverage_backend = index.store.backend
+        index.arena_config = arena_config if index.store.backend == "arena" else None
         views = index.store.interned_views()
         index._num_sentences = int(state["num_sentences"])
         for record in state["nodes"]:

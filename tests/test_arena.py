@@ -1,0 +1,428 @@
+"""Tests for the memory-mapped coverage arena backend.
+
+Covers the arena file format (create / append / reattach / corruption), the
+arena-backed :class:`CoverageStore` (zero-copy views, digest-verified
+checkpoint references, the ``num_interned``-vs-offsets validation bugfix,
+the LRU bitset byte budget), arena-backed index builds (serial and sharded
+parallel), and the engine checkpoint/resume path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.engine import DarwinEngine
+from repro.engine.state import ArrayBundle
+from repro.errors import ConfigurationError
+from repro.grammars import TokensRegexGrammar
+from repro.index.arena import ArenaConfig, CoverageArena, HEADER_SIZE
+from repro.index.coverage import CoverageStore
+from repro.index.trie_index import CorpusIndex
+
+
+def arena_store(tmp_path, name="store.arena", **kwargs):
+    return CoverageStore(
+        backend="arena", path=str(tmp_path / name),
+        arena_config=ArenaConfig(**kwargs) if kwargs else None,
+    )
+
+
+class TestCoverageArenaFile:
+    def test_create_append_reattach_roundtrip(self, tmp_path):
+        path = str(tmp_path / "roundtrip.arena")
+        arena = CoverageArena.create(path)
+        first = arena.append(np.array([1, 5, 9], dtype=np.int32))
+        second = arena.append(np.array([], dtype=np.int32))
+        third = arena.append(np.array([2, 3], dtype=np.int32))
+        arena.flush()
+        digest = arena.digest
+        arena.close()
+
+        reattached = CoverageArena.open(path, expected_digest=digest)
+        assert reattached.num_interned == 3
+        assert reattached.values_slice(first).tolist() == [1, 5, 9]
+        assert reattached.values_slice(second).tolist() == []
+        assert reattached.values_slice(third).tolist() == [2, 3]
+        reattached.close()
+
+    def test_values_slice_is_mmap_backed(self, tmp_path):
+        arena = CoverageArena.create(str(tmp_path / "mmap.arena"))
+        slot = arena.append(np.arange(10, dtype=np.int32))
+        ids = arena.values_slice(slot)
+        root = ids
+        while getattr(root, "base", None) is not None:
+            root = root.base
+        assert isinstance(root, (np.memmap, memoryview)) or hasattr(root, "flush")
+        assert not ids.flags.writeable
+
+    def test_append_after_reattach_keeps_earlier_slots(self, tmp_path):
+        path = str(tmp_path / "grow.arena")
+        arena = CoverageArena.create(path)
+        arena.append(np.array([7, 8], dtype=np.int32))
+        arena.flush()
+        arena.close()
+
+        grown = CoverageArena.open(path)
+        grown.append(np.array([10, 20, 30], dtype=np.int32))
+        grown.flush()
+        grown.close()
+
+        final = CoverageArena.open(path)
+        assert final.num_interned == 2
+        assert final.values_slice(0).tolist() == [7, 8]
+        assert final.values_slice(1).tolist() == [10, 20, 30]
+        final.close()
+
+    def test_append_self_commits_without_explicit_flush(self, tmp_path):
+        path = str(tmp_path / "autocommit.arena")
+        arena = CoverageArena.create(path)
+        arena.append(np.array([4, 5], dtype=np.int32))
+        arena.append(np.array([6], dtype=np.int32))
+        # No flush() call: every append batch must leave the file consistent.
+        reattached = CoverageArena.open(path)
+        assert reattached.num_interned == 2
+        assert reattached.values_slice(0).tolist() == [4, 5]
+        assert reattached.values_slice(1).tolist() == [6]
+        reattached.close()
+        arena.close()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            CoverageArena.open(str(tmp_path / "nope.arena"))
+
+    def test_garbage_header_raises(self, tmp_path):
+        path = tmp_path / "garbage.arena"
+        path.write_bytes(b"not an arena at all" * 300)
+        with pytest.raises(ConfigurationError, match="not a coverage arena"):
+            CoverageArena.open(str(path))
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = str(tmp_path / "truncated.arena")
+        arena = CoverageArena.create(path)
+        arena.append(np.arange(100, dtype=np.int32))
+        arena.flush()
+        arena.close()
+        with open(path, "r+b") as handle:
+            handle.truncate(HEADER_SIZE + 40)
+        with pytest.raises(ConfigurationError, match="truncated"):
+            CoverageArena.open(path)
+
+    def test_corrupted_values_raise(self, tmp_path):
+        path = str(tmp_path / "corrupt.arena")
+        arena = CoverageArena.create(path)
+        arena.append(np.arange(50, dtype=np.int32))
+        arena.flush()
+        arena.close()
+        with open(path, "r+b") as handle:
+            handle.seek(HEADER_SIZE + 8)
+            handle.write(b"\xde\xad\xbe\xef")
+        with pytest.raises(ConfigurationError, match="corrupted"):
+            CoverageArena.open(path)
+
+    def test_expected_digest_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "swapped.arena")
+        arena = CoverageArena.create(path)
+        arena.append(np.array([1, 2], dtype=np.int32))
+        arena.flush()
+        arena.close()
+        with pytest.raises(ConfigurationError, match="checkpoint reference"):
+            CoverageArena.open(path, expected_digest="0" * 32)
+
+
+class TestArenaStore:
+    def test_interning_dedup_and_set_semantics(self, tmp_path):
+        store = arena_store(tmp_path)
+        view = store.intern([4, 2, 2, 8])
+        again = store.intern({8, 4, 2})
+        assert view is again
+        assert view == {2, 4, 8}
+        assert view.ids.tolist() == [2, 4, 8]
+        assert 4 in view and 5 not in view
+        assert store.intern([]) is store.empty
+
+    def test_empty_store_state_roundtrip(self, tmp_path):
+        store = arena_store(tmp_path)
+        bundle = ArrayBundle()
+        state = store.to_state(bundle)
+        assert state["backend"] == "arena"
+        restored = CoverageStore.from_state(state, bundle)
+        assert restored.backend == "arena"
+        assert restored.num_interned == 1  # just the empty slot
+        assert restored.empty.count == 0
+
+    def test_reattach_after_restart(self, tmp_path):
+        store = arena_store(tmp_path)
+        coverages = [[1, 2, 3], [9], [5, 6], list(range(40))]
+        views = [store.intern(ids) for ids in coverages]
+        bundle = ArrayBundle()
+        state = store.to_state(bundle)
+        del store, views  # "process exit": drop every live handle
+
+        restored = CoverageStore.from_state(state, bundle)
+        assert restored.num_interned == 1 + len(coverages)
+        for position, ids in enumerate(coverages):
+            view = restored.interned_views()[position + 1]
+            assert view.ids.tolist() == sorted(ids)
+            assert restored.intern(ids) is view
+
+    def test_from_state_digest_mismatch_raises(self, tmp_path):
+        store = arena_store(tmp_path)
+        store.intern(np.arange(64, dtype=np.int32))
+        bundle = ArrayBundle()
+        state = store.to_state(bundle)
+        # Mutate the arena after the checkpoint reference was taken.
+        store.intern([999, 1000])
+        store.flush()
+        with pytest.raises(ConfigurationError, match="digest"):
+            CoverageStore.from_state(state, bundle)
+
+    def test_from_state_missing_arena_raises(self, tmp_path):
+        store = arena_store(tmp_path)
+        store.intern([1, 2])
+        bundle = ArrayBundle()
+        state = store.to_state(bundle)
+        os.unlink(state["arena"]["path"])
+        with pytest.raises(ConfigurationError, match="not found"):
+            CoverageStore.from_state(state, bundle)
+
+    def test_from_state_num_interned_mismatch_arena(self, tmp_path):
+        store = arena_store(tmp_path)
+        store.intern([1, 2])
+        bundle = ArrayBundle()
+        state = store.to_state(bundle)
+        state["num_interned"] = 7
+        with pytest.raises(ConfigurationError, match="num_interned"):
+            CoverageStore.from_state(state, bundle)
+
+    def test_from_state_num_interned_mismatch_inline(self):
+        # The bugfix: a disagreeing num_interned used to silently truncate
+        # the restored store instead of raising.
+        store = CoverageStore(universe_size=16)
+        store.intern([1, 2])
+        store.intern([3])
+        bundle = ArrayBundle()
+        state = store.to_state(bundle)
+        state["num_interned"] = 1
+        with pytest.raises(ConfigurationError, match="num_interned"):
+            CoverageStore.from_state(state, bundle)
+
+    def test_from_state_inconsistent_offsets_inline(self):
+        store = CoverageStore(universe_size=16)
+        store.intern([1, 2, 3])
+        bundle = ArrayBundle()
+        state = store.to_state(bundle)
+        bad_bundle = ArrayBundle()
+        bad_bundle.put(state["values"], bundle.get(state["values"]))
+        bad_bundle.put(state["offsets"], np.array([0, 99], dtype=np.int64))
+        state["num_interned"] = 1
+        with pytest.raises(ConfigurationError, match="offsets"):
+            CoverageStore.from_state(state, bad_bundle)
+
+    def test_bitset_cache_respects_byte_budget(self, tmp_path):
+        universe = 512
+        budget = 3 * (universe // 8)  # room for three packed bitsets
+        store = arena_store(tmp_path, bitset_cache_bytes=budget)
+        store.ensure_universe(universe)
+        views = [
+            store.intern(np.arange(start, universe, 2, dtype=np.int32))
+            for start in range(10)
+        ]
+        dense = store.intern(np.arange(universe, dtype=np.int32))
+        for view in views:
+            # Dense-vs-dense intersections route through the budgeted cache.
+            expected = len(set(view.ids.tolist()) & set(dense.ids.tolist()))
+            assert view.intersect_count(dense) == expected
+        stats = store.bitset_cache_stats()
+        assert stats["cached_bytes"] <= budget
+        assert stats["misses"] > 0
+
+    def test_bitset_cache_zero_budget_disables_fast_path(self, tmp_path):
+        store = arena_store(tmp_path, bitset_cache_bytes=0)
+        store.ensure_universe(256)
+        a = store.intern(np.arange(0, 256, 2, dtype=np.int32))
+        b = store.intern(np.arange(0, 256, 4, dtype=np.int32))
+        assert a.intersect_count(b) == 64
+        assert store.bitset_cache_stats()["cached_entries"] == 0
+
+
+class TestArenaStoreProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=120), max_size=25),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arena_interning_matches_memory(self, tmp_path_factory, coverages):
+        """Arena-backed interning is view-for-view equal to in-memory."""
+        tmp = tmp_path_factory.mktemp("arena-prop")
+        memory = CoverageStore(universe_size=128)
+        arena = CoverageStore(
+            backend="arena", path=str(tmp / "prop.arena"),
+            arena_config=ArenaConfig(bitset_cache_bytes=1 << 16),
+        )
+        arena.ensure_universe(128)
+        memory_views = [memory.intern(ids) for ids in coverages]
+        arena_views = [arena.intern(ids) for ids in coverages]
+        assert memory.num_interned == arena.num_interned
+        probe = np.zeros(128, dtype=bool)
+        probe[::3] = True
+        for mem_view, arena_view in zip(memory_views, arena_views):
+            assert mem_view.ids.tolist() == arena_view.ids.tolist()
+            assert mem_view.to_set() == arena_view.to_set()
+            assert hash(mem_view) == hash(arena_view)
+            assert mem_view.overlap_with(probe) == arena_view.overlap_with(probe)
+            for other in arena_views:
+                assert (
+                    arena_view.intersect_count(other)
+                    == len(mem_view.to_set() & other.to_set())
+                )
+
+
+class TestArenaIndex:
+    def test_serial_build_matches_memory(self, tmp_path, directions_corpus):
+        grammar = TokensRegexGrammar(max_phrase_len=4)
+        memory = CorpusIndex.build(
+            directions_corpus, [grammar], max_depth=10, min_coverage=2
+        )
+        arena = CorpusIndex.build(
+            directions_corpus, [TokensRegexGrammar(max_phrase_len=4)],
+            max_depth=10, min_coverage=2,
+            coverage_backend="arena",
+            arena_config=ArenaConfig(path=str(tmp_path / "serial.arena")),
+        )
+        assert arena.store.backend == "arena"
+        assert set(memory.nodes) == set(arena.nodes)
+        for key in memory.nodes:
+            assert (
+                list(memory.nodes[key].sentence_ids)
+                == list(arena.nodes[key].sentence_ids)
+            )
+        query = sorted(directions_corpus.positive_ids())[:15]
+        assert memory.top_by_overlap(query, 25) == arena.top_by_overlap(query, 25)
+
+    def test_rebuild_over_existing_arena_path_starts_fresh(
+        self, tmp_path, example1_corpus, tokensregex
+    ):
+        # A fresh build must truncate a stale arena at the same path, not
+        # adopt its slots (which would inflate the universe and silently
+        # disable the bitset fast path) or grow the file across reruns.
+        path = str(tmp_path / "reused.arena")
+        stale = CoverageStore(backend="arena", path=path)
+        stale.intern(np.arange(0, 200_000, 7, dtype=np.int32))
+        stale.flush()
+        del stale
+        first_size = os.path.getsize(path)
+
+        index = CorpusIndex.build(
+            example1_corpus, [tokensregex], max_depth=6,
+            coverage_backend="arena", arena_config=ArenaConfig(path=path),
+        )
+        assert index.store.universe_size == len(example1_corpus)
+        assert os.path.getsize(path) < first_size
+        again = CorpusIndex.build(
+            example1_corpus, [tokensregex], max_depth=6,
+            coverage_backend="arena", arena_config=ArenaConfig(path=path),
+        )
+        assert again.store.num_interned == index.store.num_interned
+
+    def test_parallel_build_matches_serial(self, tmp_path, directions_corpus):
+        grammar = TokensRegexGrammar(max_phrase_len=4)
+        serial = CorpusIndex.build(
+            directions_corpus, [grammar], max_depth=10, min_coverage=2
+        )
+        parallel = CorpusIndex.build_parallel(
+            directions_corpus, [TokensRegexGrammar(max_phrase_len=4)],
+            max_depth=10, min_coverage=2, num_chunks=3,
+            coverage_backend="arena",
+            arena_config=ArenaConfig(path=str(tmp_path / "parallel.arena")),
+        )
+        assert parallel.store.backend == "arena"
+        assert set(serial.nodes) == set(parallel.nodes)
+        for key in serial.nodes:
+            assert (
+                list(serial.nodes[key].sentence_ids)
+                == list(parallel.nodes[key].sentence_ids)
+            )
+        assert serial.num_sentences == parallel.num_sentences
+
+
+ENGINE_SPEC = {
+    "dataset": {"name": "directions", "num_sentences": 400, "seed": 3,
+                "parse_trees": False},
+    "config": {"budget": 8, "num_candidates": 300,
+               "grammars": ["tokensregex"], "oracle": "ground_truth",
+               "classifier": {"model": "logistic", "epochs": 10,
+                              "embedding_dim": 30}},
+    "seeds": {"rule_texts": ["best way to get to"]},
+}
+
+
+def engine_spec(tmp_path=None):
+    import copy
+
+    spec = copy.deepcopy(ENGINE_SPEC)
+    if tmp_path is not None:
+        spec["config"]["index"] = {
+            "coverage_backend": "arena",
+            "arena_path": str(tmp_path / "engine.arena"),
+            "bitset_cache_bytes": 1 << 20,
+        }
+    return spec
+
+
+class TestArenaEngine:
+    def test_checkpoint_resume_matches_memory_backend(self, tmp_path):
+        memory_history = DarwinEngine.from_config(engine_spec()).run().history
+
+        engine = DarwinEngine.from_config(engine_spec(tmp_path))
+        assert engine.darwin.index.store.backend == "arena"
+        engine.run(budget=4)
+        checkpoint = str(tmp_path / "engine.npz")
+        engine.save(checkpoint)
+
+        resumed = DarwinEngine.load(checkpoint)
+        assert resumed.darwin.index.store.backend == "arena"
+        assert resumed.questions_asked == 4
+        result = resumed.run(budget=8)
+        assert result.history == memory_history
+
+    def test_checkpoint_is_reference_not_copy(self, tmp_path):
+        engine = DarwinEngine.from_config(engine_spec(tmp_path))
+        engine.run(budget=3)
+        checkpoint = str(tmp_path / "reference.npz")
+        engine.save(checkpoint)
+        summary = DarwinEngine.describe_checkpoint(checkpoint)
+        assert summary["coverage_backend"] == "arena"
+        assert summary["arena"]["path"] == str(tmp_path / "engine.arena")
+        # The coverage columns must not be re-serialized into the npz.
+        assert not any(
+            name.startswith("index/store/") for name in summary["arrays"]
+        )
+
+    def test_load_with_deleted_arena_raises(self, tmp_path):
+        engine = DarwinEngine.from_config(engine_spec(tmp_path))
+        engine.run(budget=3)
+        checkpoint = str(tmp_path / "dangling.npz")
+        engine.save(checkpoint)
+        del engine
+        os.unlink(str(tmp_path / "engine.arena"))
+        with pytest.raises(ConfigurationError, match="not found"):
+            DarwinEngine.load(checkpoint)
+
+    def test_load_with_tampered_arena_raises(self, tmp_path):
+        engine = DarwinEngine.from_config(engine_spec(tmp_path))
+        engine.run(budget=3)
+        checkpoint = str(tmp_path / "tampered.npz")
+        engine.save(checkpoint)
+        del engine
+        with open(str(tmp_path / "engine.arena"), "r+b") as handle:
+            handle.seek(HEADER_SIZE)
+            handle.write(b"\xff\xff\xff\x7f")
+        with pytest.raises(ConfigurationError, match="corrupted|digest"):
+            DarwinEngine.load(checkpoint)
