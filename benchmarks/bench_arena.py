@@ -29,11 +29,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import resource
 import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
+
+from bench_isolate import peak_rss_bytes, run_isolated
 
 from repro.config import ClassifierConfig, DarwinConfig
 from repro.core.darwin import Darwin
@@ -45,11 +46,6 @@ from repro.index.trie_index import CorpusIndex
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_arena.json"
-
-
-def _peak_rss_bytes() -> int:
-    """This process's peak resident set size (Linux reports KiB)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 def run_arm(
@@ -119,7 +115,7 @@ def run_arm(
         "interned_coverages": store.num_interned,
         "coverage_column_bytes": store.bytes_interned,
         "coverage_resident_bytes": store.resident_coverage_bytes,
-        "peak_rss_bytes": _peak_rss_bytes(),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
     if backend == "arena":
         result["bitset_cache"] = store.bitset_cache_stats()
@@ -127,58 +123,16 @@ def run_arm(
     return result
 
 
-def _run_arm_child(pipe, *args) -> None:
-    try:
-        pipe.send(run_arm(*args))
-    except BaseException as exc:  # surface the failure to the parent
-        pipe.send({"error": f"{type(exc).__name__}: {exc}"})
-    finally:
-        pipe.close()
-
-
-def run_arm_isolated(*args) -> Dict[str, object]:
-    """Run one arm in a forked child so its RSS peak is measured cleanly."""
-    try:
-        import multiprocessing
-
-        context = multiprocessing.get_context("fork")
-        parent_end, child_end = context.Pipe(duplex=False)
-        process = context.Process(target=_run_arm_child, args=(child_end,) + args)
-        process.start()
-    except (ImportError, OSError, PermissionError):
-        # No fork support (sandboxes): run inline, flagged as unisolated.
-        payload = run_arm(*args)
-        payload["rss_isolated"] = False
-    else:
-        child_end.close()
-        try:
-            payload = parent_end.recv()
-        except EOFError:
-            # The child died without reporting (e.g. OOM-killed): that IS the
-            # benchmark's answer for this arm — surface it, never re-run the
-            # same workload inline in the parent.
-            process.join()
-            raise RuntimeError(
-                f"benchmark arm {args[0]!r} at {args[1]} sentences crashed "
-                f"(exit code {process.exitcode}); likely out of memory"
-            ) from None
-        process.join()
-        payload["rss_isolated"] = True
-    if "error" in payload:
-        raise RuntimeError(f"benchmark arm failed: {payload['error']}")
-    return payload
-
-
 def measure_scale(
     num_sentences: int, budget: int, bitset_cache_bytes: int
 ) -> Dict[str, object]:
     with tempfile.TemporaryDirectory(prefix="bench-arena-") as tmp:
         arena_path = os.path.join(tmp, f"bench-{num_sentences}.arena")
-        memory = run_arm_isolated(
-            "memory", num_sentences, budget, bitset_cache_bytes, None
+        memory = run_isolated(
+            run_arm, "memory", num_sentences, budget, bitset_cache_bytes, None
         )
-        arena = run_arm_isolated(
-            "arena", num_sentences, budget, bitset_cache_bytes, arena_path
+        arena = run_isolated(
+            run_arm, "arena", num_sentences, budget, bitset_cache_bytes, arena_path
         )
     history_match = memory.pop("history") == arena.pop("history")
     headline = {

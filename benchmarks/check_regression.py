@@ -55,6 +55,13 @@ HEADLINES: Dict[str, Dict[str, List[Headline]]] = {
         ],
         "top_level": [],
     },
+    "bench_tenants": {
+        "per_size": [
+            ("headline.shared_resident_ratio", "lower"),
+            ("headline.history_match", "true"),
+        ],
+        "top_level": [],
+    },
 }
 
 

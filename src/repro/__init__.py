@@ -80,8 +80,17 @@ from .engine.registry import (
     register_traversal,
 )
 from .grammars import TokensRegexGrammar, TreeMatchGrammar, TreePattern
-from .index import ArenaConfig, CorpusIndex, CoverageArena, CoverageStore, CoverageView, RuleHierarchy
+from .index import (
+    ArenaConfig,
+    CorpusIndex,
+    CoverageArena,
+    CoverageStore,
+    CoverageView,
+    OverlayCoverageStore,
+    RuleHierarchy,
+)
 from .rules import LabelingHeuristic, RuleSet
+from .serving import ServeReport, Tenant, TenantPool, serve
 from .text import Corpus, Sentence
 
 __version__ = "1.1.0"
@@ -136,9 +145,14 @@ __all__ = [
     "CoverageArena",
     "CoverageStore",
     "CoverageView",
+    "OverlayCoverageStore",
     "RuleHierarchy",
     "LabelingHeuristic",
     "RuleSet",
+    "Tenant",
+    "TenantPool",
+    "ServeReport",
+    "serve",
     "Corpus",
     "Sentence",
     "__version__",

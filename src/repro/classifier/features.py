@@ -15,6 +15,7 @@ sentence after each retrain (the paper's main efficiency bottleneck).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
@@ -25,6 +26,134 @@ from ..text.sentence import Sentence
 from ..utils.rng import stable_hash
 
 _SURFACE_FEATURES = 4
+
+
+class SharedFeatureCache:
+    """Sentence-id keyed feature cache shareable between featurizer handles.
+
+    In a multi-tenant pool every tenant re-scores the same corpus after each
+    retrain; the feature vectors are pure functions of the (immutable)
+    sentences and the (shared, fitted) embeddings, so one tenant computing a
+    vector means no other tenant ever should. The pool creates one cache and
+    every tenant's featurizer reads/writes it. Hit/miss counters make the
+    no-double-compute property testable, and a lock keeps get-then-put safe
+    if engines ever featurize from worker threads (the asyncio serve loop is
+    single-threaded, but the cache does not rely on that).
+    """
+
+    def __init__(self) -> None:
+        self._vectors: Dict[int, np.ndarray] = {}
+        self._matrices: Dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._fingerprint: Optional[tuple] = None
+
+    def bind(self, embeddings, max_len: int, bow_dim: int) -> None:
+        """Pin the cache to one feature space; re-binding differently raises.
+
+        Entries are keyed by sentence id alone, so a cache shared between
+        featurizers over *different* embeddings (or different vector shapes)
+        would silently hand one featurizer the other's vectors. Every
+        featurizer binds its (embeddings, max_len, bow_dim) identity on
+        attach; a mismatch is a wiring bug and fails loudly. The embeddings
+        object is held by strong reference and compared by identity — an
+        ``id()`` fingerprint could be silently defeated when CPython reuses
+        a freed object's address.
+        """
+        with self._lock:
+            if self._fingerprint is None:
+                self._fingerprint = (embeddings, max_len, bow_dim)
+                return
+            bound_embeddings, bound_max_len, bound_bow_dim = self._fingerprint
+            if (
+                bound_embeddings is not embeddings
+                or bound_max_len != max_len
+                or bound_bow_dim != bow_dim
+            ):
+                raise ValueError(
+                    "SharedFeatureCache is already bound to a different "
+                    "featurizer configuration; share caches only between "
+                    "featurizers over the same embeddings (use "
+                    "SentenceFeaturizer.sharing_cache())"
+                )
+
+    # ------------------------------------------------------------------ access
+    def get_vector(self, sentence_id: int) -> Optional[np.ndarray]:
+        with self._lock:
+            cached = self._vectors.get(sentence_id)
+            if cached is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return cached
+
+    def put_vector(self, sentence_id: int, features: np.ndarray) -> np.ndarray:
+        with self._lock:
+            # First writer wins, so every handle sees one canonical array per
+            # sentence even under racing computes. Frozen, because that one
+            # array is shared by every tenant: an in-place mutation would
+            # corrupt the feature pool-wide with no error.
+            features.setflags(write=False)
+            return self._vectors.setdefault(sentence_id, features)
+
+    def get_matrix(self, sentence_id: int) -> Optional[np.ndarray]:
+        with self._lock:
+            cached = self._matrices.get(sentence_id)
+            if cached is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return cached
+
+    def put_matrix(self, sentence_id: int, matrix: np.ndarray) -> np.ndarray:
+        with self._lock:
+            matrix.setflags(write=False)
+            return self._matrices.setdefault(sentence_id, matrix)
+
+    # -------------------------------------------------------------- accounting
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that required a fresh feature computation."""
+        return self._misses
+
+    @property
+    def nbytes(self) -> int:
+        """Heap bytes held by the cached arrays (shared once per pool)."""
+        with self._lock:
+            return sum(a.nbytes for a in self._vectors.values()) + sum(
+                a.nbytes for a in self._matrices.values()
+            )
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for benchmarks and the serve loop's memory report."""
+        with self._lock:
+            return {
+                "cached_vectors": float(len(self._vectors)),
+                "cached_matrices": float(len(self._matrices)),
+                "hits": float(self._hits),
+                "misses": float(self._misses),
+                "bytes": float(
+                    sum(a.nbytes for a in self._vectors.values())
+                    + sum(a.nbytes for a in self._matrices.values())
+                ),
+            }
+
+    def invalidate(self, sentence_ids: Optional[Sequence[int]] = None) -> None:
+        """Drop cached features (all of them when ``sentence_ids`` is None)."""
+        with self._lock:
+            if sentence_ids is None:
+                self._vectors.clear()
+                self._matrices.clear()
+                return
+            for sentence_id in sentence_ids:
+                self._vectors.pop(sentence_id, None)
+                self._matrices.pop(sentence_id, None)
 
 
 class SentenceFeaturizer:
@@ -43,10 +172,20 @@ class SentenceFeaturizer:
             :meth:`SentenceFeaturizer.fit` to train one from a corpus.
         max_len: Token cut-off for the CNN's embedding matrices.
         bow_dim: Width of the hashed bag-of-words block (0 disables it).
+        cache: A :class:`SharedFeatureCache` to read/write. Pass one cache to
+            several featurizers (or share one featurizer outright) so
+            overlapping workloads — e.g. the tenants of a
+            :class:`~repro.serving.TenantPool` — never compute the same
+            sentence's features twice. Defaults to a private cache, which
+            preserves the old per-featurizer behaviour.
     """
 
     def __init__(
-        self, embeddings: EmbeddingModel, max_len: int = 30, bow_dim: int = 192
+        self,
+        embeddings: EmbeddingModel,
+        max_len: int = 30,
+        bow_dim: int = 192,
+        cache: Optional[SharedFeatureCache] = None,
     ) -> None:
         if max_len <= 0:
             raise ValueError("max_len must be positive")
@@ -55,8 +194,8 @@ class SentenceFeaturizer:
         self.embeddings = embeddings
         self.max_len = max_len
         self.bow_dim = bow_dim
-        self._vector_cache: Dict[int, np.ndarray] = {}
-        self._matrix_cache: Dict[int, np.ndarray] = {}
+        self.cache = cache if cache is not None else SharedFeatureCache()
+        self.cache.bind(embeddings, max_len, bow_dim)
 
     @property
     def vector_dim(self) -> int:
@@ -71,17 +210,32 @@ class SentenceFeaturizer:
         max_len: int = 30,
         seed: int = 0,
         bow_dim: int = 192,
+        cache: Optional[SharedFeatureCache] = None,
     ) -> "SentenceFeaturizer":
         """Train embeddings on ``corpus`` and return a featurizer over them."""
         embeddings = build_embeddings(
             (s.tokens for s in corpus), dim=embedding_dim, seed=seed
         )
-        return cls(embeddings, max_len=max_len, bow_dim=bow_dim)
+        return cls(embeddings, max_len=max_len, bow_dim=bow_dim, cache=cache)
+
+    def sharing_cache(self) -> "SentenceFeaturizer":
+        """A new featurizer handle over the same embeddings *and* cache.
+
+        Handles are what a per-tenant component should own: they share the
+        fitted model and the feature cache (so nothing is recomputed across
+        tenants) without sharing any mutable per-handle state.
+        """
+        return SentenceFeaturizer(
+            self.embeddings,
+            max_len=self.max_len,
+            bow_dim=self.bow_dim,
+            cache=self.cache,
+        )
 
     # ------------------------------------------------------------ single-item
     def vector(self, sentence: Sentence) -> np.ndarray:
         """Mean-embedding + surface-feature vector for ``sentence``."""
-        cached = self._vector_cache.get(sentence.sentence_id)
+        cached = self.cache.get_vector(sentence.sentence_id)
         if cached is not None:
             return cached
         embedding = self.embeddings.sentence_vector(sentence.tokens)
@@ -94,8 +248,7 @@ class SentenceFeaturizer:
             ]
         )
         features = np.concatenate([embedding, self._bow(sentence.tokens), surface])
-        self._vector_cache[sentence.sentence_id] = features
-        return features
+        return self.cache.put_vector(sentence.sentence_id, features)
 
     def _bow(self, tokens) -> np.ndarray:
         """Hashed bag-of-words block (L2-normalised token-count buckets)."""
@@ -111,12 +264,11 @@ class SentenceFeaturizer:
 
     def matrix(self, sentence: Sentence) -> np.ndarray:
         """Padded ``(max_len, dim)`` embedding matrix for ``sentence``."""
-        cached = self._matrix_cache.get(sentence.sentence_id)
+        cached = self.cache.get_matrix(sentence.sentence_id)
         if cached is not None:
             return cached
         matrix = self.embeddings.sentence_matrix(sentence.tokens, self.max_len)
-        self._matrix_cache[sentence.sentence_id] = matrix
-        return matrix
+        return self.cache.put_matrix(sentence.sentence_id, matrix)
 
     # ------------------------------------------------------------------ batch
     def vectors(self, sentences: Iterable[Sentence]) -> np.ndarray:
@@ -143,10 +295,4 @@ class SentenceFeaturizer:
 
     def invalidate(self, sentence_ids: Optional[Sequence[int]] = None) -> None:
         """Drop cached features (all of them when ``sentence_ids`` is None)."""
-        if sentence_ids is None:
-            self._vector_cache.clear()
-            self._matrix_cache.clear()
-            return
-        for sentence_id in sentence_ids:
-            self._vector_cache.pop(sentence_id, None)
-            self._matrix_cache.pop(sentence_id, None)
+        self.cache.invalidate(sentence_ids)

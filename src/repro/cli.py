@@ -10,6 +10,9 @@ writing Python:
   same labeled seed subset (the Figure 7 comparison at one seed size),
 * ``python -m repro crowd`` — drive K concurrent simulated annotators with
   redundant dispatch, majority voting and batched retrains (Section 4.3),
+* ``python -m repro serve`` — multi-tenant serving: N independent tenant
+  engines over one shared read-only coverage arena + corpus index, each with
+  its own crowd of annotators, multiplexed on one asyncio loop,
 * ``python -m repro resume`` — continue a checkpointed run
   (``run --checkpoint ... --checkpoint-every N`` writes the checkpoints),
 * ``python -m repro export-state`` — inspect a checkpoint's manifest.
@@ -23,7 +26,7 @@ from typing import List, Optional, Sequence
 
 from . import __version__
 from .baselines.snuba import SnubaBaseline
-from .config import ClassifierConfig, CrowdConfig, DarwinConfig
+from .config import ClassifierConfig, CrowdConfig, DarwinConfig, IndexConfig
 from .core.darwin import Darwin, DarwinResult
 from .crowd import run_crowd
 from .datasets.registry import DATASET_NAMES, load_bank, load_dataset, table1_rows
@@ -142,6 +145,47 @@ def build_parser() -> argparse.ArgumentParser:
     crowd_parser.add_argument("--seed", type=int, default=7)
     crowd_parser.add_argument("--epochs", type=int, default=40,
                               help="benefit-classifier training epochs")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve N tenant engines over one shared read-only arena"
+    )
+    serve_parser.add_argument("--dataset", choices=sorted(DATASET_NAMES),
+                              default="directions")
+    serve_parser.add_argument("--num-sentences", type=int, default=2000)
+    serve_parser.add_argument("--tenants", type=int, default=4,
+                              help="independent tenant engines to serve")
+    serve_parser.add_argument("--budget", type=int, default=30,
+                              help="per-tenant committed-question budget")
+    serve_parser.add_argument("--annotators", type=int, default=2,
+                              help="concurrent annotators per tenant")
+    serve_parser.add_argument("--redundancy", type=int, default=1,
+                              help="votes per question (majority commit)")
+    serve_parser.add_argument("--batch-size", type=int, default=4,
+                              help="answers applied per retrain/refresh batch")
+    serve_parser.add_argument("--latency", type=float, default=0.0,
+                              help="mean simulated think time per answer (s)")
+    serve_parser.add_argument("--noise", type=float, default=0.0,
+                              help="per-annotator answer-flip probability")
+    serve_parser.add_argument("--seed-rule", default=None,
+                              help="seed rule text (dataset default when omitted)")
+    serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.add_argument("--epochs", type=int, default=40,
+                              help="benefit-classifier training epochs")
+    serve_parser.add_argument("--coverage-backend", choices=("memory", "arena"),
+                              default="arena",
+                              help="shared coverage backend (arena maps one "
+                                   "read-only file across every tenant)")
+    serve_parser.add_argument("--arena-path", default=None, metavar="PATH",
+                              help="shared arena file (default: a temporary "
+                                   "file for this serve run)")
+    serve_parser.add_argument("--bitset-cache-bytes", type=int,
+                              default=8 << 20, metavar="BYTES",
+                              help="LRU byte budget for the shared arena's "
+                                   "packed-bitset fast path (bounds the "
+                                   "pool's shared resident memory)")
+    serve_parser.add_argument("--expected-digest", default=None, metavar="HEX",
+                              help="refuse to serve unless the shared arena "
+                                   "matches this content digest")
     return parser
 
 
@@ -318,6 +362,74 @@ def _command_crowd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serving import TenantPool, serve
+
+    corpus = load_dataset(args.dataset, num_sentences=args.num_sentences,
+                          seed=args.seed, parse_trees=False)
+    bank = load_bank(args.dataset)
+    seed_rule = args.seed_rule or bank.default_seed_rules[0]
+    config = DarwinConfig(
+        budget=args.budget,
+        num_candidates=1000,
+        classifier=ClassifierConfig(epochs=args.epochs),
+        index=IndexConfig(coverage_backend=args.coverage_backend,
+                          arena_path=args.arena_path,
+                          bitset_cache_bytes=args.bitset_cache_bytes),
+    )
+    crowd_config = CrowdConfig(
+        num_annotators=args.annotators,
+        redundancy=args.redundancy,
+        batch_size=args.batch_size,
+        budget=args.budget,
+        annotator_latency=args.latency,
+        label_noise=args.noise,
+        seed=args.seed,
+    )
+    print(f"dataset={args.dataset} sentences={len(corpus)} "
+          f"positives={len(corpus.positive_ids())} seed rule={seed_rule!r}")
+    with TenantPool(
+        corpus, config,
+        seeds={"rule_texts": [seed_rule]},
+        expected_digest=args.expected_digest,
+        dataset_spec={"name": args.dataset,
+                      "options": {"num_sentences": args.num_sentences,
+                                  "seed": args.seed, "parse_trees": False}},
+    ) as pool:
+        arena = pool.index.store.arena
+        if arena is not None:
+            print(f"shared arena: {arena.path} ({arena.values_bytes} column "
+                  f"bytes, read-only, digest {pool.arena_digest[:16]}…)")
+        print(f"serving {args.tenants} tenants × {args.annotators} annotators "
+              f"(redundancy={args.redundancy}, batch_size={args.batch_size})")
+        report = serve(pool, num_tenants=args.tenants, crowd_config=crowd_config)
+        print(f"\ncommitted {report.questions_committed} questions across "
+              f"{len(report.results)} tenants in {report.wall_seconds:.2f}s "
+              f"({report.answers_per_sec:.1f} answers/s)")
+        print(format_table(
+            ["tenant", "questions", "rules", "coverage", "overlay interns",
+             "resident B"],
+            [
+                [tid, r.crowd.questions_committed,
+                 len(r.crowd.darwin_result.rule_set),
+                 r.crowd.darwin_result.final_recall,
+                 r.overlay_interned, r.resident_bytes]
+                for tid, r in sorted(report.results.items())
+            ],
+            title="per-tenant outcomes",
+        ))
+        memory = report.memory
+        shared = memory["shared_resident_bytes"]
+        per_tenant = memory["tenant_resident_bytes"]
+        print(f"shared resident state: {shared:,.0f} B (once per pool); "
+              f"tenant overlays: {per_tenant:,.0f} B total "
+              f"({per_tenant / max(len(report.results), 1):,.0f} B/tenant)")
+        cache = pool.featurizer.cache.stats()
+        print(f"feature cache: {cache['cached_vectors']:.0f} vectors, "
+              f"{cache['hits']:.0f} hits / {cache['misses']:.0f} misses")
+    return 0
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "run": _command_run,
@@ -325,6 +437,7 @@ _COMMANDS = {
     "export-state": _command_export_state,
     "compare": _command_compare,
     "crowd": _command_crowd,
+    "serve": _command_serve,
 }
 
 

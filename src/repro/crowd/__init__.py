@@ -11,7 +11,7 @@ Expensive classifier retrains and hierarchy refreshes are batched across
 
 from ..config import CrowdConfig
 from .coordinator import Assignment, CrowdCoordinator, CrowdResult
-from .runner import CrowdRunResult, run_crowd, simulated_annotators
+from .runner import CrowdRunResult, drive_crowd, run_crowd, simulated_annotators
 
 __all__ = [
     "Assignment",
@@ -19,6 +19,7 @@ __all__ = [
     "CrowdCoordinator",
     "CrowdResult",
     "CrowdRunResult",
+    "drive_crowd",
     "run_crowd",
     "simulated_annotators",
 ]

@@ -96,11 +96,18 @@ async def _annotator_worker(
         coordinator.submit_answer(assignment, answer.is_useful)
 
 
-async def _drive(
+async def drive_crowd(
     coordinator: CrowdCoordinator,
     annotators: Sequence[Oracle],
     config: CrowdConfig,
 ) -> None:
+    """Drive one coordinator's annotator workers to completion.
+
+    Exposed as a coroutine (rather than only through :func:`run_crowd`'s
+    ``asyncio.run``) so a caller multiplexing several independent crowds on
+    one event loop — the :mod:`repro.serving` tenant loop, one coordinator
+    per tenant — can ``gather`` them.
+    """
     workers = [
         _annotator_worker(coordinator, annotator_id, oracle, config)
         for annotator_id, oracle in enumerate(annotators)
@@ -151,7 +158,7 @@ def run_crowd(
         darwin, config, evaluation_positive_ids=evaluation_positive_ids
     )
     start = time.perf_counter()
-    asyncio.run(_drive(coordinator, annotators, config))
+    asyncio.run(drive_crowd(coordinator, annotators, config))
     wall_seconds = time.perf_counter() - start
     crowd = coordinator.result()
     denominator = max(wall_seconds, 1e-9)
@@ -165,6 +172,7 @@ def run_crowd(
 
 __all__ = [
     "CrowdRunResult",
+    "drive_crowd",
     "run_crowd",
     "simulated_annotators",
 ]

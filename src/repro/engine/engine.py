@@ -551,7 +551,10 @@ class DarwinEngine:
             "coverage_backend": index_state.get("store", {}).get(
                 "backend", "memory"
             ),
-            "arena": index_state.get("store", {}).get("arena"),
+            # Overlay stores (tenant checkpoints) keep their arena reference
+            # one level down, on the shared base they point at.
+            "arena": index_state.get("store", {}).get("arena")
+            or index_state.get("store", {}).get("base", {}).get("arena"),
             "arrays": {name: inventory[name] for name in sorted(inventory)},
         }
         return summary

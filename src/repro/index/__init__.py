@@ -4,6 +4,7 @@ memory-mapped arena backend for larger-than-memory coverage columns)."""
 
 from .arena import ArenaConfig, CoverageArena
 from .coverage import CoverageStore, CoverageView
+from .overlay import OverlayCoverageStore
 from .sketch import DerivationSketch, build_sketch
 from .trie_index import CorpusIndex, IndexNode
 from .hierarchy import RuleHierarchy
@@ -13,6 +14,7 @@ __all__ = [
     "CoverageArena",
     "CoverageStore",
     "CoverageView",
+    "OverlayCoverageStore",
     "DerivationSketch",
     "build_sketch",
     "CorpusIndex",

@@ -114,6 +114,7 @@ class CoverageArena:
         offsets: List[int],
         values_digest: "hashlib._Hash",
         owns_temp: bool = False,
+        read_only: bool = False,
     ) -> None:
         self.path = path
         self._file = file
@@ -121,7 +122,8 @@ class CoverageArena:
         self._values_digest = values_digest
         self._values_map: Optional[np.ndarray] = None
         self._mapped_values = 0
-        self._dirty = True
+        self._read_only = read_only
+        self._dirty = not read_only
         if owns_temp:
             self._temp_finalizer = weakref.finalize(
                 self, _unlink_quietly, path
@@ -154,16 +156,24 @@ class CoverageArena:
         return arena
 
     @classmethod
-    def open(cls, path: str, expected_digest: Optional[str] = None) -> "CoverageArena":
+    def open(
+        cls,
+        path: str,
+        expected_digest: Optional[str] = None,
+        read_only: bool = False,
+    ) -> "CoverageArena":
         """Reattach the arena at ``path``, verifying header and content.
 
-        Raises :class:`~repro.errors.ConfigurationError` when the file is
-        missing, is not an arena, is truncated, fails its own recorded
-        digest, or (when given) does not match ``expected_digest`` — the
-        checkpoint-reference reattach path.
+        With ``read_only=True`` the file is opened without write access and
+        :meth:`append_many` is refused — the multi-tenant attach mode, where
+        many tenants map one immutable arena and nothing may mutate the
+        shared columns. Raises :class:`~repro.errors.ConfigurationError` when
+        the file is missing, is not an arena, is truncated, fails its own
+        recorded digest, or (when given) does not match ``expected_digest``
+        — the checkpoint-reference reattach path.
         """
         try:
-            file = open(path, "r+b")
+            file = open(path, "rb" if read_only else "r+b")
         except FileNotFoundError:
             raise ConfigurationError(
                 f"coverage arena file not found: {path}"
@@ -234,6 +244,7 @@ class CoverageArena:
             file,
             offsets=[int(o) for o in offsets],
             values_digest=values_digest,
+            read_only=read_only,
         )
         arena._dirty = False
         return arena
@@ -271,11 +282,62 @@ class CoverageArena:
         return header
 
     def close(self) -> None:
-        """Flush and close the file (views keep their existing mmaps alive)."""
-        if self._file is not None and not self._file.closed:
-            if self._dirty:
+        """Flush, close the file, and drop the arena's own memory map.
+
+        Idempotent: calling it twice (or after garbage collection already ran
+        a finalizer) is a no-op. Views handed out earlier keep their own
+        reference to the memmap they were sliced from, so they stay readable;
+        the arena merely stops pinning the mapping itself, which is what
+        lets Windows-style strict-unlink filesystems delete the file once the
+        last view dies. Appends and fresh slices raise after close.
+        """
+        file = self._file
+        if file is not None and not file.closed:
+            if self._dirty and not self._read_only:
                 self.flush()
-            self._file.close()
+            file.close()
+        # Release the mapping eagerly instead of waiting for GC: the open
+        # mmap — not the closed file handle — is what blocks strict-unlink.
+        self._values_map = None
+        self._mapped_values = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (or the backing file is gone)."""
+        return self._file is None or self._file.closed
+
+    @property
+    def read_only(self) -> bool:
+        """True when attached without write access (multi-tenant mode)."""
+        return self._read_only
+
+    def reopen_read_only(self) -> "CoverageArena":
+        """Flush and swap the writable handle for a read-only one, in place.
+
+        The freeze point of a :class:`~repro.serving.TenantPool` build:
+        after this call the columns are immutable and the arena can be
+        shared across tenants with the same guarantees as a
+        ``open(path, read_only=True)`` attach. Existing views stay valid —
+        they reference the mapping, not the file handle. Returns ``self``.
+        """
+        if self._read_only:
+            return self
+        if self.closed:
+            raise ConfigurationError(
+                f"coverage arena {self.path} is closed; cannot reopen"
+            )
+        if self._dirty:
+            self.flush()
+        self._file.close()
+        try:
+            self._file = open(self.path, "rb")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot reopen coverage arena {self.path} read-only: {exc}"
+            ) from exc
+        self._read_only = True
+        self._dirty = False
+        return self
 
     # -------------------------------------------------------------- accessors
     @property
@@ -329,7 +391,12 @@ class CoverageArena:
         append never invalidates existing views.
         """
         if self._values_map is None or self._mapped_values < upto:
-            self._file.flush()
+            if self.closed:
+                raise ConfigurationError(
+                    f"coverage arena {self.path} is closed; cannot map values"
+                )
+            if not self._read_only:
+                self._file.flush()
             count = self.num_values
             self._values_map = np.memmap(
                 self.path,
@@ -361,7 +428,13 @@ class CoverageArena:
         """
         if not arrays:
             return []
-        if self._file is None or self._file.closed:
+        if self._read_only:
+            raise ConfigurationError(
+                f"coverage arena {self.path} is attached read-only; tenant "
+                f"interns belong in an OverlayCoverageStore, not the shared "
+                f"columns"
+            )
+        if self.closed:
             raise ConfigurationError(
                 f"coverage arena {self.path} is closed; cannot append"
             )

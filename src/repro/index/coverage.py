@@ -188,7 +188,10 @@ class CoverageView(AbstractSet):
             if other is self:
                 return self.count
             mine, theirs = self._packed_bits(), other._packed_bits()
-            if mine is not None and theirs is not None:
+            # Equal lengths only: views from different stores (e.g. a shared
+            # base and a tenant overlay) may pack against different universe
+            # sizes — fall back to the merge path rather than misalign bits.
+            if mine is not None and theirs is not None and mine.size == theirs.size:
                 return _popcount(np.bitwise_and(mine, theirs))
             a, b = self._ids, other._ids
         else:
@@ -622,6 +625,31 @@ class CoverageStore:
         if self._arena is not None:
             self._arena.flush()
 
+    def close(self) -> None:
+        """Release the backing arena and the bitset cache. Idempotent.
+
+        Interned views stay readable (they hold their own reference to the
+        arena's memory map), but the store stops pinning the mapping and the
+        file handle — the half of the strict-unlink contract the store owns.
+        The memory backend only drops its bitset cache.
+        """
+        if self._arena is not None:
+            self._arena.close()
+        self._bitset_cache.clear()
+        self._bitset_cache_bytes = 0
+
+    def find(self, ids: IdsLike) -> Optional[CoverageView]:
+        """The interned view for ``ids`` if one exists, else None (no intern).
+
+        The read-only half of :meth:`intern`: overlay stores probe their
+        shared base with this before falling back to a tenant-local intern.
+        """
+        if isinstance(ids, CoverageView) and ids.store is self:
+            return ids
+        array = _as_sorted_ids(ids)
+        slot = self._by_key.get(self._key_of(array))
+        return self._views[slot] if slot is not None else None
+
     def to_state(self, bundle, prefix: str = "coverage/") -> Dict[str, object]:
         """Serialize the interned coverages.
 
@@ -651,6 +679,7 @@ class CoverageStore:
                     "digest": self._arena.digest,
                     "num_interned": self._arena.num_interned,
                     "num_values": self._arena.num_values,
+                    "read_only": self._arena.read_only,
                 },
             }
         views = self._views
@@ -694,6 +723,12 @@ class CoverageStore:
                 state reference, not the config.
         """
         backend = state.get("backend", "memory")
+        if backend == "overlay":
+            from .overlay import OverlayCoverageStore
+
+            return OverlayCoverageStore.from_state(
+                state, bundle, arena_config=arena_config
+            )
         if backend == "arena":
             reference = state.get("arena")
             if not isinstance(reference, dict) or not reference.get("path"):
@@ -701,7 +736,9 @@ class CoverageStore:
                     "arena-backed coverage state records no arena reference"
                 )
             arena = CoverageArena.open(
-                str(reference["path"]), expected_digest=reference.get("digest")
+                str(reference["path"]),
+                expected_digest=reference.get("digest"),
+                read_only=bool(reference.get("read_only", False)),
             )
             store = cls(
                 universe_size=int(state.get("universe_size", 0)),

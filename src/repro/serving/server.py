@@ -1,0 +1,147 @@
+"""The serve loop: N tenants multiplexed on one asyncio event loop.
+
+Each tenant gets its own :class:`~repro.crowd.CrowdCoordinator` (per-tenant
+tickets, votes, batching) and its own simulated annotators; the event loop
+interleaves all of them, so K annotators × N tenants think times overlap
+while every coordinator's bookkeeping stays serial. This is deliberately the
+same worker coroutine the single-tenant crowd runner uses
+(:func:`repro.crowd.drive_crowd`) — the serving layer adds tenancy, not a
+second concurrency model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import CrowdConfig
+from ..core.oracle import Oracle
+from ..crowd.coordinator import CrowdCoordinator, CrowdResult
+from ..crowd.runner import drive_crowd, simulated_annotators
+from ..errors import ConfigurationError
+from .pool import Tenant, TenantPool
+
+
+@dataclass
+class TenantServeResult:
+    """One tenant's outcome from a serve run.
+
+    Attributes:
+        tenant_id: The tenant the result belongs to.
+        crowd: Coordinator statistics plus the underlying Darwin result.
+        overlay_interned: Coverages the tenant added to its overlay store.
+        resident_bytes: The tenant's marginal heap residency after the run.
+    """
+
+    tenant_id: str
+    crowd: CrowdResult
+    overlay_interned: int
+    resident_bytes: int
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of serving several tenants concurrently.
+
+    Attributes:
+        results: Per-tenant results keyed by tenant id.
+        wall_seconds: Wall-clock time of the multiplexed answering loop.
+        memory: The pool's shared-vs-tenant residency breakdown at the end.
+    """
+
+    results: Dict[str, TenantServeResult]
+    wall_seconds: float
+    memory: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def questions_committed(self) -> int:
+        """Committed questions summed over every tenant."""
+        return sum(r.crowd.questions_committed for r in self.results.values())
+
+    @property
+    def answers_per_sec(self) -> float:
+        """Committed answers per wall-clock second across the pool."""
+        return self.questions_committed / max(self.wall_seconds, 1e-9)
+
+
+async def serve_tenants(
+    pool: TenantPool,
+    crowd_config: Optional[CrowdConfig] = None,
+    tenants: Optional[Sequence[Tenant]] = None,
+    annotators_for: Optional[Dict[str, Sequence[Oracle]]] = None,
+) -> ServeReport:
+    """Drive every given tenant's crowd session concurrently; await-able.
+
+    Args:
+        pool: The pool whose tenants are served.
+        crowd_config: Crowd parameters applied to every tenant.
+        tenants: Tenants to serve (default: all live tenants). Unstarted
+            tenants are seeded from their engine's default seeds.
+        annotators_for: Optional per-tenant oracle lists keyed by tenant id
+            (default: :func:`simulated_annotators` per tenant, so every
+            tenant sees an identically-seeded crowd).
+    """
+    config = crowd_config or CrowdConfig()
+    chosen = list(tenants) if tenants is not None else list(pool.tenants.values())
+    if not chosen:
+        raise ConfigurationError("no tenants to serve; spawn some first")
+    coordinators: List[CrowdCoordinator] = []
+    crews: List[Sequence[Oracle]] = []
+    for tenant in chosen:
+        if not tenant.started:
+            tenant.start()
+        coordinators.append(CrowdCoordinator(tenant.darwin, config))
+        crew = (annotators_for or {}).get(tenant.tenant_id)
+        if crew is None:
+            crew = simulated_annotators(pool.corpus, config)
+        elif len(crew) != config.num_annotators:
+            raise ConfigurationError(
+                f"tenant {tenant.tenant_id!r} got {len(crew)} annotators for "
+                f"num_annotators={config.num_annotators}"
+            )
+        crews.append(crew)
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            drive_crowd(coordinator, crew, config)
+            for coordinator, crew in zip(coordinators, crews)
+        )
+    )
+    wall_seconds = time.perf_counter() - start
+    results = {
+        tenant.tenant_id: TenantServeResult(
+            tenant_id=tenant.tenant_id,
+            crowd=coordinator.result(),
+            overlay_interned=tenant.store.num_overlay_interned,
+            resident_bytes=tenant.resident_bytes(),
+        )
+        for tenant, coordinator in zip(chosen, coordinators)
+    }
+    return ServeReport(
+        results=results, wall_seconds=wall_seconds, memory=pool.memory_stats()
+    )
+
+
+def serve(
+    pool: TenantPool,
+    num_tenants: Optional[int] = None,
+    crowd_config: Optional[CrowdConfig] = None,
+) -> ServeReport:
+    """Spawn (if needed) and serve tenants to completion; blocking wrapper.
+
+    Args:
+        pool: The pool to serve from.
+        num_tenants: Serve (at least) this many tenants, topping the pool up
+            with default-seeded spawns when it holds fewer. A pool that
+            already holds more keeps them all — serving never evicts.
+        crowd_config: Crowd parameters applied to every tenant.
+    """
+    if num_tenants and pool.num_tenants < num_tenants:
+        pool.spawn_many(num_tenants - pool.num_tenants)
+    if not pool.num_tenants:
+        raise ConfigurationError(
+            "pool has no tenants; pass num_tenants or spawn() first"
+        )
+    return asyncio.run(serve_tenants(pool, crowd_config=crowd_config))

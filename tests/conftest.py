@@ -3,6 +3,14 @@
 Fixtures are intentionally small (hundreds of sentences at most) so the full
 suite runs in well under a minute; the benchmark harness exercises the larger
 configurations.
+
+Cross-backend matrix: the session-parametrized :func:`coverage_backend`
+fixture runs every test that (directly or transitively) depends on it once
+per coverage backend — ``memory`` and ``arena``. The core Darwin, engine, and
+crowd suites request it through :func:`backend_directions_index` /
+:func:`backend_index_spec`, so a behavioural difference between the heap and
+mmap coverage layers fails those suites instead of hiding until someone runs
+``tests/test_arena.py``.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from repro.classifier.features import SentenceFeaturizer
 from repro.config import ClassifierConfig, DarwinConfig
 from repro.datasets import load_dataset
 from repro.grammars import TokensRegexGrammar, TreeMatchGrammar
-from repro.index import CorpusIndex
+from repro.index import ArenaConfig, CorpusIndex
 from repro.text import Corpus
 
 EXAMPLE1_TEXTS = [
@@ -85,3 +93,53 @@ def fast_config() -> DarwinConfig:
         min_coverage=2,
         classifier=ClassifierConfig(epochs=25, embedding_dim=30),
     )
+
+
+@pytest.fixture(scope="session", params=["memory", "arena"])
+def coverage_backend(request) -> str:
+    """The coverage backend under test (the cross-backend matrix axis)."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def backend_directions_index(
+    directions_corpus, coverage_backend, tmp_path_factory
+) -> CorpusIndex:
+    """The small directions index, built on the matrixed coverage backend.
+
+    Identical to :func:`directions_index` for ``memory``; the ``arena``
+    variant spills its columns to a session-temporary mmap file. Suites that
+    must run on both backends take this fixture instead of
+    ``directions_index``.
+    """
+    grammar = TokensRegexGrammar(max_phrase_len=4)
+    if coverage_backend == "memory":
+        return CorpusIndex.build(
+            directions_corpus, [grammar], max_depth=10, min_coverage=2
+        )
+    path = tmp_path_factory.mktemp("coverage-arena") / "directions.arena"
+    return CorpusIndex.build(
+        directions_corpus, [grammar], max_depth=10, min_coverage=2,
+        coverage_backend="arena", arena_config=ArenaConfig(path=str(path)),
+    )
+
+
+@pytest.fixture()
+def backend_index_spec(coverage_backend, tmp_path):
+    """A fresh ``IndexConfig`` mapping for engine config dicts, per backend.
+
+    A factory so one test can build several engines without them truncating
+    each other's arena file: every call allocates a distinct path.
+    """
+    counter = {"n": 0}
+
+    def make() -> dict:
+        if coverage_backend == "memory":
+            return {"coverage_backend": "memory"}
+        counter["n"] += 1
+        return {
+            "coverage_backend": "arena",
+            "arena_path": str(tmp_path / f"matrix-{counter['n']}.arena"),
+        }
+
+    return make

@@ -1,5 +1,10 @@
 """Tests for the declarative engine API: registries, config construction,
-checkpoint/resume state protocol, and the parallel index build."""
+checkpoint/resume state protocol, and the parallel index build.
+
+The construction and checkpoint/resume suites run on both coverage backends
+(memory and arena) through the shared ``backend_index_spec`` conftest
+fixture, so the replay guarantee is enforced per backend instead of only on
+the heap layout."""
 
 from __future__ import annotations
 
@@ -107,10 +112,10 @@ class TestConfigNames:
 
 
 class TestFromConfig:
-    def test_builds_and_runs_without_class_imports(self):
-        engine = DarwinEngine.from_config(engine_spec("directions",
-                                                      "best way to get to",
-                                                      budget=5))
+    def test_builds_and_runs_without_class_imports(self, backend_index_spec):
+        spec = engine_spec("directions", "best way to get to", budget=5)
+        spec["config"]["index"] = backend_index_spec()
+        engine = DarwinEngine.from_config(spec)
         result = engine.run()
         assert result.queries_used == 5
         assert engine.questions_asked == 5
@@ -148,11 +153,16 @@ class TestFromConfig:
 )
 class TestCheckpointResume:
     def test_resume_is_question_for_question_identical(
-        self, tmp_path, dataset, seed_rule
+        self, tmp_path, dataset, seed_rule, backend_index_spec
     ):
         spec = engine_spec(dataset, seed_rule, budget=12)
+        spec["config"]["index"] = backend_index_spec()
         straight = DarwinEngine.from_config(spec).run()
 
+        # A fresh index spec per engine: two engines must never build over
+        # (and truncate) one another's arena file.
+        spec = engine_spec(dataset, seed_rule, budget=12)
+        spec["config"]["index"] = backend_index_spec()
         interrupted = DarwinEngine.from_config(spec)
         interrupted.run(budget=6)
         path = interrupted.save(str(tmp_path / "mid.npz"))
@@ -166,25 +176,31 @@ class TestCheckpointResume:
         assert result.covered_ids == straight.covered_ids
 
     def test_resume_identical_with_stochastic_oracle(
-        self, tmp_path, dataset, seed_rule
+        self, tmp_path, dataset, seed_rule, backend_index_spec
     ):
         # The replay guarantee must hold for noisy oracles too: the oracle's
         # RNG stream is checkpointed and resumed mid-stream, not re-seeded.
-        spec = engine_spec(dataset, seed_rule, budget=12)
-        spec["config"]["oracle"] = "noisy_ground_truth"
-        spec["oracle_options"] = {"flip_prob": 0.3, "seed": 11}
+        def noisy_spec() -> dict:
+            spec = engine_spec(dataset, seed_rule, budget=12)
+            spec["config"]["index"] = backend_index_spec()
+            spec["config"]["oracle"] = "noisy_ground_truth"
+            spec["oracle_options"] = {"flip_prob": 0.3, "seed": 11}
+            return spec
 
-        straight = DarwinEngine.from_config(spec).run()
+        straight = DarwinEngine.from_config(noisy_spec()).run()
 
-        interrupted = DarwinEngine.from_config(spec)
+        interrupted = DarwinEngine.from_config(noisy_spec())
         interrupted.run(budget=7)
         path = interrupted.save(str(tmp_path / "noisy.npz"))
         resumed = DarwinEngine.load(path).run(budget=12)
 
         assert resumed.history == straight.history
 
-    def test_restored_engine_state_matches(self, tmp_path, dataset, seed_rule):
+    def test_restored_engine_state_matches(
+        self, tmp_path, dataset, seed_rule, backend_index_spec
+    ):
         spec = engine_spec(dataset, seed_rule, budget=12)
+        spec["config"]["index"] = backend_index_spec()
         engine = DarwinEngine.from_config(spec)
         engine.run(budget=6)
         path = engine.save(str(tmp_path / "mid.npz"))
