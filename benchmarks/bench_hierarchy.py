@@ -1,0 +1,241 @@
+"""Hierarchy/benefit kernel benchmark (interval-encoded node table PR).
+
+Measures, at 10k / 50k synthetic sentences, the three hierarchy-side hot
+paths that the node-table refactor turned into batched kernels:
+
+* **build** — ``build_hierarchy`` over ``num_candidates`` generated rules
+  (edge discovery + the first interval numbering),
+* **cleanup** — the batched one-pass ``RuleHierarchy.cleanup`` (one fused
+  ``batched_new_counts`` probe + one reconnection sweep) against the
+  pre-refactor sequential path (per-rule mask probe + per-rule ``remove()``
+  with O(parents×children) re-linking),
+* **benefit sweep** — the per-propose gain filter over every live candidate:
+  ``prime_new_counts`` (one concatenated mask gather) + cached ``new_count``
+  reads, against one ``overlap_with`` mask probe per rule per propose.
+
+Both arms of each pair run in the same process on the same inputs, and the
+gated metrics are the in-run speedups plus exact-equivalence booleans
+(survivor sets and counts must match), so the thresholds are machine-relative.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_hierarchy.py [--sizes 10000 50000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.benefit import BenefitScorer
+from repro.core.candidates import CandidateOptions, generate_candidates
+from repro.core.hierarchy_builder import build_hierarchy
+from repro.datasets import load_dataset
+from repro.grammars.tokensregex import TokensRegexGrammar
+from repro.index.hierarchy import RuleHierarchy
+from repro.index.trie_index import CorpusIndex
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_hierarchy.json"
+
+
+def _time(fn, repeats: int = 5) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+# --------------------------------------------------------------------- legacy
+def legacy_cleanup(hierarchy: RuleHierarchy, covered_ids) -> int:
+    """Pre-refactor cleanup: per-rule gain probe + sequential ``remove()``."""
+    if isinstance(covered_ids, np.ndarray) and covered_ids.dtype == np.bool_:
+        mask, covered_set = covered_ids, set()
+    else:
+        mask, covered_set = None, set(covered_ids)
+
+    def has_gain(rule) -> bool:
+        view = rule.coverage_view
+        if view is not None:
+            if mask is not None:
+                return bool(view.new_ids_given(mask).size)
+            return view.count > view.intersect_count(covered_set)
+        if mask is not None:
+            return any(
+                sid >= mask.size or not mask[sid] for sid in rule.coverage
+            )
+        return bool(set(rule.coverage) - covered_set)
+
+    removable = [rule for rule in hierarchy._nodes if not has_gain(rule)]
+    for rule in removable:
+        hierarchy.remove(rule)
+    return len(removable)
+
+
+def legacy_benefit_sweep(scorer: BenefitScorer, rules) -> List[int]:
+    """Pre-refactor gain filter: one cached per-rule probe per propose.
+
+    ``invalidate()`` first puts the scorer in the post-retrain cold state, so
+    every ``new_count`` pays its per-rule ``overlap_with`` mask probe — exactly
+    what the gain filter cost before ``prime_new_counts`` existed.
+    """
+    scorer.invalidate()
+    return [scorer.new_count(rule) for rule in rules]
+
+
+def _clone_hierarchy(rules, edges) -> RuleHierarchy:
+    hierarchy = RuleHierarchy()
+    for rule in rules:
+        hierarchy.add(rule)
+    for parent, child in edges:
+        hierarchy.add_edge(parent, child)
+    return hierarchy
+
+
+# ------------------------------------------------------------------ measures
+def measure_scale(num_sentences: int, num_candidates: int) -> Dict[str, object]:
+    corpus = load_dataset("directions", num_sentences=num_sentences, seed=7)
+    grammar = TokensRegexGrammar(max_phrase_len=4)
+    index = CorpusIndex.build(corpus, [grammar], max_depth=10, min_coverage=2)
+
+    positives = sorted(corpus.positive_ids())
+    seed_positives = set(positives[: max(10, len(positives) // 5)])
+    options = CandidateOptions(num_candidates=num_candidates, min_coverage=2)
+    candidates = generate_candidates(index, seed_positives, options)
+
+    # --- hierarchy build (includes the first interval numbering) ------------
+    build_s = _time(
+        lambda: build_hierarchy(candidates, index=index, covered_ids=set()),
+        repeats=3,
+    )
+    base = build_hierarchy(candidates, index=index, covered_ids=set())
+    edges = [
+        (parent, child)
+        for parent in base.rules()
+        for child in base.children(parent)
+    ]
+    rules = base.rules()
+
+    # Covered mask mimicking a mid-run state: union of the few largest
+    # coverages, so cleanup has real work (some rules die, most survive).
+    mask = np.zeros(num_sentences, dtype=bool)
+    for rule in sorted(rules, key=lambda r: -r.coverage_size)[:5]:
+        mask[np.asarray(list(rule.coverage), dtype=np.int64)] = True
+
+    # --- cleanup: batched one-pass vs sequential remove() -------------------
+    def run_new_cleanup():
+        hierarchy = _clone_hierarchy(rules, edges)
+        start = time.perf_counter()
+        removed = hierarchy.cleanup(mask)
+        return time.perf_counter() - start, removed, hierarchy
+
+    def run_legacy_cleanup():
+        hierarchy = _clone_hierarchy(rules, edges)
+        start = time.perf_counter()
+        removed = legacy_cleanup(hierarchy, mask)
+        return time.perf_counter() - start, removed, hierarchy
+
+    new_samples, legacy_samples = [], []
+    for _ in range(5):
+        elapsed, new_removed, new_hierarchy = run_new_cleanup()
+        new_samples.append(elapsed)
+        elapsed, legacy_removed, legacy_hierarchy = run_legacy_cleanup()
+        legacy_samples.append(elapsed)
+    survivors_match = (
+        new_removed == legacy_removed
+        and set(new_hierarchy.rules()) == set(legacy_hierarchy.rules())
+        and all(
+            set(new_hierarchy.children(rule)) == set(legacy_hierarchy.children(rule))
+            for rule in new_hierarchy.rules()
+        )
+    )
+    cleanup_new_s = statistics.median(new_samples)
+    cleanup_legacy_s = statistics.median(legacy_samples)
+
+    # --- per-propose benefit sweep over all live candidates -----------------
+    scores = np.linspace(0.0, 1.0, num_sentences)
+    covered = set(np.flatnonzero(mask).tolist())
+    scorer = BenefitScorer(scores, covered)
+
+    def new_sweep() -> List[int]:
+        # invalidate() puts the scorer in the post-retrain cold state; the
+        # sweep itself is what every propose step pays after that.
+        scorer.invalidate()
+        scorer.prime_new_counts(rules)
+        return [scorer.new_count(rule) for rule in rules]
+
+    benefit_new_s = _time(new_sweep)
+    benefit_legacy_s = _time(lambda: legacy_benefit_sweep(scorer, rules))
+    counts_match = new_sweep() == legacy_benefit_sweep(scorer, rules)
+
+    return {
+        "num_sentences": num_sentences,
+        "hierarchy": {
+            "num_rules": len(rules),
+            "num_edges": len(edges),
+            "build_ms": round(1000 * build_s, 4),
+            "removed_by_cleanup": int(new_removed),
+        },
+        "cleanup": {
+            "new_ms": round(1000 * cleanup_new_s, 4),
+            "legacy_ms": round(1000 * cleanup_legacy_s, 4),
+            "speedup": round(cleanup_legacy_s / max(cleanup_new_s, 1e-9), 2),
+            "survivors_match": bool(survivors_match),
+        },
+        "benefit_sweep": {
+            "new_ms": round(1000 * benefit_new_s, 4),
+            "legacy_ms": round(1000 * benefit_legacy_s, 4),
+            "speedup": round(benefit_legacy_s / max(benefit_new_s, 1e-9), 2),
+            "counts_match": bool(counts_match),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10000, 50000],
+        help="corpus sizes (sentences) to measure",
+    )
+    parser.add_argument("--candidates", type=int, default=2000,
+                        help="candidate pool size for hierarchy construction")
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    args = parser.parse_args()
+
+    results: List[Dict[str, object]] = []
+    for size in args.sizes:
+        print(f"== {size} sentences ==")
+        entry = measure_scale(size, num_candidates=args.candidates)
+        results.append(entry)
+        hierarchy = entry["hierarchy"]
+        cleanup = entry["cleanup"]
+        sweep = entry["benefit_sweep"]
+        print(f"  hierarchy build : {hierarchy['build_ms']:.1f}ms "
+              f"({hierarchy['num_rules']} rules, {hierarchy['num_edges']} edges)")
+        print(f"  cleanup         : {cleanup['new_ms']:.2f}ms vs "
+              f"{cleanup['legacy_ms']:.2f}ms legacy  ({cleanup['speedup']}x, "
+              f"match={cleanup['survivors_match']})")
+        print(f"  benefit sweep   : {sweep['new_ms']:.3f}ms vs "
+              f"{sweep['legacy_ms']:.3f}ms legacy  ({sweep['speedup']}x, "
+              f"match={sweep['counts_match']})")
+
+    payload = {
+        "benchmark": "bench_hierarchy",
+        "dataset": "directions",
+        "num_candidates": args.candidates,
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,15 @@ HEADLINES: Dict[str, Dict[str, List[Headline]]] = {
         ],
         "top_level": [],
     },
+    "bench_hierarchy": {
+        "per_size": [
+            ("cleanup.speedup", "higher"),
+            ("cleanup.survivors_match", "true"),
+            ("benefit_sweep.speedup", "higher"),
+            ("benefit_sweep.counts_match", "true"),
+        ],
+        "top_level": [],
+    },
     "bench_crowd": {
         "per_size": [],
         "top_level": [

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..index.coverage import batched_new_counts
 from ..rules.heuristic import LabelingHeuristic
 
 
@@ -122,6 +123,34 @@ class BenefitScorer:
                 count = sum(1 for sid in rule.coverage if sid not in self._covered)
         self._count_cache[key] = count
         return count
+
+    def prime_new_counts(self, rules: Iterable[LabelingHeuristic]) -> None:
+        """Batch-fill the :meth:`new_count` cache for view-backed rules.
+
+        One fused kernel (:func:`~repro.index.coverage.batched_new_counts`)
+        computes ``|C_r \\ P|`` for **all** uncached live candidates at once,
+        so a propose step pays one concatenated mask gather per version
+        instead of one probe per rule. Per-rule :meth:`new_count` then reads
+        the cache; frozenset-backed rules keep the per-rule path.
+        """
+        pending: List[object] = []
+        keys: List[object] = []
+        cache = self._count_cache
+        seen: Set[object] = set()
+        for rule in rules:
+            view = rule.coverage_view
+            if view is None:
+                continue
+            key = (id(view), True)
+            if key in cache or key in seen:
+                continue
+            seen.add(key)
+            pending.append(view)
+            keys.append(key)
+        if not pending:
+            return
+        counts = batched_new_counts(pending, self._covered_mask)
+        cache.update(zip(keys, counts.tolist()))
 
     def _cache_key(self, rule: LabelingHeuristic) -> object:
         view = rule.coverage_view

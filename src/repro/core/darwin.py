@@ -29,6 +29,7 @@ from ..config import DEFAULT_CONFIG, DarwinConfig
 from ..errors import BudgetExhaustedError, ConfigurationError
 from ..grammars.base import HeuristicGrammar
 from ..grammars.tokensregex import TokensRegexGrammar
+from ..index.coverage import batched_overlap_counts
 from ..index.hierarchy import RuleHierarchy
 from ..index.trie_index import CorpusIndex
 from ..rules.heuristic import LabelingHeuristic
@@ -335,7 +336,20 @@ class Darwin:
         # skip coverage-duplicates of existing candidates (diversity), and
         # never grow the hierarchy past num_candidates.
         positives_mask = self.benefit.covered_mask if self.benefit is not None else None
+        overlaps: Dict[LabelingHeuristic, int] = {}
+        if positives_mask is not None:
+            # One fused kernel over every view-backed candidate instead of a
+            # mask probe per rule inside the sort key.
+            viewed = [r for r in candidates if r.coverage_view is not None]
+            if viewed:
+                counts = batched_overlap_counts(
+                    [r.coverage_view for r in viewed], positives_mask
+                )
+                overlaps = dict(zip(viewed, counts.tolist()))
         def overlap(rule: LabelingHeuristic) -> int:
+            cached = overlaps.get(rule)
+            if cached is not None:
+                return cached
             view = rule.coverage_view
             if view is not None and positives_mask is not None:
                 return view.overlap_with(positives_mask)

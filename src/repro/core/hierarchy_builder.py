@@ -92,6 +92,11 @@ def attach_candidates(
         for parent in parents:
             if parent.coverage_size >= rule.coverage_size:
                 hierarchy.add_edge(parent, rule)
+    if added:
+        # Renumber the interval-encoded node table once per attach batch, so
+        # the refresh pays one vectorized rebuild here instead of a lazy one
+        # in the middle of the next traversal query.
+        hierarchy.node_table()
     return added
 
 

@@ -117,6 +117,9 @@ class TraversalStrategy(ABC):
         """
         candidates = self._unqueried(rules)
         if require_gain:
+            # One batched kernel over the whole pool; new_count() below is
+            # then a cache read per rule.
+            self.context.benefit.prime_new_counts(candidates)
             candidates = [
                 rule for rule in candidates if self.context.benefit.new_count(rule)
             ]
@@ -139,10 +142,10 @@ class TraversalStrategy(ABC):
         precise-looking rules the one with the larger total benefit wins —
         this keeps the fallback from collapsing into HighP's tiny-rule bias.
         """
+        unqueried = self._unqueried(rules)
+        self.context.benefit.prime_new_counts(unqueried)
         candidates = [
-            rule
-            for rule in self._unqueried(rules)
-            if self.context.benefit.new_count(rule)
+            rule for rule in unqueried if self.context.benefit.new_count(rule)
         ]
         if not candidates:
             return None

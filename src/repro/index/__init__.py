@@ -3,7 +3,13 @@ and the columnar coverage store backing all of them (with an optional
 memory-mapped arena backend for larger-than-memory coverage columns)."""
 
 from .arena import ArenaConfig, CoverageArena
-from .coverage import CoverageStore, CoverageView
+from .coverage import (
+    CoverageStore,
+    CoverageView,
+    batched_new_counts,
+    batched_overlap_counts,
+)
+from .nodetable import NodeTable, lexicographic_ranks
 from .overlay import OverlayCoverageStore
 from .sketch import DerivationSketch, build_sketch
 from .trie_index import CorpusIndex, IndexNode
@@ -14,6 +20,10 @@ __all__ = [
     "CoverageArena",
     "CoverageStore",
     "CoverageView",
+    "batched_new_counts",
+    "batched_overlap_counts",
+    "NodeTable",
+    "lexicographic_ranks",
     "OverlayCoverageStore",
     "DerivationSketch",
     "build_sketch",

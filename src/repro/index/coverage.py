@@ -817,3 +817,51 @@ def membership_mask(ids: IdsLike, size: int) -> np.ndarray:
     if array.size:
         mask[array] = True
     return mask
+
+
+def batched_overlap_counts(
+    views: Sequence[CoverageView], mask: np.ndarray
+) -> np.ndarray:
+    """``|C_i ∩ mask|`` for every view, as one fused kernel.
+
+    Equivalent to ``[v.overlap_with(mask) for v in views]`` — ids beyond the
+    mask length count as uncovered, matching :meth:`CoverageView.overlap_with`
+    — but the id arrays are concatenated once and probed with a single mask
+    gather, and the per-view counts fall out of a segmented prefix sum, so
+    there is no Python (and no per-view numpy dispatch) in the loop.
+    """
+    n = len(views)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    sizes = np.fromiter((view.count for view in views), dtype=np.int64, count=n)
+    if not int(sizes.sum()):
+        return np.zeros(n, dtype=np.int64)
+    all_ids = np.concatenate([view.ids for view in views])
+    if int(all_ids.max()) < mask.size:
+        covered = mask[all_ids]
+    else:
+        inside = all_ids < mask.size
+        covered = inside.copy()
+        covered[inside] = mask[all_ids[inside]]
+    # Segmented reduction: empty views contribute no boundary (reduceat would
+    # misread a repeated index), so reduce over the non-empty segments only.
+    ends = np.cumsum(sizes)
+    nonempty = sizes > 0
+    counts = np.zeros(n, dtype=np.int64)
+    counts[nonempty] = np.add.reduceat(
+        covered, (ends - sizes)[nonempty], dtype=np.int64
+    )
+    return counts
+
+
+def batched_new_counts(
+    views: Sequence[CoverageView], mask: np.ndarray
+) -> np.ndarray:
+    """``|C_i \\ mask|`` for every view (the batched ``new_count`` kernel).
+
+    Equivalent to ``[v.new_ids_given(mask).size for v in views]`` without
+    materializing any difference arrays.
+    """
+    n = len(views)
+    sizes = np.fromiter((view.count for view in views), dtype=np.int64, count=n)
+    return sizes - batched_overlap_counts(views, mask)

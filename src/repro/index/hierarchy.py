@@ -15,21 +15,39 @@ the traversal strategies:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..errors import TraversalError
 from ..rules.heuristic import LabelingHeuristic
+from .coverage import batched_new_counts
+from .nodetable import NodeTable, lexicographic_ranks
 
 
 class RuleHierarchy:
-    """A DAG of candidate labeling heuristics ordered by generality."""
+    """A DAG of candidate labeling heuristics ordered by generality.
+
+    Neighbourhood accessors (:meth:`parents`, :meth:`children`,
+    :meth:`roots`, :meth:`leaves`) return rules sorted by the stable node
+    rank — ``(coverage desc, render asc, insertion order)`` — never raw
+    set-iteration order, so traversal and checkpoints are order-stable
+    across Python hash seeds. Reachability queries run over an
+    interval-encoded :class:`~repro.index.nodetable.NodeTable` built lazily
+    from the current graph and invalidated on mutation.
+    """
 
     def __init__(self) -> None:
         self._nodes: Dict[LabelingHeuristic, None] = {}
         self._parents: Dict[LabelingHeuristic, Set[LabelingHeuristic]] = {}
         self._children: Dict[LabelingHeuristic, Set[LabelingHeuristic]] = {}
+        # Stable per-rule sort key: (-|C_r|, render, insertion index). The
+        # final component makes keys unique, so sorts are total orders.
+        self._sort_keys: Dict[LabelingHeuristic, Tuple[int, str, int]] = {}
+        self._insertions = 0
+        self._table: Optional[NodeTable] = None
+        self._table_rules: List[LabelingHeuristic] = []
+        self._table_positions: Dict[LabelingHeuristic, int] = {}
 
     # --------------------------------------------------------------- protocol
     def __len__(self) -> int:
@@ -51,6 +69,11 @@ class RuleHierarchy:
         self._nodes[rule] = None
         self._parents[rule] = set()
         self._children[rule] = set()
+        self._sort_keys[rule] = (
+            -rule.coverage_size, rule.render(), self._insertions
+        )
+        self._insertions += 1
+        self._table = None
         return True
 
     def add_edge(self, parent: LabelingHeuristic, child: LabelingHeuristic) -> None:
@@ -61,6 +84,7 @@ class RuleHierarchy:
             return
         self._children[parent].add(child)
         self._parents[child].add(parent)
+        self._table = None
 
     def remove(self, rule: LabelingHeuristic) -> None:
         """Remove ``rule``, reconnecting its children to its parents."""
@@ -69,6 +93,8 @@ class RuleHierarchy:
         parents = self._parents.pop(rule, set())
         children = self._children.pop(rule, set())
         del self._nodes[rule]
+        del self._sort_keys[rule]
+        self._table = None
         for parent in parents:
             self._children[parent].discard(rule)
         for child in children:
@@ -82,46 +108,82 @@ class RuleHierarchy:
         """All candidate rules currently in the hierarchy."""
         return list(self._nodes)
 
+    def _ordered(
+        self, rules: Iterable[LabelingHeuristic]
+    ) -> List[LabelingHeuristic]:
+        """Sort ``rules`` by the stable node rank (a total order)."""
+        return sorted(rules, key=self._sort_keys.__getitem__)
+
     def parents(self, rule: LabelingHeuristic) -> List[LabelingHeuristic]:
-        """Direct generalizations of ``rule`` within the hierarchy."""
-        return list(self._parents.get(rule, set()))
+        """Direct generalizations of ``rule``, in stable rank order."""
+        return self._ordered(self._parents.get(rule, set()))
 
     def children(self, rule: LabelingHeuristic) -> List[LabelingHeuristic]:
-        """Direct specializations of ``rule`` within the hierarchy."""
-        return list(self._children.get(rule, set()))
+        """Direct specializations of ``rule``, in stable rank order."""
+        return self._ordered(self._children.get(rule, set()))
 
     def roots(self) -> List[LabelingHeuristic]:
-        """Rules with no parents (the most general candidates)."""
-        return [rule for rule in self._nodes if not self._parents[rule]]
+        """Rules with no parents (most general), in stable rank order."""
+        return self._ordered(
+            rule for rule in self._nodes if not self._parents[rule]
+        )
 
     def leaves(self) -> List[LabelingHeuristic]:
-        """Rules with no children (the most specific candidates)."""
-        return [rule for rule in self._nodes if not self._children[rule]]
+        """Rules with no children (most specific), in stable rank order."""
+        return self._ordered(
+            rule for rule in self._nodes if not self._children[rule]
+        )
+
+    # ------------------------------------------------------------- node table
+    def node_table(self) -> NodeTable:
+        """The interval-encoded node table over the current graph.
+
+        Built lazily (one vectorized pass) and invalidated by any mutation;
+        between mutations every reachability query is a window sweep over
+        the same table.
+        """
+        if self._table is None:
+            self._rebuild_table()
+        return self._table
+
+    def _rebuild_table(self) -> None:
+        rules = list(self._nodes)
+        positions = {rule: position for position, rule in enumerate(rules)}
+        counts = np.fromiter(
+            (rule.coverage_size for rule in rules),
+            dtype=np.int64,
+            count=len(rules),
+        )
+        # Renders are cached in the sort keys; lexsort ties fall back to
+        # insertion order, matching the third sort-key component.
+        ranks = lexicographic_ranks(
+            counts, [self._sort_keys[rule][1] for rule in rules]
+        )
+        edges = [
+            (positions[parent], positions[child])
+            for child, parent_set in self._parents.items()
+            for parent in parent_set
+        ]
+        self._table = NodeTable.build(len(rules), edges, counts=counts, ranks=ranks)
+        self._table_rules = rules
+        self._table_positions = positions
 
     # ---------------------------------------------------------------- queries
     def descendants(self, rule: LabelingHeuristic) -> Set[LabelingHeuristic]:
         """All rules reachable downward from ``rule`` (excluding itself)."""
-        result: Set[LabelingHeuristic] = set()
-        frontier = list(self._children.get(rule, set()))
-        while frontier:
-            node = frontier.pop()
-            if node in result:
-                continue
-            result.add(node)
-            frontier.extend(self._children.get(node, set()))
-        return result
+        if rule not in self._nodes:
+            return set()
+        table = self.node_table()
+        positions = table.descendants_of(self._table_positions[rule])
+        return {self._table_rules[i] for i in positions.tolist()}
 
     def ancestors(self, rule: LabelingHeuristic) -> Set[LabelingHeuristic]:
         """All rules reachable upward from ``rule`` (excluding itself)."""
-        result: Set[LabelingHeuristic] = set()
-        frontier = list(self._parents.get(rule, set()))
-        while frontier:
-            node = frontier.pop()
-            if node in result:
-                continue
-            result.add(node)
-            frontier.extend(self._parents.get(node, set()))
-        return result
+        if rule not in self._nodes:
+            return set()
+        table = self.node_table()
+        positions = table.ancestors_of(self._table_positions[rule])
+        return {self._table_rules[i] for i in positions.tolist()}
 
     def is_consistent(self) -> bool:
         """True if every edge goes from larger to smaller-or-equal coverage."""
@@ -138,8 +200,16 @@ class RuleHierarchy:
         Accepts a set of sentence ids or a boolean coverage mask. Returns the
         number of removed rules. Mirrors the paper's cleanup step: the
         traversal will never query a heuristic that cannot add new positives.
-        Rules backed by interned coverage views are tested with one vectorized
-        mask probe instead of materializing a set difference.
+
+        All interned-view rules are tested with **one** batched mask kernel
+        (:func:`~repro.index.coverage.batched_new_counts`), and the removals
+        are applied in a single pass (:meth:`_remove_batch`) instead of
+        per-rule :meth:`remove` calls — sequential removal re-linked
+        O(parents×children) edges per removed rule and transiently
+        resurrected edges between rules that were about to be removed
+        anyway. The surviving graph is identical (an edge ``p → q`` appears
+        exactly when the original graph had a ``p → … → q`` path through
+        removed rules only), without the churn.
         """
         if isinstance(covered_ids, np.ndarray) and covered_ids.dtype == np.bool_:
             mask: Optional[np.ndarray] = covered_ids
@@ -148,22 +218,97 @@ class RuleHierarchy:
             mask = None
             covered_set = set(covered_ids)
 
-        def has_gain(rule: LabelingHeuristic) -> bool:
+        removable: List[LabelingHeuristic] = []
+        batched: List[LabelingHeuristic] = []
+        for rule in self._nodes:
             view = rule.coverage_view
             if view is not None:
                 if mask is not None:
-                    return bool(view.new_ids_given(mask).size)
-                return view.count > view.intersect_count(covered_set)
-            if mask is not None:
-                return any(
+                    batched.append(rule)
+                elif view.count <= view.intersect_count(covered_set):
+                    removable.append(rule)
+            elif mask is not None:
+                if not any(
                     sid >= mask.size or not mask[sid] for sid in rule.coverage
-                )
-            return bool(set(rule.coverage) - covered_set)
-
-        removable = [rule for rule in self._nodes if not has_gain(rule)]
-        for rule in removable:
-            self.remove(rule)
+                ):
+                    removable.append(rule)
+            elif not (set(rule.coverage) - covered_set):
+                removable.append(rule)
+        if batched:
+            new_counts = batched_new_counts(
+                [rule.coverage_view for rule in batched], mask
+            )
+            removable.extend(
+                rule for rule, new in zip(batched, new_counts.tolist()) if not new
+            )
+        self._remove_batch(removable)
         return len(removable)
+
+    def _remove_batch(self, removable: List[LabelingHeuristic]) -> None:
+        """Remove many rules in one pass, preserving surviving reachability.
+
+        Equivalent to calling :meth:`remove` for each rule in any order: a
+        surviving child is connected to every surviving ancestor reachable
+        through removed-only paths, computed once per removed rule with a
+        memoized upward sweep.
+        """
+        if not removable:
+            return
+        removed = set(removable)
+        # memo[r] = surviving parents of removed rule r, looking upward
+        # through removed-only paths. Iterative post-order (no recursion).
+        memo: Dict[LabelingHeuristic, Set[LabelingHeuristic]] = {}
+
+        def surviving_parents(rule: LabelingHeuristic) -> Set[LabelingHeuristic]:
+            stack = [rule]
+            while stack:
+                node = stack[-1]
+                if node in memo:
+                    stack.pop()
+                    continue
+                pending = [
+                    parent
+                    for parent in self._parents[node]
+                    if parent in removed and parent not in memo
+                ]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                out: Set[LabelingHeuristic] = set()
+                for parent in self._parents[node]:
+                    if parent in removed:
+                        out |= memo[parent]
+                    else:
+                        out.add(parent)
+                memo[node] = out
+                stack.pop()
+            return memo[rule]
+
+        new_edges: List[Tuple[LabelingHeuristic, LabelingHeuristic]] = []
+        affected: Set[LabelingHeuristic] = set()
+        for rule in removable:
+            affected |= self._parents[rule]
+            affected |= self._children[rule]
+            survivors = [
+                child for child in self._children[rule] if child not in removed
+            ]
+            if not survivors:
+                continue
+            for parent in surviving_parents(rule):
+                for child in survivors:
+                    new_edges.append((parent, child))
+        for rule in removable:
+            del self._nodes[rule]
+            del self._parents[rule]
+            del self._children[rule]
+            del self._sort_keys[rule]
+        for rule in affected - removed:
+            self._parents[rule] -= removed
+            self._children[rule] -= removed
+        for parent, child in new_edges:
+            self._children[parent].add(child)
+            self._parents[child].add(parent)
+        self._table = None
 
     # ------------------------------------------------------- state protocol
     def to_state(self) -> Dict[str, object]:
@@ -270,19 +415,42 @@ class RuleHierarchy:
         return hierarchy
 
     def _remove_transitive_edges(self) -> None:
-        """Keep only direct edges: drop parent->child if a path via another node exists."""
-        for parent in list(self._nodes):
-            children = list(self._children.get(parent, set()))
-            for child in children:
-                intermediate_exists = any(
-                    other != child
-                    and other != parent
-                    and child in self.descendants(other)
-                    for other in self._children.get(parent, set())
-                )
-                if intermediate_exists:
+        """Keep only direct edges: drop parent->child if a path via another node exists.
+
+        The transitive reduction of a DAG is unique and removing a transitive
+        edge never changes reachability, so descendant sets are computed
+        **once** from the node table (memoized per node) instead of being
+        re-derived from the mutating graph inside the edge loop.
+        """
+        table = self.node_table()
+        rules = self._table_rules
+        positions = self._table_positions
+        desc_cache: Dict[int, Set[int]] = {}
+
+        def descendant_positions(position: int) -> Set[int]:
+            cached = desc_cache.get(position)
+            if cached is None:
+                cached = set(table.descendants_of(position).tolist())
+                desc_cache[position] = cached
+            return cached
+
+        mutated = False
+        for parent in rules:
+            children = self._children.get(parent, set())
+            if len(children) < 2:
+                continue
+            child_positions = [positions[child] for child in children]
+            reachable: Set[int] = set()
+            for position in child_positions:
+                reachable |= descendant_positions(position)
+            for position in child_positions:
+                if position in reachable:
+                    child = rules[position]
                     self._children[parent].discard(child)
                     self._parents[child].discard(parent)
+                    mutated = True
+        if mutated:
+            self._table = None
 
     def __repr__(self) -> str:
         edges = sum(len(kids) for kids in self._children.values())

@@ -1,0 +1,400 @@
+"""Interval-encoded node tables (the XPath-accelerator layout).
+
+Both the corpus index and the rule hierarchy are DAGs whose hot queries used
+to be answered by chasing Python dict-of-set adjacency per node: ranking by
+overlap re-sorted keys with a Python comparator, ancestor/descendant tests
+walked frontiers of hash sets, and cleanup probed each rule individually.
+This module packs every node into **contiguous ndarray columns** and numbers
+it with a pre/post-order interval encoding, the classic XPath-accelerator
+trick: in a forest, ``v`` is an ancestor of ``w`` exactly when
+
+    pre[v] < pre[w]  and  post[w] <= post[v]
+
+— two integer comparisons — and the descendants of ``v`` are the contiguous
+window ``order_by_pre[pre[v]+1 : post[v]+1]``, a slice instead of a
+traversal. General DAGs (a node may have several generalization parents) keep
+a spanning-forest encoding plus CSR adjacency; reachability then runs as a
+batched frontier sweep over the CSR arrays — still no per-node Python objects
+in the loop.
+
+Columns
+-------
+
+``pre``/``post``
+    Spanning-forest interval encoding. ``pre`` is the DFS entry number
+    (0-based, dense); ``post[v]`` is the largest ``pre`` in ``v``'s spanning
+    subtree, so subtree windows are inclusive slices of pre-order.
+``depth``
+    Node depth (spanning-forest depth, or a caller-supplied column such as
+    the index's derivation depth).
+``count``
+    Coverage count ``|C_v|``.
+``store_slot``
+    Slot of the node's interned coverage in its ``CoverageStore`` (-1 when
+    the coverage is not interned).
+``rank``
+    The stable lexicographic tie-break rank: position of the node under
+    ``(count desc, repr asc)``. Ranking by ``(overlap desc, rank asc)``
+    therefore reproduces the legacy ``(overlap desc, count desc, repr asc)``
+    Python comparator with one vectorized composite key.
+
+The table is immutable once built; holders rebuild (or incrementally
+renumber) it when the underlying graph changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def lexicographic_ranks(counts: np.ndarray, reprs: Sequence[str]) -> np.ndarray:
+    """Rank of each node under ``(count desc, repr asc)`` — no Python comparator.
+
+    ``rank[i] == 0`` for the node with the largest count (ties broken by the
+    smaller repr string). Computed with one ``np.lexsort`` over the repr
+    codes and negated counts, so seal-time cost is a vectorized sort instead
+    of a Python ``sorted`` with a tuple lambda.
+    """
+    n = int(np.asarray(counts).size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    repr_array = np.asarray(reprs, dtype=object)
+    # np.lexsort cannot compare object arrays; factorize reprs to int codes
+    # first (np.unique sorts lexicographically, matching str comparison).
+    _, repr_codes = np.unique(repr_array.astype(str), return_inverse=True)
+    order = np.lexsort((repr_codes, -np.asarray(counts, dtype=np.int64)))
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(n, dtype=np.int64)
+    return ranks
+
+
+def _csr_from_edges(
+    num_nodes: int, heads: np.ndarray, tails: np.ndarray, order_key: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency ``(starts, targets)`` with each row sorted by ``order_key``.
+
+    ``heads[e] -> tails[e]`` are the edges; row ``i`` of the result is
+    ``targets[starts[i]:starts[i+1]]``, listing ``i``'s neighbours in
+    ascending ``order_key`` (the stable node rank), so iteration order is
+    deterministic across Python hash seeds.
+    """
+    if not heads.size:
+        return (
+            np.zeros(num_nodes + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+        )
+    # Sort edges by (head, rank-of-tail): one vectorized lexsort.
+    edge_order = np.lexsort((order_key[tails], heads))
+    heads = heads[edge_order]
+    tails = tails[edge_order]
+    starts = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(starts, heads + 1, 1)
+    np.cumsum(starts, out=starts)
+    return starts, tails.astype(np.int32, copy=False)
+
+
+class NodeTable:
+    """Contiguous interval-encoded columns over one DAG's nodes.
+
+    Build with :meth:`build` from edge arrays; query with the windowed
+    kernels. All arrays are read-only views owned by the table.
+    """
+
+    __slots__ = (
+        "pre",
+        "post",
+        "depth",
+        "count",
+        "store_slot",
+        "rank",
+        "order_by_pre",
+        "parent_starts",
+        "parent_ids",
+        "child_starts",
+        "child_ids",
+        "is_forest",
+    )
+
+    def __init__(
+        self,
+        pre: np.ndarray,
+        post: np.ndarray,
+        depth: np.ndarray,
+        count: np.ndarray,
+        store_slot: np.ndarray,
+        rank: np.ndarray,
+        order_by_pre: np.ndarray,
+        parent_starts: np.ndarray,
+        parent_ids: np.ndarray,
+        child_starts: np.ndarray,
+        child_ids: np.ndarray,
+        is_forest: bool,
+    ) -> None:
+        self.pre = pre
+        self.post = post
+        self.depth = depth
+        self.count = count
+        self.store_slot = store_slot
+        self.rank = rank
+        self.order_by_pre = order_by_pre
+        self.parent_starts = parent_starts
+        self.parent_ids = parent_ids
+        self.child_starts = child_starts
+        self.child_ids = child_ids
+        self.is_forest = is_forest
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        num_nodes: int,
+        parent_edges: Sequence[Tuple[int, int]],
+        counts: np.ndarray,
+        ranks: np.ndarray,
+        store_slots: Optional[np.ndarray] = None,
+        depths: Optional[np.ndarray] = None,
+    ) -> "NodeTable":
+        """Number ``num_nodes`` nodes from ``(parent, child)`` edge pairs.
+
+        The spanning forest roots (no parents) are visited in rank order,
+        children in rank order, and each node is claimed by the first DFS
+        arrival — so the encoding is deterministic given the graph and ranks.
+
+        Args:
+            num_nodes: Number of nodes (indices ``0 .. num_nodes-1``).
+            parent_edges: ``(parent, child)`` index pairs (duplicates ignored).
+            counts: Per-node coverage counts.
+            ranks: Per-node stable rank (see :func:`lexicographic_ranks`).
+            store_slots: Per-node coverage-store slots (-1 = not interned).
+            depths: Optional depth column; defaults to spanning-forest depth.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if store_slots is None:
+            store_slots = np.full(num_nodes, -1, dtype=np.int64)
+        else:
+            store_slots = np.asarray(store_slots, dtype=np.int64)
+        if parent_edges:
+            edges = np.asarray(parent_edges, dtype=np.int64)
+            edges = np.unique(edges, axis=0)
+            heads, tails = edges[:, 0], edges[:, 1]
+        else:
+            heads = tails = np.empty(0, dtype=np.int64)
+        child_starts, child_ids = _csr_from_edges(num_nodes, heads, tails, ranks)
+        parent_starts, parent_ids = _csr_from_edges(num_nodes, tails, heads, ranks)
+        indegree = np.diff(parent_starts)
+        is_forest = bool(num_nodes == 0 or int(indegree.max(initial=0)) <= 1)
+
+        pre = np.full(num_nodes, -1, dtype=np.int64)
+        post = np.full(num_nodes, -1, dtype=np.int64)
+        forest_depth = np.zeros(num_nodes, dtype=np.int64)
+        order_by_pre = np.empty(num_nodes, dtype=np.int64)
+        roots = np.flatnonzero(indegree == 0)
+        roots = roots[np.argsort(ranks[roots], kind="stable")]
+        counter = 0
+        # Iterative DFS; each (node, child cursor) frame revisits to stamp
+        # post once the subtree is exhausted. Nodes reached twice (DAG) are
+        # claimed by the first arrival only.
+        for root in roots.tolist():
+            if pre[root] >= 0:
+                continue
+            stack: List[Tuple[int, int]] = [(root, int(child_starts[root]))]
+            pre[root] = counter
+            order_by_pre[counter] = root
+            counter += 1
+            while stack:
+                node, cursor = stack[-1]
+                end = int(child_starts[node + 1])
+                advanced = False
+                while cursor < end:
+                    child = int(child_ids[cursor])
+                    cursor += 1
+                    if pre[child] < 0:
+                        stack[-1] = (node, cursor)
+                        pre[child] = counter
+                        order_by_pre[counter] = child
+                        forest_depth[child] = forest_depth[node] + 1
+                        counter += 1
+                        stack.append((child, int(child_starts[child])))
+                        advanced = True
+                        break
+                if not advanced:
+                    post[node] = counter - 1
+                    stack.pop()
+        # A cyclic input (should not happen for coverage DAGs) would leave
+        # nodes unnumbered; give them degenerate singleton intervals so the
+        # kernels stay total functions.
+        unnumbered = np.flatnonzero(pre < 0)
+        for node in unnumbered.tolist():
+            pre[node] = counter
+            post[node] = counter
+            order_by_pre[counter] = node
+            counter += 1
+        depth = (
+            np.asarray(depths, dtype=np.int64)
+            if depths is not None
+            else forest_depth
+        )
+        table = cls(
+            pre=pre,
+            post=post,
+            depth=depth,
+            count=counts,
+            store_slot=store_slots,
+            rank=ranks,
+            order_by_pre=order_by_pre,
+            parent_starts=parent_starts,
+            parent_ids=parent_ids,
+            child_starts=child_starts,
+            child_ids=child_ids,
+            is_forest=is_forest,
+        )
+        for column in (
+            table.pre, table.post, table.depth, table.count,
+            table.store_slot, table.rank, table.order_by_pre,
+            table.parent_starts, table.parent_ids,
+            table.child_starts, table.child_ids,
+        ):
+            column.setflags(write=False)
+        return table
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return int(self.pre.size)
+
+    def parents_of(self, node: int) -> np.ndarray:
+        """Direct parents of ``node``, in rank order (a CSR window slice)."""
+        return self.parent_ids[
+            self.parent_starts[node]:self.parent_starts[node + 1]
+        ]
+
+    def children_of(self, node: int) -> np.ndarray:
+        """Direct children of ``node``, in rank order (a CSR window slice)."""
+        return self.child_ids[
+            self.child_starts[node]:self.child_starts[node + 1]
+        ]
+
+    def roots(self) -> np.ndarray:
+        """Nodes with no parents, in rank order."""
+        nodes = np.flatnonzero(np.diff(self.parent_starts) == 0)
+        return nodes[np.argsort(self.rank[nodes], kind="stable")]
+
+    def leaves(self) -> np.ndarray:
+        """Nodes with no children, in rank order."""
+        nodes = np.flatnonzero(np.diff(self.child_starts) == 0)
+        return nodes[np.argsort(self.rank[nodes], kind="stable")]
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """Two-integer-comparison interval test (exact on forests).
+
+        On non-forest DAGs this tests reachability along the spanning forest
+        only; use :meth:`ancestors_of` for full DAG reachability.
+        """
+        return bool(
+            self.pre[ancestor] < self.pre[node]
+            and self.post[node] <= self.post[ancestor]
+        )
+
+    def descendant_window(self, node: int) -> np.ndarray:
+        """Spanning-subtree descendants of ``node`` as one pre-order slice."""
+        return self.order_by_pre[self.pre[node] + 1:self.post[node] + 1]
+
+    def descendants_of(self, node: int) -> np.ndarray:
+        """All nodes reachable downward from ``node`` (excluding itself).
+
+        Forests answer with the interval window slice; DAGs complete the
+        window with a batched CSR frontier sweep (the window is still the
+        seed, so the sweep only chases cross edges).
+        """
+        if self.is_forest:
+            return self.descendant_window(node)
+        return self._closure(node, self.child_starts, self.child_ids)
+
+    def ancestors_of(self, node: int) -> np.ndarray:
+        """All nodes reachable upward from ``node`` (excluding itself).
+
+        Forests walk the unique parent chain via the interval columns — the
+        ancestors of ``v`` are exactly the nodes whose interval contains
+        ``pre[v]``, found with two vectorized comparisons over the columns;
+        DAGs run the CSR sweep upward.
+        """
+        if self.is_forest:
+            position = self.pre[node]
+            mask = (self.pre < position) & (self.post >= position)
+            return np.flatnonzero(mask)
+        return self._closure(node, self.parent_starts, self.parent_ids)
+
+    def _closure(
+        self, node: int, starts: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Batched BFS closure over one CSR direction (DAG fallback).
+
+        Each round gathers *all* frontier adjacency windows with one
+        ``repeat``/``arange`` expansion — the loop runs once per BFS level,
+        not once per node.
+        """
+        seen = np.zeros(len(self), dtype=bool)
+        frontier = np.asarray([node], dtype=np.int64)
+        while frontier.size:
+            lo = starts[frontier]
+            hi = starts[frontier + 1]
+            lens = hi - lo
+            total = int(lens.sum())
+            if not total:
+                break
+            gather = np.repeat(hi - np.cumsum(lens), lens) + np.arange(total)
+            neighbours = targets[gather]
+            fresh = np.unique(neighbours[~seen[neighbours]])
+            seen[fresh] = True
+            frontier = fresh
+        seen[node] = False
+        return np.flatnonzero(seen)
+
+    # -------------------------------------------------------- state protocol
+    def to_state(self, bundle, prefix: str) -> Dict[str, object]:
+        """Serialize the columns verbatim into ``bundle`` under ``prefix``."""
+        return {
+            "is_forest": bool(self.is_forest),
+            "pre": bundle.put(prefix + "pre", self.pre),
+            "post": bundle.put(prefix + "post", self.post),
+            "depth": bundle.put(prefix + "depth", self.depth),
+            "count": bundle.put(prefix + "count", self.count),
+            "store_slot": bundle.put(prefix + "store_slot", self.store_slot),
+            "rank": bundle.put(prefix + "rank", self.rank),
+            "order_by_pre": bundle.put(prefix + "order_by_pre", self.order_by_pre),
+            "parent_starts": bundle.put(prefix + "parent_starts", self.parent_starts),
+            "parent_ids": bundle.put(prefix + "parent_ids", self.parent_ids),
+            "child_starts": bundle.put(prefix + "child_starts", self.child_starts),
+            "child_ids": bundle.put(prefix + "child_ids", self.child_ids),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object], bundle) -> "NodeTable":
+        """Restore a table serialized by :meth:`to_state` (columns verbatim)."""
+        def column(name: str, dtype) -> np.ndarray:
+            array = np.asarray(bundle.get(state[name]), dtype=dtype)
+            array.setflags(write=False)
+            return array
+
+        return cls(
+            pre=column("pre", np.int64),
+            post=column("post", np.int64),
+            depth=column("depth", np.int64),
+            count=column("count", np.int64),
+            store_slot=column("store_slot", np.int64),
+            rank=column("rank", np.int64),
+            order_by_pre=column("order_by_pre", np.int64),
+            parent_starts=column("parent_starts", np.int64),
+            parent_ids=column("parent_ids", np.int32),
+            child_starts=column("child_starts", np.int64),
+            child_ids=column("child_ids", np.int32),
+            is_forest=bool(state.get("is_forest", False)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeTable(nodes={len(self)}, "
+            f"{'forest' if self.is_forest else 'dag'})"
+        )

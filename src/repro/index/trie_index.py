@@ -41,6 +41,7 @@ from ..rules.heuristic import LabelingHeuristic
 from ..text.corpus import Corpus
 from .arena import ArenaConfig, CoverageArena
 from .coverage import CoverageStore, CoverageView
+from .nodetable import NodeTable, lexicographic_ranks
 from .sketch import DerivationSketch, SketchKey, build_sketch
 
 ROOT_KEY: SketchKey = ("*", "*")
@@ -184,9 +185,18 @@ class CorpusIndex:
         # positions (into _key_list) of the keys covering ``sid``.
         self._key_list: List[SketchKey] = []
         self._key_reprs: List[str] = []
+        self._key_positions: Dict[SketchKey, int] = {}
         self._node_counts = np.empty(0, dtype=np.int64)
         self._inv_nodes = np.empty(0, dtype=np.int32)
         self._inv_starts = np.empty(0, dtype=np.int64)
+        # Interval-encoded node table built at seal time: stable tie-break
+        # ranks (count desc, repr asc), the rank→position permutation, the
+        # pre/post-window table over the non-root DAG, and the memoized
+        # top_by_coverage orders (keyed by grammar filter).
+        self._node_ranks = np.empty(0, dtype=np.int64)
+        self._rank_order = np.empty(0, dtype=np.int64)
+        self._node_table: Optional[NodeTable] = None
+        self._coverage_order_cache: Dict[Optional[str], List[SketchKey]] = {}
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -562,15 +572,21 @@ class CorpusIndex:
         self._sealed = False
         self._key_list = []
         self._key_reprs = []
+        self._key_positions = {}
         self._node_counts = np.empty(0, dtype=np.int64)
         self._inv_nodes = np.empty(0, dtype=np.int32)
         self._inv_starts = np.empty(0, dtype=np.int64)
+        self._node_ranks = np.empty(0, dtype=np.int64)
+        self._rank_order = np.empty(0, dtype=np.int64)
+        self._node_table = None
+        self._coverage_order_cache = {}
 
     def _rebuild_inverted_map(self) -> None:
         """Vectorized CSR construction of the sentence→keys inverted map."""
         keys = [key for key in self.nodes if key != ROOT_KEY]
         self._key_list = keys
         self._key_reprs = [repr(key) for key in keys]
+        self._key_positions = {key: position for position, key in enumerate(keys)}
         self._node_counts = np.array(
             [len(self.nodes[key].sentence_ids) for key in keys], dtype=np.int64
         )
@@ -578,6 +594,7 @@ class CorpusIndex:
         if not keys or not self._node_counts.sum():
             self._inv_nodes = np.empty(0, dtype=np.int32)
             self._inv_starts = np.zeros(universe + 1, dtype=np.int64)
+            self._rebuild_node_table()
             return
         id_chunks: List[np.ndarray] = []
         node_chunks: List[np.ndarray] = []
@@ -598,6 +615,65 @@ class CorpusIndex:
         self._inv_starts = np.searchsorted(
             sorted_ids, np.arange(universe + 1), side="left"
         ).astype(np.int64)
+        self._rebuild_node_table()
+
+    def _rebuild_node_table(self) -> None:
+        """Build the interval-encoded node table over the sealed index.
+
+        Positions follow ``_key_list`` (the root is excluded; its children
+        become the table's forest roots). The stable rank column reproduces
+        the ``(count desc, repr asc)`` tie-break order once, vectorized, so
+        every later ranking is integer arithmetic over the columns.
+        """
+        keys = self._key_list
+        self._coverage_order_cache = {}
+        self._node_ranks = lexicographic_ranks(self._node_counts, self._key_reprs)
+        self._rank_order = np.argsort(self._node_ranks, kind="stable")
+        positions = self._key_positions
+        edges = [
+            (positions[parent_key], position)
+            for position, key in enumerate(keys)
+            for parent_key in self.nodes[key].parents
+            if parent_key != ROOT_KEY
+        ]
+        store_slots = np.fromiter(
+            (
+                view.slot if (view := self.nodes[key].coverage_view) is not None
+                and view.slot is not None else -1
+                for key in keys
+            ),
+            dtype=np.int64,
+            count=len(keys),
+        )
+        depths = np.fromiter(
+            (self.nodes[key].depth for key in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+        self._node_table = NodeTable.build(
+            len(keys),
+            edges,
+            counts=self._node_counts,
+            ranks=self._node_ranks,
+            store_slots=store_slots,
+            depths=depths,
+        )
+
+    @property
+    def node_table(self) -> Optional[NodeTable]:
+        """The interval-encoded node table (None until sealed)."""
+        if not self._sealed:
+            return None
+        if self._node_table is None:
+            self._rebuild_node_table()
+        return self._node_table
+
+    def node_position(self, key: SketchKey) -> int:
+        """Position of ``key`` in the node table / ``_key_list`` order."""
+        try:
+            return self._key_positions[key]
+        except KeyError:
+            raise CorpusIndexError(f"no sealed node table row for key {key!r}")
 
     def keys_covering(self, sentence_id: int) -> List[SketchKey]:
         """All non-root keys whose coverage includes ``sentence_id``."""
@@ -725,7 +801,29 @@ class CorpusIndex:
     def top_by_coverage(
         self, limit: int, grammar_name: Optional[str] = None
     ) -> List[SketchKey]:
-        """The ``limit`` keys with the largest coverage counts."""
+        """The ``limit`` keys with the largest coverage counts.
+
+        Sealed indexes answer from the memoized rank order (computed once at
+        seal time, invalidated on merge/unseal) instead of re-sorting every
+        key per call; the grammar-filtered orders are cached on first use.
+        """
+        if limit <= 0:
+            return []
+        if self._sealed:
+            ranked = self._coverage_order_cache.get(grammar_name)
+            if ranked is None:
+                if grammar_name is None:
+                    order = self._rank_order
+                else:
+                    grammar_mask = np.fromiter(
+                        (key[0] == grammar_name for key in self._key_list),
+                        dtype=bool,
+                        count=len(self._key_list),
+                    )
+                    order = self._rank_order[grammar_mask[self._rank_order]]
+                ranked = [self._key_list[i] for i in order.tolist()]
+                self._coverage_order_cache[grammar_name] = ranked
+            return ranked[:limit]
         keys: Iterable[SketchKey] = (
             key for key in self.keys()
             if grammar_name is None or key[0] == grammar_name
@@ -738,32 +836,48 @@ class CorpusIndex:
     ) -> List[Tuple[SketchKey, int]]:
         """Keys ranked by overlap with ``sentence_ids`` (ties by coverage).
 
-        On a sealed index this walks the sentence→keys inverted map, so the
-        cost is proportional to the total sketch size of the *query* sentences
-        rather than one set intersection per index node.
+        On a sealed index this is one fused kernel with no Python in the
+        inner loop: the query's inverted-map windows are gathered with a
+        ``repeat``/``arange`` expansion, overlaps come from ``np.bincount``,
+        and the ``(overlap desc, count desc, repr asc)`` ranking collapses to
+        ``argpartition`` over a single integer composite of the overlap and
+        the precomputed lexicographic rank column.
         """
+        if limit <= 0:
+            return []
         if self._sealed:
             starts = self._inv_starts
-            chunks = []
-            for sid in sentence_ids:
-                sid = int(sid)
-                if 0 <= sid and sid + 1 < starts.size:
-                    lo, hi = starts[sid], starts[sid + 1]
-                    if hi > lo:
-                        chunks.append(self._inv_nodes[lo:hi])
-            if not chunks:
+            sids = np.fromiter((int(s) for s in sentence_ids), dtype=np.int64)
+            if sids.size:
+                sids = sids[(sids >= 0) & (sids + 1 < starts.size)]
+            if not sids.size:
                 return []
-            overlaps = np.bincount(
-                np.concatenate(chunks), minlength=len(self._key_list)
-            )
+            lo = starts[sids]
+            hi = starts[sids + 1]
+            lens = hi - lo
+            total = int(lens.sum())
+            if not total:
+                return []
+            gather = np.repeat(hi - np.cumsum(lens), lens) + np.arange(total)
+            num_keys = len(self._key_list)
+            overlaps = np.bincount(self._inv_nodes[gather], minlength=num_keys)
             nonzero = np.flatnonzero(overlaps)
-            ranked = sorted(
-                nonzero.tolist(),
-                key=lambda i: (
-                    -int(overlaps[i]), -int(self._node_counts[i]), self._key_reprs[i]
-                ),
-            )[:limit]
-            return [(self._key_list[i], int(overlaps[i])) for i in ranked]
+            # Composite maximization key: overlap major, stable rank minor.
+            # ranks are unique in [0, num_keys), so overlap*num_keys - rank
+            # totally orders the nodes exactly like the legacy comparator.
+            composite = (
+                overlaps[nonzero].astype(np.int64) * num_keys
+                - self._node_ranks[nonzero]
+            )
+            if nonzero.size > limit:
+                top = np.argpartition(-composite, limit - 1)[:limit]
+                nonzero = nonzero[top]
+                composite = composite[top]
+            order = np.argsort(-composite)
+            ranked = nonzero[order]
+            return [
+                (self._key_list[i], int(overlaps[i])) for i in ranked.tolist()
+            ]
         query = set(sentence_ids)
         scored = []
         for key in self.keys():
@@ -788,7 +902,11 @@ class CorpusIndex:
           by :meth:`link_structure`, which is deterministic given the nodes;
         * the sentence→keys CSR inverted map (``inv_nodes``/``inv_starts``/
           ``node_counts``) is stored verbatim so :meth:`from_state` restores
-          the sealed fast paths without a rebuild pass.
+          the sealed fast paths without a rebuild pass;
+        * the interval-encoded node table (rank column + every
+          :class:`~repro.index.nodetable.NodeTable` column) is stored
+          verbatim, so resume reuses the exact seal-time numbering and stays
+          question-identical without recomputing the DFS.
         """
         if not self._sealed:
             self.seal()
@@ -813,6 +931,8 @@ class CorpusIndex:
                     "s": slots[id(view)],
                 }
             )
+        if self._node_table is None:
+            self._rebuild_node_table()
         return {
             "max_depth": self.max_depth,
             "min_coverage": self.min_coverage,
@@ -822,6 +942,8 @@ class CorpusIndex:
             "inv_nodes": bundle.put(prefix + "inv_nodes", self._inv_nodes),
             "inv_starts": bundle.put(prefix + "inv_starts", self._inv_starts),
             "node_counts": bundle.put(prefix + "node_counts", self._node_counts),
+            "node_ranks": bundle.put(prefix + "node_ranks", self._node_ranks),
+            "node_table": self._node_table.to_state(bundle, prefix + "table/"),
         }
 
     @classmethod
@@ -874,11 +996,24 @@ class CorpusIndex:
         index._sealed = True
         index._key_list = [key for key in index.nodes if key != ROOT_KEY]
         index._key_reprs = [repr(key) for key in index._key_list]
+        index._key_positions = {
+            key: position for position, key in enumerate(index._key_list)
+        }
         index._node_counts = np.asarray(
             bundle.get(state["node_counts"]), dtype=np.int64
         )
         index._inv_nodes = np.asarray(bundle.get(state["inv_nodes"]), dtype=np.int32)
         index._inv_starts = np.asarray(bundle.get(state["inv_starts"]), dtype=np.int64)
+        if "node_table" in state:
+            index._node_ranks = np.asarray(
+                bundle.get(state["node_ranks"]), dtype=np.int64
+            )
+            index._rank_order = np.argsort(index._node_ranks, kind="stable")
+            index._node_table = NodeTable.from_state(state["node_table"], bundle)
+        else:
+            # Pre-node-table checkpoint: derive the columns from the restored
+            # graph (deterministic, so resume behaviour is unchanged).
+            index._rebuild_node_table()
         return index
 
     def stats(self) -> Dict[str, float]:
