@@ -34,6 +34,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from bench_utils import bench_registry, metrics_block, timed_phase
+from repro import obs
 from repro.config import ClassifierConfig, DarwinConfig
 from repro.core.benefit import BenefitScorer
 from repro.core.candidates import CandidateOptions, generate_candidates
@@ -253,16 +255,19 @@ def measure_scale(num_sentences: int, budget: int) -> Dict[str, object]:
             "total_s": elapsed,
             "questions": float(budgeted.queries_used),
             "per_question_ms": 1000.0 * elapsed / questions,
-            "hierarchy_generation_s": timings.get("hierarchy_generation", 0.0),
-            "score_update_s": timings.get("score_update", 0.0),
+            "hierarchy_generation_s": timings.get(
+                "hierarchy_generation", {}
+            ).get("total", 0.0),
+            "score_update_s": timings.get("score_update", {}).get("total", 0.0),
             "final_recall": darwin.rule_set.recall(truth),
         }
 
-    new_loop = run_loop(config)
-    with legacy_hot_paths(index):
+    with timed_phase("loop_new"):
+        new_loop = run_loop(config)
+    with legacy_hot_paths(index), timed_phase("loop_legacy"):
         legacy_loop = run_loop(config.with_overrides(hierarchy_refresh="full"))
 
-    return {
+    entry: Dict[str, object] = {
         "num_sentences": num_sentences,
         "index": {
             "build_seconds": round(build_seconds, 4),
@@ -292,6 +297,11 @@ def measure_scale(num_sentences: int, budget: int) -> Dict[str, object]:
             "legacy": {k: round(v, 4) for k, v in legacy_loop.items()},
         },
     }
+    if obs.get_registry().enabled:
+        # p50/p95 per phase (darwin_phase_seconds + bench_phase_seconds) —
+        # informational in check_regression.py, never gated.
+        entry["metrics"] = metrics_block()
+    return entry
 
 
 def main() -> None:
@@ -303,12 +313,23 @@ def main() -> None:
     parser.add_argument("--budget", type=int, default=40,
                         help="oracle budget for the per-question loop runs")
     parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="enable repro.obs during the runs and embed a per-size "
+             "'metrics' block (p50/p95 per phase) in the output JSON; "
+             "leave off for perf-gate runs so the timed arms stay "
+             "telemetry-free",
+    )
     args = parser.parse_args()
 
     results: List[Dict[str, object]] = []
     for size in args.sizes:
         print(f"== {size} sentences ==")
+        if args.obs:
+            bench_registry()  # fresh registry per size: no series bleed-over
         entry = measure_scale(size, budget=args.budget)
+        if args.obs:
+            obs.disable()
         results.append(entry)
         overlap = entry["top_by_overlap"]
         refresh = entry["hierarchy_refresh"]

@@ -9,7 +9,10 @@ payloads surfaced to the parent, inline fallback for sandboxes without fork).
 from __future__ import annotations
 
 import resource
+import time
 from typing import Callable, Dict
+
+from repro.obs import get_registry
 
 
 def peak_rss_bytes() -> int:
@@ -34,7 +37,18 @@ def run_isolated(target: Callable[..., Dict[str, object]], *args) -> Dict[str, o
     inline. A child that dies without reporting (e.g. OOM-killed) raises —
     that IS the benchmark's answer for the arm; the workload is never
     silently re-run inline in the parent.
+
+    Each arm's wall time lands in the parent registry's
+    ``bench_phase_seconds{phase="isolated_<target>"}`` histogram (the child's
+    own metrics die with the fork) and rides in the payload as
+    ``wall_seconds``, so memory benchmarks get tail-latency series for free
+    when observability is enabled.
     """
+    observe = get_registry().histogram(
+        "bench_phase_seconds", "Wall-clock seconds per benchmark phase",
+        labels=("phase",),
+    ).labels(phase=f"isolated_{target.__name__}")
+    start = time.perf_counter()
     try:
         import multiprocessing
 
@@ -57,6 +71,9 @@ def run_isolated(target: Callable[..., Dict[str, object]], *args) -> Dict[str, o
             ) from None
         process.join()
         payload["rss_isolated"] = True
+    elapsed = time.perf_counter() - start
+    observe.observe(elapsed)
+    payload["wall_seconds"] = round(elapsed, 4)
     if "error" in payload:
         raise RuntimeError(f"benchmark arm failed: {payload['error']}")
     return payload

@@ -2,10 +2,75 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence
 
+from repro import obs
 from repro.evaluation.reporting import format_curve_table, format_table
 from repro.evaluation.runner import ExperimentResult
+
+BENCH_PHASE_HELP = "Wall-clock seconds per benchmark phase"
+
+
+def bench_registry() -> obs.MetricsRegistry:
+    """Install and return a fresh live registry for one benchmark arm.
+
+    Benchmarks that want a ``metrics`` block in their ``BENCH_*.json`` call
+    this *before* constructing engines (instruments resolve their registry at
+    construction time), then hand the returned registry to
+    :func:`metrics_block` once the arm finishes. Callers own the lifecycle:
+    call :func:`repro.obs.disable` (or ``bench_registry()`` again for the
+    next arm) so series never leak across measurements.
+    """
+    return obs.enable(registry=obs.MetricsRegistry(), tracer=obs.NullTracer())
+
+
+@contextmanager
+def timed_phase(phase: str, registry: Optional[object] = None) -> Iterator[None]:
+    """Time a block into the shared ``bench_phase_seconds`` histogram.
+
+    Under the default :class:`~repro.obs.NullRegistry` this costs two
+    ``perf_counter`` calls and a no-op method — safe to leave in place for
+    metrics-disabled runs.
+    """
+    active = registry if registry is not None else obs.get_registry()
+    child = active.histogram(
+        "bench_phase_seconds", BENCH_PHASE_HELP, labels=("phase",)
+    ).labels(phase=phase)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        child.observe(time.perf_counter() - start)
+
+
+def metrics_block(registry: Optional[object] = None) -> Dict[str, Dict[str, float]]:
+    """Per-phase tail-latency digest for a ``BENCH_*.json`` ``metrics`` block.
+
+    Collapses every histogram family in the registry's snapshot into
+    ``{"family{label=value}": {count, mean_ms, p50_ms, p95_ms}}`` so
+    ``check_regression.py`` can diff tail latency between a fresh run and the
+    committed baseline (informational — absolute latencies are
+    machine-dependent, so they never gate).
+    """
+    active = registry if registry is not None else obs.get_registry()
+    snapshot = active.snapshot()
+    block: Dict[str, Dict[str, float]] = {}
+    for name, family in sorted(snapshot.get("metrics", {}).items()):
+        if family.get("kind") != "histogram":
+            continue
+        for entry in family.get("series", []):
+            labels = entry.get("labels", {})
+            suffix = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            key = f"{name}{{{suffix}}}" if suffix else name
+            block[key] = {
+                "count": float(entry.get("count", 0)),
+                "mean_ms": round(1000.0 * float(entry.get("mean", 0.0)), 4),
+                "p50_ms": round(1000.0 * float(entry.get("p50", 0.0)), 4),
+                "p95_ms": round(1000.0 * float(entry.get("p95", 0.0)), 4),
+            }
+    return block
 
 
 def report_curves(result: ExperimentResult, title: str, step: int = 10) -> None:

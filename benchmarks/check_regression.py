@@ -129,6 +129,32 @@ def _check_metric(
         )
 
 
+def _diff_metrics(label: str, baseline: Dict[str, Any], current: Dict[str, Any]) -> None:
+    """Informational tail-latency diff of two ``metrics`` blocks.
+
+    Benchmarks run with ``--obs`` embed per-phase p50/p95 (see
+    ``bench_utils.metrics_block``). Absolute latencies are machine-dependent,
+    so this prints the deltas for eyeballing and never fails the gate; it is
+    silent when either side lacks a block (e.g. a metrics-disabled gate run).
+    """
+    base_block = baseline.get("metrics")
+    current_block = current.get("metrics")
+    if not isinstance(base_block, dict) or not isinstance(current_block, dict):
+        return
+    shared = sorted(set(base_block) & set(current_block))
+    if shared:
+        print(f"  {label} tail latency (informational, not gated):")
+    for phase in shared:
+        base_entry, current_entry = base_block[phase], current_block[phase]
+        parts = []
+        for quantile in ("p50_ms", "p95_ms"):
+            base_q = float(base_entry.get(quantile, 0.0))
+            current_q = float(current_entry.get(quantile, 0.0))
+            ratio = f" ({current_q / base_q:.2f}x)" if base_q > 0 else ""
+            parts.append(f"{quantile} {current_q:.3g} vs {base_q:.3g}{ratio}")
+        print(f"    {phase}: " + ", ".join(parts))
+
+
 def check(baseline: Dict[str, Any], current: Dict[str, Any], tolerance: float) -> List[str]:
     """Compare two bench payloads; returns the list of failure messages."""
     name = baseline.get("benchmark")
@@ -168,6 +194,11 @@ def check(baseline: Dict[str, Any], current: Dict[str, Any], tolerance: float) -
                     base_by_size[size], current_by_size[size],
                     tolerance, failures,
                 )
+            _diff_metrics(
+                f"{name}[{size}]", base_by_size[size], current_by_size[size]
+            )
+    else:
+        _diff_metrics(str(name), baseline, current)
     return failures
 
 

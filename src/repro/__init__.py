@@ -92,6 +92,8 @@ from .index import (
 from .rules import LabelingHeuristic, RuleSet
 from .serving import ServeReport, Tenant, TenantPool, serve
 from .text import Corpus, Sentence
+from . import obs
+from .obs import MetricsRegistry, SpanTracer
 
 __version__ = "1.1.0"
 
@@ -155,5 +157,8 @@ __all__ = [
     "serve",
     "Corpus",
     "Sentence",
+    "obs",
+    "MetricsRegistry",
+    "SpanTracer",
     "__version__",
 ]

@@ -131,17 +131,23 @@ class SharedFeatureCache:
             )
 
     def stats(self) -> Dict[str, float]:
-        """Counters for benchmarks and the serve loop's memory report."""
+        """Counters for benchmarks, the serve loop's memory report, and the
+        pool's metrics collector: hits, misses, entries, nbytes (plus the
+        per-kind breakdown; ``bytes`` is kept as an alias of ``nbytes`` for
+        pre-observability callers)."""
         with self._lock:
+            nbytes = float(
+                sum(a.nbytes for a in self._vectors.values())
+                + sum(a.nbytes for a in self._matrices.values())
+            )
             return {
                 "cached_vectors": float(len(self._vectors)),
                 "cached_matrices": float(len(self._matrices)),
+                "entries": float(len(self._vectors) + len(self._matrices)),
                 "hits": float(self._hits),
                 "misses": float(self._misses),
-                "bytes": float(
-                    sum(a.nbytes for a in self._vectors.values())
-                    + sum(a.nbytes for a in self._matrices.values())
-                ),
+                "nbytes": nbytes,
+                "bytes": nbytes,
             }
 
     def invalidate(self, sentence_ids: Optional[Sequence[int]] = None) -> None:

@@ -15,16 +15,24 @@ writing Python:
   its own crowd of annotators, multiplexed on one asyncio loop,
 * ``python -m repro resume`` — continue a checkpointed run
   (``run --checkpoint ... --checkpoint-every N`` writes the checkpoints),
-* ``python -m repro export-state`` — inspect a checkpoint's manifest.
+* ``python -m repro export-state`` — inspect a checkpoint's manifest,
+* ``python -m repro stats`` — inspect the telemetry of a ``--metrics-out``
+  snapshot or a checkpoint (summary, raw JSON, or Prometheus exposition).
+
+``run``, ``resume`` and ``serve`` accept ``--metrics-out PATH``: this enables
+the :mod:`repro.obs` telemetry layer for the process (metrics stay off
+otherwise — the default registry is a no-op) and writes a metrics+spans
+snapshot to ``PATH`` at exit and on every checkpoint save.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
-from . import __version__
+from . import __version__, obs
 from .baselines.snuba import SnubaBaseline
 from .config import ClassifierConfig, CrowdConfig, DarwinConfig, IndexConfig
 from .core.darwin import Darwin, DarwinResult
@@ -88,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
                             default=8 << 20, metavar="BYTES",
                             help="LRU byte budget for the arena backend's "
                                  "packed-bitset fast path")
+    run_parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="enable repro.obs telemetry and write a "
+                                 "metrics+spans snapshot JSON here at exit "
+                                 "and on every checkpoint")
 
     resume_parser = subparsers.add_parser(
         "resume", help="continue a checkpointed run question-for-question"
@@ -100,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument("--checkpoint-every", type=int, default=None,
                                metavar="N",
                                help="keep checkpointing every N answers")
+    resume_parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                               help="enable repro.obs telemetry and write a "
+                                    "metrics+spans snapshot JSON here at exit "
+                                    "and on every checkpoint")
 
     export_parser = subparsers.add_parser(
         "export-state", help="print a checkpoint's manifest summary as JSON"
@@ -186,6 +202,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--expected-digest", default=None, metavar="HEX",
                               help="refuse to serve unless the shared arena "
                                    "matches this content digest")
+    serve_parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                              help="enable repro.obs telemetry and write a "
+                                   "metrics+spans snapshot JSON here when "
+                                   "the serve run finishes")
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="inspect telemetry from a snapshot file or checkpoint"
+    )
+    stats_parser.add_argument("--metrics", default=None, metavar="PATH",
+                              help="snapshot written by --metrics-out")
+    stats_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                              help="checkpoint whose embedded metrics block "
+                                   "to inspect (saved with --metrics-out on)")
+    stats_parser.add_argument("--format",
+                              choices=("summary", "json", "prometheus"),
+                              default="summary",
+                              help="summary digest, the raw snapshot JSON, or "
+                                   "Prometheus text exposition")
     return parser
 
 
@@ -222,6 +256,10 @@ def _print_run_summary(result: DarwinResult) -> None:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.metrics_out:
+        # Enable before the engine exists: metric sites resolve their
+        # instruments at component construction time.
+        obs.enable()
     bank = load_bank(args.dataset)
     seed_rule = args.seed_rule or bank.default_seed_rules[0]
     # Declarative construction: the whole engine comes from one config dict
@@ -247,15 +285,20 @@ def _command_run(args: argparse.Namespace) -> int:
     result = engine.run(
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,
+        metrics_out=args.metrics_out,
     )
     if args.checkpoint:
         # engine.run always leaves the file holding the end-of-run state.
         print(f"checkpoint written to {args.checkpoint}")
+    if args.metrics_out:
+        print(f"metrics snapshot written to {args.metrics_out}")
     _print_run_summary(result)
     return 0
 
 
 def _command_resume(args: argparse.Namespace) -> int:
+    if args.metrics_out:
+        obs.enable()
     engine = DarwinEngine.load(args.checkpoint)
     print(f"resuming {args.checkpoint}: {engine.questions_asked} questions "
           f"already answered, budget "
@@ -264,8 +307,11 @@ def _command_resume(args: argparse.Namespace) -> int:
         budget=args.budget,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,
+        metrics_out=args.metrics_out,
     )
     print(f"checkpoint updated: {args.checkpoint}")
+    if args.metrics_out:
+        print(f"metrics snapshot written to {args.metrics_out}")
     _print_run_summary(result)
     return 0
 
@@ -365,6 +411,8 @@ def _command_crowd(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from .serving import TenantPool, serve
 
+    if args.metrics_out:
+        obs.enable()
     corpus = load_dataset(args.dataset, num_sentences=args.num_sentences,
                           seed=args.seed, parse_trees=False)
     bank = load_bank(args.dataset)
@@ -427,6 +475,72 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache = pool.featurizer.cache.stats()
         print(f"feature cache: {cache['cached_vectors']:.0f} vectors, "
               f"{cache['hits']:.0f} hits / {cache['misses']:.0f} misses")
+        if args.metrics_out:
+            # Snapshot while the pool is still open so its collectors run.
+            obs.write_snapshot(args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    if bool(args.metrics) == bool(args.checkpoint):
+        print("stats: pass exactly one of --metrics or --checkpoint",
+              file=sys.stderr)
+        return 2
+    if args.metrics:
+        payload = obs.read_snapshot(args.metrics)
+        snapshot = payload.get("metrics") or {}
+        spans = payload.get("spans") or []
+        source = args.metrics
+    else:
+        from .engine.state import read_checkpoint_summary
+
+        manifest, _ = read_checkpoint_summary(args.checkpoint)
+        snapshot = manifest.get("metrics") or {}
+        spans = []
+        source = args.checkpoint
+    if args.format == "prometheus":
+        from .obs.prometheus import render_snapshot
+
+        sys.stdout.write(render_snapshot(snapshot))
+        return 0
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    summary = obs.summarize_snapshot(snapshot)
+    if not summary:
+        print(f"{source}: no telemetry recorded (metrics were disabled)")
+        return 0
+    print(f"telemetry from {source}:")
+    questions = summary.get("questions")
+    if questions:
+        print(f"  questions: {questions['total']:.0f} "
+              f"({questions['yes']:.0f} yes / {questions['no']:.0f} no)")
+    if "retrains" in summary:
+        print(f"  classifier retrains: {summary['retrains']:.0f}")
+    for block in ("feature_cache", "bitset_cache"):
+        cache = summary.get(block)
+        if cache:
+            print(f"  {block}: {cache['hits']:.0f} hits / "
+                  f"{cache['misses']:.0f} misses "
+                  f"(ratio {cache['hit_ratio']:.2f})")
+    commits = summary.get("crowd_commits")
+    if commits:
+        print(f"  crowd commits: {commits['accept']:.0f} accepted / "
+              f"{commits['reject']:.0f} rejected")
+    phases = summary.get("phases")
+    if phases:
+        print(format_table(
+            ["phase", "count", "mean ms", "p50 ms", "p95 ms"],
+            [
+                [name, f"{entry['count']:.0f}", f"{entry['mean_ms']:.2f}",
+                 f"{entry['p50_ms']:.2f}", f"{entry['p95_ms']:.2f}"]
+                for name, entry in sorted(phases.items())
+            ],
+            title="per-phase latency",
+        ))
+    if spans:
+        print(f"  trace: {len(spans)} root spans retained")
     return 0
 
 
@@ -438,6 +552,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "crowd": _command_crowd,
     "serve": _command_serve,
+    "stats": _command_stats,
 }
 
 

@@ -18,8 +18,10 @@ F-score against the number of questions, exactly as Figures 9 and 10 do.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -32,6 +34,7 @@ from ..grammars.tokensregex import TokensRegexGrammar
 from ..index.coverage import batched_overlap_counts
 from ..index.hierarchy import RuleHierarchy
 from ..index.trie_index import CorpusIndex
+from ..obs import get_registry, trace as obs_trace
 from ..rules.heuristic import LabelingHeuristic
 from ..rules.rule_set import RuleSet
 from ..text.corpus import Corpus
@@ -82,7 +85,9 @@ class DarwinResult:
         covered_ids: The union coverage ``P``.
         history: Per-query records (coverage / F-score curves).
         queries_used: Number of oracle queries consumed.
-        timings: Wall-clock breakdown (index build, hierarchy, traversal...).
+        timings: Wall-clock breakdown per phase — ``Stopwatch.as_dict``
+            blocks of ``{"total", "count", "mean"}`` seconds keyed by phase
+            name (index build, hierarchy, traversal...).
         config: The configuration used for the run.
     """
 
@@ -90,7 +95,7 @@ class DarwinResult:
     covered_ids: Set[int]
     history: List[QueryRecord]
     queries_used: int
-    timings: Dict[str, float] = field(default_factory=dict)
+    timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
     config: DarwinConfig = field(default_factory=lambda: DEFAULT_CONFIG)
 
     @property
@@ -152,6 +157,27 @@ class Darwin:
         if not self.grammars:
             raise ConfigurationError("at least one grammar is required")
         self.stopwatch = Stopwatch()
+        # Telemetry (repro.obs): instruments are resolved once here, so every
+        # hot-path site below is a single method call — a no-op when the
+        # process default is the NullRegistry. The label is "tenant" because
+        # a solo engine is the one-tenant case; TenantPool.spawn() overwrites
+        # obs_label with the tenant id.
+        self.obs_label = corpus.name
+        registry = get_registry()
+        self._obs = registry
+        self._obs_phase = registry.histogram(
+            "darwin_phase_seconds",
+            "Wall-clock seconds per Darwin loop phase",
+            labels=("phase",),
+        )
+        _questions = registry.counter(
+            "darwin_questions_total",
+            "Oracle answers applied to the rule set",
+            labels=("answer",),
+        )
+        self._obs_answer_yes = _questions.labels(answer="yes")
+        self._obs_answer_no = _questions.labels(answer="no")
+        registry.register_collector(self._collect_obs_gauges)
         if index is not None:
             self.index = index
         else:
@@ -164,7 +190,7 @@ class Darwin:
                     path=index_config.arena_path,
                     bitset_cache_bytes=index_config.bitset_cache_bytes,
                 )
-            with self.stopwatch.measure("index_build"):
+            with self._phase("index_build"):
                 self.index = CorpusIndex.build(
                     corpus,
                     self.grammars,
@@ -176,7 +202,7 @@ class Darwin:
         if featurizer is not None:
             self.featurizer = featurizer
         else:
-            with self.stopwatch.measure("embeddings"):
+            with self._phase("embeddings"):
                 self.featurizer = SentenceFeaturizer.fit(
                     corpus,
                     embedding_dim=self.config.classifier.embedding_dim,
@@ -201,6 +227,83 @@ class Darwin:
         self._in_flight: Set[LabelingHeuristic] = set()
         self._started = False
         self._ref_cache: Dict[tuple, LabelingHeuristic] = {}
+
+    # ------------------------------------------------------------- telemetry
+    @contextmanager
+    def _phase(self, name: str, phase: Optional[str] = None) -> Iterator[object]:
+        """Stopwatch + span + per-phase latency histogram in one wrapper.
+
+        ``name`` keys the stopwatch (the historical timing names); ``phase``
+        overrides the telemetry label where the observability vocabulary
+        differs (e.g. stopwatch ``traversal`` is phase ``propose``). Yields
+        the open span so callers can annotate it.
+        """
+        label = phase or name
+        with self.stopwatch.measure(name), obs_trace(
+            f"darwin.{label}", tenant=self.obs_label
+        ) as span:
+            start = time.perf_counter()
+            try:
+                yield span
+            finally:
+                self._obs_phase.labels(phase=label).observe(
+                    time.perf_counter() - start
+                )
+
+    def _collect_obs_gauges(self) -> None:
+        """Pull collector: re-express live engine state as labeled gauges.
+
+        Registered weakly on the registry at construction; runs only when a
+        snapshot or Prometheus exposition is rendered, never on the hot path.
+        """
+        registry = self._obs
+
+        def gauge(name: str, help_text: str, value: float) -> None:
+            registry.gauge(name, help_text, labels=("tenant",)).labels(
+                tenant=self.obs_label
+            ).set(float(value))
+
+        gauge("tenant_questions", "Questions answered this session",
+              len(self.history))
+        gauge("tenant_rules_accepted", "Rules currently in the accepted set",
+              len(self.rule_set))
+        gauge("tenant_covered_positives", "Distinct positive sentence ids in P",
+              len(self.positive_ids))
+        gauge("tenant_in_flight", "Dispatched but unanswered proposals",
+              len(self._in_flight))
+        if self.trainer is not None:
+            gauge("tenant_retrains", "Classifier retrains this session",
+                  self.trainer.retrain_count)
+        store = self.index.store
+        stats = store.stats()
+        gauge("coverage_interned", "Distinct interned coverages",
+              stats.get("num_interned", 0.0))
+        gauge("coverage_resident_bytes", "Heap bytes held by coverage columns",
+              stats.get("resident_coverage_bytes", 0.0))
+        bitset = store.bitset_cache_stats()
+        gauge("coverage_bitset_hits", "Bitset LRU cache hits",
+              bitset.get("hits", 0.0))
+        gauge("coverage_bitset_misses", "Bitset LRU cache misses",
+              bitset.get("misses", 0.0))
+        gauge("coverage_bitset_evictions", "Bitset LRU cache evictions",
+              bitset.get("evictions", 0.0))
+        gauge("coverage_bitset_bytes", "Bitset LRU cache resident bytes",
+              bitset.get("cached_bytes", 0.0))
+        for key in ("shared_routed", "local_routed", "local_interned"):
+            if key in stats:  # overlay backend only
+                gauge(f"overlay_{key}",
+                      "Overlay intern() routing (see OverlayCoverageStore)",
+                      stats[key])
+        cache = getattr(self.featurizer, "cache", None)
+        if cache is not None:
+            fstats = cache.stats()
+            gauge("feature_cache_hits", "Feature cache hits", fstats["hits"])
+            gauge("feature_cache_misses", "Feature cache misses",
+                  fstats["misses"])
+            gauge("feature_cache_entries", "Feature cache entries",
+                  fstats["entries"])
+            gauge("feature_cache_nbytes", "Feature cache resident bytes",
+                  fstats["nbytes"])
 
     # ------------------------------------------------------------------ setup
     def parse_seed_rule(self, text: str, grammar_name: Optional[str] = None) -> LabelingHeuristic:
@@ -258,10 +361,10 @@ class Darwin:
         self.updater = ScoreUpdater(
             self.trainer, self.benefit, retrain_every=self.config.retrain_every
         )
-        with self.stopwatch.measure("initial_training"):
+        with self._phase("initial_training"):
             self.updater.initialize(self.positive_ids)
 
-        with self.stopwatch.measure("hierarchy_generation"):
+        with self._phase("hierarchy_generation"):
             self.hierarchy = self._build_hierarchy()
 
         seeds_for_traversal = rules or self._fallback_seed_rules()
@@ -407,7 +510,7 @@ class Darwin:
         """
         self._require_started()
         if self.updater.needs_hierarchy_refresh:
-            with self.stopwatch.measure("hierarchy_generation"):
+            with self._phase("hierarchy_generation", phase="hierarchy_refresh"):
                 if self.config.hierarchy_refresh == "incremental":
                     self.hierarchy = self._refresh_hierarchy_incremental(
                         self.updater.pending_new_positive_ids
@@ -416,7 +519,7 @@ class Darwin:
                     self.hierarchy = self._build_hierarchy()
             self.traversal.on_hierarchy_update(self.hierarchy)
             self.updater.acknowledge_hierarchy_refresh()
-        with self.stopwatch.measure("traversal"):
+        with self._phase("traversal", phase="propose"):
             return self.traversal.propose()
 
     # ------------------------------------------------- concurrent dispatch API
@@ -477,21 +580,23 @@ class Darwin:
         self.traversal.context.queried.add(rule)
         self._in_flight.discard(rule)
         if is_useful:
+            self._obs_answer_yes.inc()
             new_positives = rule.new_positives(self.positive_ids)
             self.rule_set.add(rule)
             self.positive_ids.update(rule.coverage)
-            with self.stopwatch.measure("score_update"):
+            with self._phase("score_update", phase="apply"):
                 self.updater.on_accept(
                     self.positive_ids, new_positives, defer=defer_update
                 )
         else:
+            self._obs_answer_no.inc()
             self.updater.on_reject()
         self.traversal.feedback(rule, is_useful)
 
     def flush_updates(self) -> int:
         """Apply deferred retrain/refresh work; returns answers flushed."""
         self._require_started()
-        with self.stopwatch.measure("score_update"):
+        with self._phase("score_update", phase="flush"):
             return self.updater.flush(self.positive_ids)
 
     @property
@@ -705,7 +810,8 @@ class Darwin:
                 break
             samples = self._sample_for_query(rule)
             try:
-                answer = budgeted.ask(rule, samples)
+                with self._phase("oracle_answer"):
+                    answer = budgeted.ask(rule, samples)
             except BudgetExhaustedError:
                 break
             self.record_answer(

@@ -15,9 +15,11 @@ step-for-step equivalent to the serial one.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Set
 
 from ..classifier.trainer import ClassifierTrainer
+from ..obs import get_registry, trace as obs_trace
 from .benefit import BenefitScorer
 
 
@@ -35,6 +37,15 @@ class ScoreUpdater:
         self.trainer = trainer
         self.benefit = benefit
         self.retrain_every = retrain_every
+        registry = get_registry()
+        self._obs_retrain_seconds = registry.histogram(
+            "darwin_phase_seconds",
+            "Wall-clock seconds per Darwin loop phase",
+            labels=("phase",),
+        ).labels(phase="retrain")
+        self._obs_retrains = registry.counter(
+            "darwin_retrains_total", "Classifier retrains (initial fit included)"
+        )
         self._accepted_since_retrain = 0
         self._needs_hierarchy_refresh = False
         self._pending_new_positive_ids: Set[int] = set()
@@ -67,10 +78,20 @@ class ScoreUpdater:
 
     def initialize(self, positive_ids: Set[int]) -> None:
         """Initial classifier training on the seed positives."""
-        self.trainer.retrain(positive_ids)
+        self._retrain(positive_ids)
         self.benefit.update(
             scores=self.trainer.score_corpus(), covered_ids=positive_ids
         )
+
+    def _retrain(self, positive_ids: Set[int]) -> None:
+        """Retrain wrapped in the retrain span/histogram/counter."""
+        with obs_trace("darwin.retrain", positives=len(positive_ids)):
+            start = time.perf_counter()
+            try:
+                self.trainer.retrain(positive_ids)
+            finally:
+                self._obs_retrain_seconds.observe(time.perf_counter() - start)
+                self._obs_retrains.inc()
 
     def on_accept(
         self,
@@ -99,7 +120,7 @@ class ScoreUpdater:
         paths, kept in one place so they cannot drift."""
         retrained = False
         if new_positive_ids and self._accepted_since_retrain >= self.retrain_every:
-            self.trainer.retrain(positive_ids)
+            self._retrain(positive_ids)
             self._accepted_since_retrain = 0
             retrained = True
         scores = self.trainer.score_corpus() if retrained else None

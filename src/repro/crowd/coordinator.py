@@ -30,12 +30,14 @@ sequential consistency for throughput.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
 from ..config import CrowdConfig
 from ..core.darwin import Darwin, DarwinResult, QueryRecord
 from ..errors import ConfigurationError, OracleError
+from ..obs import get_registry
 from ..rules.heuristic import LabelingHeuristic
 
 
@@ -99,6 +101,8 @@ class CrowdCoordinator:
         config: Crowd parameters (:class:`~repro.config.CrowdConfig`).
         evaluation_positive_ids: Ground-truth positives for history records
             (defaults to the corpus labels when present).
+        obs_tenant: Label for this coordinator's metric series (the serve
+            loop passes the tenant id; defaults to the Darwin's obs label).
     """
 
     def __init__(
@@ -106,6 +110,7 @@ class CrowdCoordinator:
         darwin: Darwin,
         config: Optional[CrowdConfig] = None,
         evaluation_positive_ids: Optional[Set[int]] = None,
+        obs_tenant: Optional[str] = None,
     ) -> None:
         self.darwin = darwin
         self.config = config or CrowdConfig()
@@ -129,6 +134,36 @@ class CrowdCoordinator:
             annotator_id: 0 for annotator_id in range(self.config.num_annotators)
         }
         self._exhausted = False
+        # Telemetry (repro.obs): children resolved once, no-ops by default.
+        registry = get_registry()
+        tenant = obs_tenant if obs_tenant is not None else getattr(
+            darwin, "obs_label", darwin.corpus.name
+        )
+        commits = registry.counter(
+            "crowd_commits_total",
+            "Majority-committed tickets by outcome",
+            labels=("tenant", "outcome"),
+        )
+        self._obs_commit_accept = commits.labels(tenant=tenant, outcome="accept")
+        self._obs_commit_reject = commits.labels(tenant=tenant, outcome="reject")
+        self._obs_ties = registry.counter(
+            "crowd_ties_total",
+            "Tied votes committed as NO (even redundancy only)",
+            labels=("tenant",),
+        ).labels(tenant=tenant)
+        self._obs_votes = registry.counter(
+            "crowd_votes_total", "Individual annotator votes", labels=("tenant",)
+        ).labels(tenant=tenant)
+        self._obs_open = registry.gauge(
+            "crowd_open_tickets",
+            "Questions currently in flight (dispatch depth)",
+            labels=("tenant",),
+        ).labels(tenant=tenant)
+        self._obs_flush_seconds = registry.histogram(
+            "crowd_flush_seconds",
+            "Latency of batched retrain/refresh flushes",
+            labels=("tenant",),
+        ).labels(tenant=tenant)
 
     # -------------------------------------------------------------- inspection
     @property
@@ -229,6 +264,7 @@ class CrowdCoordinator:
         )
         self._next_ticket_id += 1
         self._tickets[ticket.ticket_id] = ticket
+        self._obs_open.set(len(self._tickets))
         return self._assignment(ticket, annotator_id)
 
     # ------------------------------------------------------------------ voting
@@ -257,6 +293,7 @@ class CrowdCoordinator:
         ticket.votes[annotator_id] = bool(is_useful)
         self._votes_collected += 1
         self._votes_per_annotator[annotator_id] += 1
+        self._obs_votes.inc()
         if len(ticket.votes) < self.config.redundancy:
             return None
         return self._commit(ticket)
@@ -271,8 +308,12 @@ class CrowdCoordinator:
 
     def _commit(self, ticket: _Ticket) -> QueryRecord:
         del self._tickets[ticket.ticket_id]
+        self._obs_open.set(len(self._tickets))
         yes_votes = sum(1 for vote in ticket.votes.values() if vote)
         majority = yes_votes * 2 > len(ticket.votes)
+        if yes_votes * 2 == len(ticket.votes):
+            self._obs_ties.inc()
+        (self._obs_commit_accept if majority else self._obs_commit_reject).inc()
         self.darwin.apply_answer(ticket.rule, majority, defer_update=True)
         self._committed += 1
         self._applied_since_flush += 1
@@ -290,7 +331,11 @@ class CrowdCoordinator:
         if not self._applied_since_flush:
             return 0
         self._applied_since_flush = 0
-        return self.darwin.flush_updates()
+        start = time.perf_counter()
+        try:
+            return self.darwin.flush_updates()
+        finally:
+            self._obs_flush_seconds.observe(time.perf_counter() - start)
 
     def result(self) -> CrowdResult:
         """Snapshot the session (flushing any trailing partial batch)."""

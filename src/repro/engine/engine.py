@@ -30,6 +30,7 @@ from ..core.darwin import Darwin, DarwinResult
 from ..core.oracle import Oracle
 from ..core.session import LabelingSession
 from ..errors import ConfigurationError
+from ..obs import get_registry, summarize_snapshot, write_snapshot
 from ..rules.heuristic import LabelingHeuristic
 from ..text.corpus import Corpus
 from .registry import DATASETS, GRAMMARS, ORACLES
@@ -293,6 +294,7 @@ class DarwinEngine:
         evaluation_positive_ids: Optional[Set[int]] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
+        metrics_out: Optional[str] = None,
     ) -> DarwinResult:
         """Drive the loop until ``budget`` *total* questions are answered.
 
@@ -312,6 +314,10 @@ class DarwinEngine:
                 ``checkpoint_every``; on its own it requests one final
                 checkpoint when the run ends. Either way the file holds the
                 end-of-run state when :meth:`run` returns.
+            metrics_out: Write a ``repro.obs`` metrics+spans snapshot JSON
+                here on every checkpoint and when the run ends (enable the
+                registry with :func:`repro.obs.enable` first, or the snapshot
+                records only that metrics were disabled).
         """
         if not self.started:
             self.start(
@@ -336,7 +342,8 @@ class DarwinEngine:
             if rule is None:
                 break
             samples = darwin.sample_for_query(rule)
-            answer = oracle.ask(rule, samples)
+            with darwin._phase("oracle_answer"):
+                answer = oracle.ask(rule, samples)
             darwin.record_answer(
                 rule,
                 answer.is_useful,
@@ -345,6 +352,8 @@ class DarwinEngine:
             if checkpoint_every and len(darwin.history) % checkpoint_every == 0:
                 self.save(checkpoint_path)
                 saved_at = len(darwin.history)
+                if metrics_out:
+                    write_snapshot(metrics_out)
         if checkpoint_path and saved_at != len(darwin.history):
             # The final state is always written when a checkpoint path was
             # given: with checkpoint_every, a budget that is not a multiple
@@ -352,6 +361,8 @@ class DarwinEngine:
             # stale file; without it, the path alone requests one end-of-run
             # checkpoint.
             self.save(checkpoint_path)
+        if metrics_out:
+            write_snapshot(metrics_out)
         return self.result()
 
     def result(self) -> DarwinResult:
@@ -402,6 +413,13 @@ class DarwinEngine:
             ),
             "index": self.darwin.index.to_state(bundle, prefix="index/"),
             "darwin": self.darwin.to_state(bundle),
+            # Informational telemetry block: the registry snapshot at save
+            # time (None when metrics are disabled). Never read on restore —
+            # describe_checkpoint/export-state surface it so "what has this
+            # engine done" is answerable without loading the checkpoint.
+            "metrics": (
+                get_registry().snapshot() if get_registry().enabled else None
+            ),
         }
         return write_checkpoint(path, manifest, bundle.as_mapping())
 
@@ -555,6 +573,10 @@ class DarwinEngine:
             # one level down, on the shared base they point at.
             "arena": index_state.get("store", {}).get("arena")
             or index_state.get("store", {}).get("base", {}).get("arena"),
+            # Digest of the embedded telemetry snapshot (questions asked,
+            # retrains, phase latency, cache hit ratios); {} when the
+            # checkpoint was saved with metrics disabled.
+            "metrics": summarize_snapshot(manifest.get("metrics")),
             "arrays": {name: inventory[name] for name in sorted(inventory)},
         }
         return summary

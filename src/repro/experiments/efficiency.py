@@ -52,11 +52,11 @@ def efficiency_experiment(
                 traversal="hybrid", budget=budget, seed_positive_ids=seed_positives
             )
         for phase in phases:
-            timings[phase].append(run.timings.get(phase, 0.0))
+            timings[phase].append(run.timings.get(phase, {}).get("total", 0.0))
         # Index/embedding time is recorded by the Darwin constructor only when
         # it builds them itself; prepare_dataset pre-builds them, so measure
         # separately through a fresh Darwin without the shared artifacts.
-        if run.timings.get("index_build", 0.0) == 0.0:
+        if run.timings.get("index_build", {}).get("total", 0.0) == 0.0:
             from ..core.darwin import Darwin
 
             fresh = Darwin(setting.corpus, grammars=setting.grammars,

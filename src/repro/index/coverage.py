@@ -348,6 +348,7 @@ class CoverageStore:
         self._bitset_cache_bytes = 0
         self._bitset_hits = 0
         self._bitset_misses = 0
+        self._bitset_evictions = 0
         if backend == "arena":
             config = arena_config or ArenaConfig()
             self._bitset_budget = int(config.bitset_cache_bytes)
@@ -603,6 +604,7 @@ class CoverageStore:
             ):
                 _, (evicted, _) = self._bitset_cache.popitem(last=False)
                 self._bitset_cache_bytes -= evicted.nbytes
+                self._bitset_evictions += 1
         return bits
 
     def bitset_cache_stats(self) -> Dict[str, float]:
@@ -613,6 +615,7 @@ class CoverageStore:
             "cached_entries": float(len(self._bitset_cache)),
             "hits": float(self._bitset_hits),
             "misses": float(self._bitset_misses),
+            "evictions": float(self._bitset_evictions),
         }
 
     # -------------------------------------------------------- state protocol

@@ -66,6 +66,14 @@ class OverlayCoverageStore(CoverageStore):
             )
         self._base = base
         self._base_count = base.num_interned
+        # Intern-routing counters (observability): how many intern() calls
+        # resolved against the shared base vs. an existing local view vs.
+        # appended a new local view. Plain ints — the coordinator drives each
+        # tenant single-threaded, and the pool collector only reads them.
+        # Initialized before super().__init__, which interns the empty view.
+        self._shared_routed = 0
+        self._local_routed = 0
+        self._local_interned = 0
         super().__init__(universe_size=max(base.universe_size, int(universe_size)))
         self.backend = "overlay"
 
@@ -155,15 +163,19 @@ class OverlayCoverageStore(CoverageStore):
             if ids.store is self._base and (
                 ids.slot is None or ids.slot < self._base_count
             ):
+                self._shared_routed += 1
                 return ids
         array = _as_sorted_ids(ids)
         shared = self._resolve_shared(array)
         if shared is not None:
+            self._shared_routed += 1
             return shared
         key = self._key_of(array)
         position = self._by_key.get(key)
         if position is not None:
+            self._local_routed += 1
             return self._views[position]
+        self._local_interned += 1
         if array.size:
             self.ensure_universe(int(array[-1]) + 1)
         view = CoverageView(
@@ -280,6 +292,9 @@ class OverlayCoverageStore(CoverageStore):
             "num_overlay_interned": float(self.num_overlay_interned),
             "overlay_bytes": float(self.overlay_bytes),
             "resident_coverage_bytes": float(self.resident_coverage_bytes),
+            "shared_routed": float(self._shared_routed),
+            "local_routed": float(self._local_routed),
+            "local_interned": float(self._local_interned),
         }
         stats.update(
             {f"base_{key}": value for key, value in self._base.stats().items()}

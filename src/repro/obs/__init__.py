@@ -1,0 +1,150 @@
+"""`repro.obs` — unified metrics + span-tracing telemetry layer.
+
+One process-wide :class:`MetricsRegistry` (counters / gauges / histograms
+with labeled series) and one :class:`SpanTracer` (nested wall-time spans),
+both defaulting to no-op null implementations so un-instrumented runs pay a
+single attribute call per metric site. Exporters: Prometheus text exposition
+(:meth:`MetricsRegistry.render_prometheus`) and a structured JSON snapshot
+(:meth:`MetricsRegistry.snapshot`, written by ``--metrics-out`` and embedded
+in checkpoint manifests).
+
+Typical use::
+
+    from repro import obs
+
+    registry = obs.enable()          # swap in live registry + tracer
+    engine = DarwinEngine.from_config(...)   # instruments bind at build time
+    engine.run(oracle, budget=50)
+    obs.write_snapshot("metrics.json")
+
+Components resolve their instruments at construction time, so call
+:func:`enable` *before* building engines/pools you want instrumented.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_INSTRUMENT,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+    summarize_snapshot,
+)
+from .prometheus import parse_prometheus_text, render_snapshot
+from .tracing import NULL_SPAN, NullTracer, Span, SpanTracer
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+    "enable",
+    "disable",
+    "get_registry",
+    "get_tracer",
+    "parse_prometheus_text",
+    "read_snapshot",
+    "render_snapshot",
+    "set_registry",
+    "set_tracer",
+    "summarize_snapshot",
+    "trace",
+    "write_snapshot",
+]
+
+_NULL_REGISTRY = NullRegistry()
+_NULL_TRACER = NullTracer()
+
+_registry: Union[MetricsRegistry, NullRegistry] = _NULL_REGISTRY
+_tracer: Union[SpanTracer, NullTracer] = _NULL_TRACER
+
+
+def get_registry() -> Union[MetricsRegistry, NullRegistry]:
+    """The process-wide registry (a no-op :class:`NullRegistry` by default)."""
+    return _registry
+
+
+def set_registry(
+    registry: Union[MetricsRegistry, NullRegistry],
+) -> Union[MetricsRegistry, NullRegistry]:
+    """Swap the process-wide registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def get_tracer() -> Union[SpanTracer, NullTracer]:
+    """The process-wide tracer (a no-op :class:`NullTracer` by default)."""
+    return _tracer
+
+
+def set_tracer(
+    tracer: Union[SpanTracer, NullTracer],
+) -> Union[SpanTracer, NullTracer]:
+    """Swap the process-wide tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def trace(name: str, **attrs: object):
+    """Open a span on the process-wide tracer (no-op when disabled)."""
+    return _tracer.trace(name, **attrs)
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> MetricsRegistry:
+    """Install a live registry + tracer as the process defaults.
+
+    Idempotent-friendly: passing nothing creates fresh instances. Returns
+    the installed registry. Call before constructing the components you
+    want instrumented (they bind their instruments in ``__init__``).
+    """
+    live_registry = registry if registry is not None else MetricsRegistry()
+    live_tracer = tracer if tracer is not None else SpanTracer()
+    set_registry(live_registry)
+    set_tracer(live_tracer)
+    return live_registry
+
+
+def disable() -> None:
+    """Restore the no-op defaults (used by tests to undo :func:`enable`)."""
+    set_registry(_NULL_REGISTRY)
+    set_tracer(_NULL_TRACER)
+
+
+SNAPSHOT_KIND = "repro.obs.snapshot"
+
+
+def write_snapshot(path: Union[str, Path]) -> Path:
+    """Write the current metrics snapshot + retained spans to a JSON file."""
+    path = Path(path)
+    payload = {
+        "kind": SNAPSHOT_KIND,
+        "version": 1,
+        "metrics": _registry.snapshot(),
+        "spans": _tracer.spans(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def read_snapshot(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and validate a ``write_snapshot`` file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or payload.get("kind") != SNAPSHOT_KIND:
+        raise ValueError(f"{path} is not a repro.obs snapshot file")
+    return payload

@@ -1,0 +1,154 @@
+"""Prometheus text exposition: renderer over snapshots, plus a minimal parser.
+
+Rendering works from the :meth:`MetricsRegistry.snapshot` dict rather than
+live registry objects, so the same function serves three callers: the live
+``render_prometheus()`` exporter, ``repro stats --format prometheus`` over a
+snapshot file, and the future gateway's ``/metrics`` handler.
+
+The parser is deliberately small — ``# HELP`` / ``# TYPE`` comments, samples
+with optional labels, histogram ``_bucket``/``_sum``/``_count`` suffixes —
+and strict about what it does accept: tests and the CI ``obs-smoke`` step
+round-trip the renderer through it, so a malformed exposition fails loudly
+instead of being waved through.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return f"{float(value):g}"
+
+
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_snapshot(snapshot: Dict[str, object]) -> str:
+    """Render a registry snapshot in Prometheus text exposition format."""
+    if not snapshot.get("enabled"):
+        return "# repro.obs: metrics disabled (NullRegistry)\n"
+    lines: List[str] = []
+    metrics = snapshot.get("metrics", {})
+    assert isinstance(metrics, dict)
+    for name in sorted(metrics):
+        family = metrics[name]
+        kind = family["kind"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(str(family['help']))}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = series.get("labels", {})
+            if kind == "histogram":
+                for bound, cumulative in series["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                    label_block = _format_labels(labels, extra=f'le="{le}"')
+                    lines.append(f"{name}_bucket{label_block} {cumulative}")
+                label_block = _format_labels(labels)
+                lines.append(f"{name}_sum{label_block} {_format_value(series['sum'])}")
+                lines.append(f"{name}_count{label_block} {series['count']}")
+            else:
+                label_block = _format_labels(labels)
+                lines.append(f"{name}{label_block} {_format_value(series['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _unescape_label(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse a text exposition into ``{family: {type, help, samples}}``.
+
+    ``samples`` maps ``(sample_name, ((label, value), ...))`` — labels sorted
+    — to the float sample value. Raises :class:`ValueError` on any line that
+    is neither a comment, blank, nor a well-formed sample, and on samples
+    whose family was never declared with ``# TYPE``.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families[parts[2]] = {"type": parts[3], "help": "", "samples": {}}
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                family = families.setdefault(
+                    parts[2], {"type": "untyped", "help": "", "samples": {}}
+                )
+                family["help"] = parts[3] if len(parts) == 4 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        sample_name = match.group("name")
+        label_text = match.group("labels") or ""
+        labels: List[Tuple[str, str]] = []
+        if label_text:
+            consumed = 0
+            for label_match in _LABEL_RE.finditer(label_text):
+                labels.append(
+                    (label_match.group(1), _unescape_label(label_match.group(2)))
+                )
+                consumed = label_match.end()
+            remainder = label_text[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(f"line {lineno}: malformed labels {label_text!r}")
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            try:
+                value = float(value_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {lineno}: malformed value {value_text!r}"
+                ) from exc
+        family_name = _family_of(sample_name, families)
+        if family_name is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no # TYPE declaration"
+            )
+        samples = families[family_name]["samples"]
+        assert isinstance(samples, dict)
+        samples[(sample_name, tuple(sorted(labels)))] = value
+    return families
+
+
+def _family_of(
+    sample_name: str, families: Dict[str, Dict[str, object]]
+) -> Optional[str]:
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+            return sample_name[: -len(suffix)]
+    return None

@@ -1,0 +1,168 @@
+"""Lightweight span tracing: nested wall-time spans with attached counters.
+
+``trace("darwin.propose", tenant="acme")`` opens a span; spans nest through a
+:class:`contextvars.ContextVar`, so concurrent ``asyncio`` tasks (one per
+tenant in ``serve_tenants``) each thread their own parent chain without any
+cross-talk. Finished root spans land in a bounded ring buffer (old traces
+fall off; a long serve session never grows without bound) and dump to JSON
+alongside the metrics snapshot.
+
+Like the metrics side, the process default is a :class:`NullTracer` whose
+``trace`` returns one shared no-op context manager — the disabled path costs
+two method calls and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One timed operation: name, attributes, children, ad-hoc counters."""
+
+    __slots__ = ("name", "attrs", "started_at", "duration_s", "children",
+                 "counters", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.started_at = time.time()
+        self.duration_s = 0.0
+        self.children: List["Span"] = []
+        self.counters: Dict[str, float] = {}
+        self._t0 = 0.0
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes discovered mid-span (e.g. the chosen rule)."""
+        self.attrs.update(attrs)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Bump a per-span counter (e.g. candidates scanned)."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def as_dict(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration_ms": 1000.0 * self.duration_s,
+        }
+        if self.attrs:
+            entry["attrs"] = {k: v for k, v in self.attrs.items()}
+        if self.counters:
+            entry["counters"] = dict(self.counters)
+        if self.children:
+            entry["children"] = [child.as_dict() for child in self.children]
+        return entry
+
+
+class _ActiveSpan:
+    """Context manager binding one Span into the tracer's context chain."""
+
+    __slots__ = ("_tracer", "span", "_parent", "_token")
+
+    def __init__(self, tracer: "SpanTracer", name: str,
+                 attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.span = Span(name, attrs)
+        self._parent: Optional[Span] = None
+        self._token = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        self._parent = tracer._current.get()
+        self._token = tracer._current.set(self.span)
+        self.span._t0 = time.perf_counter()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.duration_s = time.perf_counter() - span._t0
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._current.reset(self._token)
+        # A child may finish after its parent (tasks overlap); appending under
+        # the tracer lock keeps the tree consistent either way.
+        with self._tracer._lock:
+            if self._parent is not None:
+                self._parent.children.append(span)
+            else:
+                self._tracer._roots.append(span)
+        return False
+
+
+class _NullSpanHandle:
+    """Shared no-op span + context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs: object) -> None:
+        pass
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpanHandle()
+
+
+class SpanTracer:
+    """Collects nested spans; retains the most recent root spans.
+
+    ``max_spans`` bounds the ring buffer of *root* spans (children live under
+    their root and are retained or dropped with it).
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 256) -> None:
+        self._current: contextvars.ContextVar[Optional[Span]] = (
+            contextvars.ContextVar("repro_obs_span", default=None)
+        )
+        self._lock = threading.Lock()
+        self._roots: deque = deque(maxlen=max_spans)
+
+    def trace(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.trace("x", tenant=t) as span:``."""
+        return _ActiveSpan(self, name, dict(attrs))
+
+    def spans(self) -> List[Dict[str, object]]:
+        """Finished root spans, oldest first, as JSON-able dicts."""
+        with self._lock:
+            roots = list(self._roots)
+        return [root.as_dict() for root in roots]
+
+    def dump_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.spans(), indent=indent)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+class NullTracer:
+    """The disabled tracer: ``trace`` hands back one shared no-op span."""
+
+    enabled = False
+
+    def trace(self, name: str, **attrs: object) -> _NullSpanHandle:
+        return NULL_SPAN
+
+    def spans(self) -> List[Dict[str, object]]:
+        return []
+
+    def dump_json(self, indent: Optional[int] = None) -> str:
+        return "[]"
+
+    def clear(self) -> None:
+        pass

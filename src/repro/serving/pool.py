@@ -36,6 +36,7 @@ from ..errors import ConfigurationError
 from ..index.arena import ArenaConfig
 from ..index.overlay import OverlayCoverageStore
 from ..index.trie_index import CorpusIndex
+from ..obs import get_registry
 from ..text.corpus import Corpus
 
 
@@ -228,6 +229,36 @@ class TenantPool:
             )
         self.featurizer = featurizer
 
+        # Telemetry (repro.obs): pool-level residency re-expressed as gauges.
+        # Registered weakly — the registry never keeps a closed pool alive.
+        self._obs = get_registry()
+        self._obs.register_collector(self._collect_obs_gauges)
+
+    def _collect_obs_gauges(self) -> None:
+        """Pull collector: :meth:`memory_stats` and the shared feature cache
+        as ``pool_*`` gauges (runs at snapshot/render time only)."""
+        if self._closed:
+            return
+        registry = self._obs
+        stats = self.memory_stats()
+        help_by_key = {
+            "num_tenants": "Live tenants in the pool",
+            "shared_resident_bytes": "Heap bytes of the shared substrate",
+            "tenant_resident_bytes": "Summed marginal tenant overlay bytes",
+            "feature_cache_bytes": "Shared feature cache resident bytes",
+            "arena_file_bytes": "Backing arena file size (arena pools only)",
+        }
+        for key, value in stats.items():
+            registry.gauge(
+                f"pool_{key}", help_by_key.get(key, ""), labels=()
+            ).set(value)
+        fstats = self.featurizer.cache.stats()
+        for key in ("hits", "misses", "entries", "nbytes"):
+            registry.gauge(
+                f"pool_feature_cache_{key}",
+                f"Shared feature cache {key} across all tenants",
+            ).set(fstats[key])
+
     def _build_grammars(self) -> List:
         from ..engine.engine import _build_grammars
 
@@ -282,6 +313,9 @@ class TenantPool:
             seeds=dict(seeds) if seeds is not None else dict(self.seeds),
         )
         tenant = Tenant(self, tenant_id, engine, overlay)
+        # Per-tenant metric series (tenant_questions, coverage_*, ...) carry
+        # the tenant id, not the corpus name the Darwin defaulted to.
+        engine.darwin.obs_label = tenant_id
         self._tenants[tenant_id] = tenant
         self._spawned += 1
         return tenant

@@ -21,6 +21,7 @@ from ..core.oracle import Oracle
 from ..crowd.coordinator import CrowdCoordinator, CrowdResult
 from ..crowd.runner import drive_crowd, simulated_annotators
 from ..errors import ConfigurationError
+from ..obs import trace as obs_trace
 from .pool import Tenant, TenantPool
 
 
@@ -92,7 +93,9 @@ async def serve_tenants(
     for tenant in chosen:
         if not tenant.started:
             tenant.start()
-        coordinators.append(CrowdCoordinator(tenant.darwin, config))
+        coordinators.append(
+            CrowdCoordinator(tenant.darwin, config, obs_tenant=tenant.tenant_id)
+        )
         crew = (annotators_for or {}).get(tenant.tenant_id)
         if crew is None:
             crew = simulated_annotators(pool.corpus, config)
@@ -102,11 +105,22 @@ async def serve_tenants(
                 f"num_annotators={config.num_annotators}"
             )
         crews.append(crew)
+    async def _serve_one(
+        tenant: Tenant, coordinator: CrowdCoordinator, crew: Sequence[Oracle]
+    ) -> None:
+        # Each gathered task copies the ambient context, so every tenant's
+        # serve.tenant span parents its own darwin.* children without
+        # cross-talk between concurrently served tenants.
+        with obs_trace("serve.tenant", tenant=tenant.tenant_id) as span:
+            await drive_crowd(coordinator, crew, config)
+            span.count("questions_committed", coordinator.questions_committed)
+            span.count("votes_collected", coordinator.votes_collected)
+
     start = time.perf_counter()
     await asyncio.gather(
         *(
-            drive_crowd(coordinator, crew, config)
-            for coordinator, crew in zip(coordinators, crews)
+            _serve_one(tenant, coordinator, crew)
+            for tenant, coordinator, crew in zip(chosen, coordinators, crews)
         )
     )
     wall_seconds = time.perf_counter() - start

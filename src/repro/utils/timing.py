@@ -44,9 +44,21 @@ class Stopwatch:
             return 0.0
         return self.durations[name] / count
 
-    def as_dict(self) -> Dict[str, float]:
-        """Return a copy of the accumulated totals."""
-        return dict(self.durations)
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{"total", "count", "mean"}`` blocks (a fresh copy).
+
+        Returns totals *and* counts so consumers (efficiency experiments,
+        bench payloads, `DarwinResult.timings`) stop recomputing means and
+        stop losing how many times a phase ran.
+        """
+        return {
+            name: {
+                "total": total,
+                "count": float(self.counts.get(name, 0)),
+                "mean": total / self.counts[name] if self.counts.get(name) else 0.0,
+            }
+            for name, total in self.durations.items()
+        }
 
 
 @contextmanager

@@ -71,6 +71,17 @@ class TestStopwatch:
         snapshot["p"] = 999.0
         assert watch.total("p") != 999.0
 
+    def test_as_dict_reports_totals_counts_and_means(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.measure("p"):
+                time.sleep(0.001)
+        entry = watch.as_dict()["p"]
+        assert set(entry) == {"total", "count", "mean"}
+        assert entry["count"] == 3.0
+        assert entry["total"] == watch.total("p")
+        assert entry["mean"] == pytest.approx(entry["total"] / 3.0)
+
     def test_timed_context_manager(self):
         with timed() as box:
             time.sleep(0.001)
