@@ -81,7 +81,39 @@ def check_snapshot(snapshot: dict, source: str) -> list:
 
 def validate_file(path: str) -> list:
     payload = obs.read_snapshot(path)
-    return check_snapshot(payload.get("metrics", {}), path)
+    failures = check_snapshot(payload.get("metrics", {}), path)
+    failures += check_stats_exposition(path)
+    return failures
+
+
+def check_stats_exposition(path: str) -> list:
+    """``repro stats --format prometheus`` must emit parseable exposition.
+
+    Drives the real CLI handler (captured stdout), then round-trips the text
+    through :func:`repro.obs.parse_prometheus_text` — covering the
+    snapshot→CLI→exposition→parser loop, not just the in-process renderer.
+    """
+    import contextlib
+    import io
+
+    from repro.cli import main as repro_main
+
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        exit_code = repro_main(
+            ["stats", "--metrics", path, "--format", "prometheus"]
+        )
+    if exit_code != 0:
+        return [f"{path}: repro stats --format prometheus exited {exit_code}"]
+    text = stdout.getvalue()
+    try:
+        parsed = obs.parse_prometheus_text(text)
+    except ValueError as exc:
+        return [f"{path}: repro stats exposition does not parse: {exc}"]
+    if not parsed:
+        return [f"{path}: repro stats exposition parsed to zero families"]
+    print(f"repro stats exposition: {len(parsed)} families parse back")
+    return []
 
 
 def run_session() -> list:

@@ -1,0 +1,78 @@
+"""`repro.analysis` — AST-based invariant linter for the codebase itself.
+
+The runtime layers each carry an invariant that ordinary tests exercise only
+on the paths they happen to drive: checkpoint resume needs explicit RNG
+streams (no global ``random``/wall-clock state), the state protocol needs a
+restorer for every serializer key, sealed arena/NodeTable columns must never
+be written, lock-guarded attributes must stay guarded, and the telemetry
+null path must stay free at import time. This package checks those
+invariants statically over the whole tree on every CI run.
+
+Usage::
+
+    repro lint src/                     # text report, exit 1 on findings
+    repro lint --format json src/       # machine-readable report
+    repro lint --update-baseline src/   # grandfather current findings
+
+Checkers are pluggable through the same registry pattern as the engine
+component families::
+
+    from repro.analysis import register_checker
+
+    @register_checker("RPR100")
+    def check_my_invariant(ctx):
+        yield Diagnostic(code="RPR100", path=ctx.path, line=1, message="...")
+
+Intentional exceptions carry an inline ``# repro: allow[RPR001] reason``
+comment (the reason is mandatory — a bare allow is itself flagged).
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BASELINE_KIND,
+    DEFAULT_BASELINE_PATH,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from .diagnostics import Diagnostic, sort_diagnostics
+from .driver import (
+    REPORT_SCHEMA_VERSION,
+    FileContext,
+    LintReport,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    render_json,
+    render_text,
+    run_lint,
+)
+from .registry import CHECKERS, DEFAULT_CONFIG, LintConfig, register_checker
+from .suppress import parse_suppressions
+
+from . import checkers  # noqa: F401  — registers the shipped checkers
+
+__all__ = [
+    "BASELINE_KIND",
+    "CHECKERS",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_CONFIG",
+    "Diagnostic",
+    "FileContext",
+    "LintConfig",
+    "LintReport",
+    "REPORT_SCHEMA_VERSION",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "parse_suppressions",
+    "register_checker",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "sort_diagnostics",
+    "split_baselined",
+    "write_baseline",
+]

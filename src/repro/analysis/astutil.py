@@ -1,0 +1,79 @@
+"""Shared AST helpers for the invariant checkers.
+
+The checkers reason about *qualified names*: ``np.random.shuffle`` must be
+recognized whether the file wrote ``import numpy as np``, ``import
+numpy.random as npr``, or ``from numpy.random import shuffle``. An
+:class:`ImportMap` collects every import alias in a module once; checkers
+then resolve call targets through it with :meth:`ImportMap.resolve`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """The ``["a", "b", "c"]`` chain of a ``a.b.c`` Name/Attribute expression.
+
+    Returns None when the expression root is not a plain name (a call result,
+    a subscript, a literal) — those targets cannot be resolved to a module
+    member statically.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``"a.b.c"`` for a Name/Attribute chain, else None."""
+    parts = dotted_parts(node)
+    return ".".join(parts) if parts is not None else None
+
+
+class ImportMap:
+    """Alias → qualified-name mapping collected from a module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random import
+    rand as r`` maps ``r -> numpy.random.rand``. Relative imports keep their
+    module suffix with the leading dots stripped (``from ..obs import
+    get_registry`` maps ``get_registry -> obs.get_registry``), so checkers
+    match by suffix rather than absolute package root.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds c -> a.b.
+                    target = alias.name if alias.asname else bound
+                    self._aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                module = (node.module or "").lstrip(".")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    qualified = f"{module}.{alias.name}" if module else alias.name
+                    self._aliases[bound] = qualified
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Qualified dotted name of a call target, through import aliases.
+
+        ``np.random.shuffle`` with ``import numpy as np`` resolves to
+        ``numpy.random.shuffle``; an unimported root resolves to the literal
+        dotted text (so same-module helpers keep their bare name).
+        """
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        root = self._aliases.get(parts[0], parts[0])
+        return ".".join([root] + parts[1:])

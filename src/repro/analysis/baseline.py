@@ -1,0 +1,78 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline file lets the linter gate CI at zero *new* findings while known
+pre-existing ones are burned down over time. Entries are keyed by
+``(code, path, message)`` — deliberately line-number-free, so unrelated
+edits to a file do not un-baseline its grandfathered findings.
+
+The shipped baseline (:data:`DEFAULT_BASELINE_PATH`) is **empty**: every
+true violation the checkers surface in ``src/`` has been fixed, and the
+intentional exceptions carry inline ``# repro: allow[...]`` reasons instead
+of baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from ..errors import ConfigurationError
+from .diagnostics import Diagnostic
+
+DEFAULT_BASELINE_PATH = ".repro-lint-baseline.json"
+BASELINE_KIND = "repro.analysis.baseline"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path) -> Set[BaselineKey]:
+    """Grandfathered finding keys from a baseline file (empty set if absent)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return set()
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable lint baseline {path}: {exc}")
+    if not isinstance(payload, dict) or payload.get("kind") != BASELINE_KIND:
+        raise ConfigurationError(
+            f"{path} is not a repro lint baseline file (kind != "
+            f"{BASELINE_KIND!r})"
+        )
+    keys: Set[BaselineKey] = set()
+    for entry in payload.get("findings", []):
+        try:
+            keys.add((str(entry["code"]), str(entry["path"]),
+                      str(entry["message"])))
+        except (KeyError, TypeError):
+            raise ConfigurationError(
+                f"{path}: baseline entries need code/path/message fields"
+            )
+    return keys
+
+
+def write_baseline(path, diagnostics: Iterable[Diagnostic]) -> Path:
+    """Write ``diagnostics`` as the new baseline (sorted, deduplicated)."""
+    keys = sorted({d.baseline_key for d in diagnostics})
+    findings: List[dict] = [
+        {"code": code, "path": file_path, "message": message}
+        for code, file_path, message in keys
+    ]
+    payload = {"kind": BASELINE_KIND, "version": 1, "findings": findings}
+    file_path = Path(path)
+    file_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return file_path
+
+
+def split_baselined(diagnostics, baseline: Set[BaselineKey]):
+    """Partition diagnostics into (new, grandfathered) against ``baseline``."""
+    fresh, grandfathered = [], []
+    for diagnostic in diagnostics:
+        if diagnostic.baseline_key in baseline:
+            grandfathered.append(diagnostic)
+        else:
+            fresh.append(diagnostic)
+    return fresh, grandfathered

@@ -1,0 +1,15 @@
+"""Shipped invariant checkers.
+
+Importing this package registers every shipped checker in
+:data:`repro.analysis.registry.CHECKERS` (the modules self-register via
+``@register_checker``). A new invariant is one module here plus an import
+below.
+"""
+
+from __future__ import annotations
+
+from . import determinism  # noqa: F401  (RPR001)
+from . import state_protocol  # noqa: F401  (RPR002)
+from . import sealed  # noqa: F401  (RPR003)
+from . import locks  # noqa: F401  (RPR004)
+from . import obs_nullpath  # noqa: F401  (RPR005)

@@ -1,0 +1,121 @@
+"""RPR001 — determinism: no global RNG state, no wall-clock in library code.
+
+The checkpoint protocol (PR 3) replays every stochastic decision from
+serialized ``numpy.random.Generator`` streams; question-identical resume
+holds **only** because no component reads the process-global RNG or the wall
+clock. This checker flags:
+
+* calls into the stdlib ``random`` module's global stream (``random.random``,
+  ``random.shuffle``, ``random.seed``, …) and unseeded ``random.Random()`` /
+  ``random.SystemRandom``;
+* legacy ``numpy.random`` global-state calls (``np.random.rand``,
+  ``np.random.seed``, …) — anything that is not an explicit Generator
+  construction — plus **unseeded** ``np.random.default_rng()`` /
+  ``np.random.RandomState()``;
+* wall-clock reads (``time.time``, ``datetime.now``, …). Monotonic duration
+  clocks (``time.perf_counter``/``monotonic``) are fine: they measure spans,
+  they never feed algorithm state.
+
+Registered RNG-stream owners (``repro/utils/rng.py`` by default) are exempt;
+telemetry timestamps that are intentionally wall-clock carry an inline
+``# repro: allow[RPR001] reason`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..diagnostics import Diagnostic
+from ..registry import register_checker
+
+# Stdlib `random` module functions that touch the hidden global Random().
+_STDLIB_GLOBAL = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+# numpy.random members that construct explicit, seedable streams.
+_NUMPY_SEEDED_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+    "PCG64DXSM", "MT19937", "Philox", "SFC64", "RandomState",
+})
+# ...but these two are only deterministic when given an explicit seed.
+_NEEDS_SEED = frozenset({"default_rng", "RandomState", "Random"})
+
+_WALLCLOCK = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.asctime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_RNG_SUGGESTION = (
+    "derive an explicit stream with repro.utils.rng.derive_rng(seed, "
+    "namespace) (or np.random.default_rng(seed)) and thread it through — "
+    "global RNG state is invisible to the checkpoint protocol"
+)
+_CLOCK_SUGGESTION = (
+    "use time.perf_counter() for durations, or pass timestamps in "
+    "explicitly; telemetry that genuinely needs wall time keeps a "
+    "`# repro: allow[RPR001] <reason>` comment"
+)
+
+
+@register_checker("RPR001")
+def check_determinism(ctx) -> Iterable[Diagnostic]:
+    if ctx.config.path_matches(ctx.path, ctx.config.rng_owner_suffixes):
+        return []
+    diagnostics: List[Diagnostic] = []
+
+    def emit(node: ast.AST, message: str, suggestion: str) -> None:
+        diagnostics.append(Diagnostic(
+            code="RPR001", path=ctx.path, line=node.lineno,
+            col=node.col_offset, message=message, suggestion=suggestion,
+        ))
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.imports.resolve(node.func)
+        if resolved is None:
+            continue
+        has_args = bool(node.args or node.keywords)
+        if resolved.startswith("random."):
+            member = resolved.split(".", 1)[1]
+            if member in _STDLIB_GLOBAL:
+                emit(node,
+                     f"global-state RNG call random.{member}() — silently "
+                     f"breaks question-identical checkpoint resume",
+                     _RNG_SUGGESTION)
+            elif member == "SystemRandom":
+                emit(node,
+                     "random.SystemRandom() draws OS entropy and can never "
+                     "be replayed from a checkpoint",
+                     _RNG_SUGGESTION)
+            elif member == "Random" and not has_args:
+                emit(node,
+                     "unseeded random.Random() — seed it explicitly or the "
+                     "stream cannot be restored on resume",
+                     _RNG_SUGGESTION)
+        elif resolved.startswith("numpy.random."):
+            member = resolved.split("numpy.random.", 1)[1].split(".", 1)[0]
+            if member not in _NUMPY_SEEDED_OK:
+                emit(node,
+                     f"numpy global-state RNG call np.random.{member}() — "
+                     f"silently breaks question-identical checkpoint resume",
+                     _RNG_SUGGESTION)
+            elif member in _NEEDS_SEED and not has_args:
+                emit(node,
+                     f"unseeded np.random.{member}() draws OS entropy — "
+                     f"pass an explicit seed so the stream is replayable",
+                     _RNG_SUGGESTION)
+        elif resolved in _WALLCLOCK:
+            emit(node,
+                 f"wall-clock read {resolved}() in library code — "
+                 f"wall time is not checkpointable state",
+                 _CLOCK_SUGGESTION)
+    return diagnostics

@@ -1,0 +1,107 @@
+"""RPR005 — obs null-path cost: no telemetry wiring at import time.
+
+The telemetry layer's whole design is that *disabled* runs pay one attribute
+read per metric site: components call :func:`repro.obs.get_registry` at
+**construction** time and hold whatever instrument (possibly
+``NULL_INSTRUMENT``) they got. Two anti-patterns break that contract:
+
+* module-level ``_REGISTRY = get_registry()`` — snapshots the null registry
+  at import time, so a later ``obs.enable()`` never reaches this module and
+  its metrics silently vanish;
+* module-level ``MetricsRegistry()`` / ``SpanTracer()`` construction —
+  allocates live telemetry state (locks, dicts) for every importer, paid
+  even by runs that never enable observability.
+
+The checker flags calls to the obs entry points in import-time positions:
+module body, class body, and default-argument expressions. Function bodies
+are fine — that *is* the construction-time pattern. The obs package itself
+(``repro/obs/``) is exempt; it owns the process-wide singletons.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..diagnostics import Diagnostic
+from ..registry import register_checker
+
+# Entry points that bind or allocate telemetry state. Matched on the
+# resolved dotted name's tail so `obs.get_registry`, `repro.obs.get_registry`
+# and a bare imported `get_registry` all hit.
+_OBS_TAILS = frozenset({
+    "get_registry", "get_tracer", "set_registry", "set_tracer",
+    "enable", "disable",
+})
+_OBS_CONSTRUCTORS = frozenset({
+    "MetricsRegistry", "SpanTracer", "NullRegistry", "NullTracer",
+})
+_OBS_MODULES = ("obs", "repro.obs")
+
+_SUGGESTION = (
+    "resolve instruments at construction time (call obs.get_registry() "
+    "inside __init__/build) so obs.enable() reaches this component and "
+    "disabled runs stay zero-cost"
+)
+
+
+def _is_obs_call(resolved: str) -> bool:
+    if "." not in resolved:
+        return False
+    module, member = resolved.rsplit(".", 1)
+    if member in _OBS_TAILS or member in _OBS_CONSTRUCTORS:
+        return module in _OBS_MODULES or module.endswith(".obs")
+    return False
+
+
+def _import_time_calls(tree: ast.Module):
+    """Calls evaluated when the module is imported.
+
+    Walks module and class bodies; for function/lambda definitions only the
+    decorator list and default-argument expressions are import-time — the
+    body runs later, at call time.
+    """
+    def from_node(node: ast.AST):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for expr in (
+                list(node.decorator_list)
+                + node.args.defaults
+                + [d for d in node.args.kw_defaults if d is not None]
+            ):
+                yield from from_node(expr)
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, ast.Call):
+            yield node
+        for child in ast.iter_child_nodes(node):
+            yield from from_node(child)
+
+    yield from from_node(tree)
+
+
+@register_checker("RPR005")
+def check_obs_nullpath(ctx) -> Iterable[Diagnostic]:
+    if ctx.config.path_matches(ctx.path, ctx.config.obs_owner_suffixes):
+        return []
+    diagnostics: List[Diagnostic] = []
+    for call in _import_time_calls(ctx.tree):
+        resolved = ctx.imports.resolve(call.func)
+        if resolved is None or not _is_obs_call(resolved):
+            continue
+        member = resolved.rsplit(".", 1)[1]
+        if member in _OBS_CONSTRUCTORS:
+            message = (
+                f"import-time construction of obs.{member}() — allocates "
+                f"telemetry state for every importer, even with obs disabled"
+            )
+        else:
+            message = (
+                f"import-time call to obs.{member}() — binds the registry "
+                f"before obs.enable() can run, so instruments silently no-op"
+            )
+        diagnostics.append(Diagnostic(
+            code="RPR005", path=ctx.path, line=call.lineno,
+            col=call.col_offset, message=message, suggestion=_SUGGESTION,
+        ))
+    return diagnostics

@@ -1,0 +1,128 @@
+"""RPR002 — state-protocol parity: serializers need matching restorers.
+
+The npz+JSON checkpoint protocol (PR 3) is a pair of hand-written codecs per
+component: ``to_state``/``state_dict`` writes a manifest block, and
+``from_state``/``load_state`` must read it back. Two drift modes have bitten
+in review:
+
+* a class grows ``to_state`` but the counterpart is missing entirely, so the
+  component silently cannot be restored;
+* ``to_state`` starts writing a new key that the counterpart never reads, so
+  the manifest schema and the restore path disagree (the key is dead weight
+  at best, a missed restore at worst).
+
+This checker enforces both per class. Key parity is intentionally shallow:
+only string keys of **top-level** dict literals in the serializer are
+required to appear (as string literals, anywhere) in the counterpart —
+nested blocks such as arena *references* are consumed by other layers and
+routinely carry informational fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from ..diagnostics import Diagnostic
+from ..registry import register_checker
+
+
+def _methods(cls: ast.ClassDef):
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _written_keys(fn: ast.AST) -> List[Tuple[str, int]]:
+    """String keys written by ``fn``: top-level dict literals plus
+    ``state["key"] = ...`` subscript stores (nested dicts excluded)."""
+    keys: List[Tuple[str, int]] = []
+
+    def visit(node: ast.AST, dict_depth: int) -> None:
+        if isinstance(node, ast.Dict):
+            if dict_depth == 0:
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        keys.append((key.value, key.lineno))
+            for child in ast.iter_child_nodes(node):
+                visit(child, dict_depth + 1)
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                    and dict_depth == 0
+                ):
+                    keys.append((target.slice.value, target.lineno))
+        for child in ast.iter_child_nodes(node):
+            visit(child, dict_depth)
+
+    visit(fn, 0)
+    return keys
+
+
+def _read_strings(fns: Iterable[ast.AST]) -> Set[str]:
+    """Every string literal appearing anywhere in the counterpart methods."""
+    strings: Set[str] = set()
+    for fn in fns:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                strings.add(node.value)
+    return strings
+
+
+@register_checker("RPR002")
+def check_state_protocol(ctx) -> Iterable[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = _methods(node)
+        for writer_name, counterpart_names in ctx.config.state_pairs.items():
+            writer = methods.get(writer_name)
+            if writer is None:
+                continue
+            counterparts = [
+                methods[name] for name in counterpart_names if name in methods
+            ]
+            if not counterparts:
+                diagnostics.append(Diagnostic(
+                    code="RPR002", path=ctx.path, line=writer.lineno,
+                    col=writer.col_offset,
+                    message=(
+                        f"class {node.name} defines {writer_name}() but none "
+                        f"of {'/'.join(counterpart_names)} — its checkpoints "
+                        f"cannot be restored"
+                    ),
+                    suggestion=(
+                        f"add {counterpart_names[0]}() reading back every "
+                        f"key {writer_name}() writes"
+                    ),
+                ))
+                continue
+            read = _read_strings(counterparts)
+            counterpart_label = "/".join(
+                name for name in counterpart_names if name in methods
+            )
+            for key, lineno in _written_keys(writer):
+                if key not in read:
+                    diagnostics.append(Diagnostic(
+                        code="RPR002", path=ctx.path, line=lineno,
+                        message=(
+                            f"{node.name}.{writer_name}() writes manifest "
+                            f"key {key!r} that {counterpart_label}() never "
+                            f"reads"
+                        ),
+                        suggestion=(
+                            "read the key back on restore, or drop it from "
+                            "the serialized state (informational keys belong "
+                            "in nested reference blocks)"
+                        ),
+                    ))
+    return diagnostics

@@ -1,0 +1,68 @@
+"""Structured lint diagnostics.
+
+Every checker emits :class:`Diagnostic` records — one per violation, with a
+stable checker ``code`` (``RPR001``…), the offending ``path``/``line``, a
+one-line ``message`` and a ``suggestion`` describing the conforming fix.
+Diagnostics are plain data: the driver owns suppression, baselining, sorting
+and rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Args:
+        code: Checker code (``RPR001``–``RPR005``; ``RPR000`` is reserved for
+            driver-level findings such as malformed suppression comments).
+        path: File the finding is in (as passed to the driver, ``/``-separated
+            for portability).
+        line: 1-based line of the offending node.
+        message: What invariant is violated and by what.
+        suggestion: The conforming alternative (may be empty).
+        col: 0-based column, used only to order findings on one line.
+    """
+
+    code: str
+    path: str
+    line: int
+    message: str
+    suggestion: str = ""
+    col: int = field(default=0, compare=False)
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching.
+
+        Line numbers shift on every unrelated edit; the (code, path, message)
+        triple is stable as long as the violation itself is untouched.
+        """
+        return (self.code, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation (the ``--format json`` schema)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering (``path:line: CODE message``)."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable path/line/code ordering used by both output formats."""
+    return sorted(diagnostics, key=lambda d: d.sort_key)

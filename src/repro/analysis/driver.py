@@ -1,0 +1,242 @@
+"""Per-file visitor driver: walk files, run checkers, render reports.
+
+The pipeline for each ``.py`` file is: parse once → run every registered
+checker over the shared :class:`FileContext` → drop findings covered by an
+inline ``# repro: allow[CODE] reason`` → subtract the committed baseline →
+render as text or JSON. Unparseable files produce an ``RPR000`` diagnostic
+instead of crashing the run (the linter must be able to sweep work-in-
+progress trees).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..errors import ConfigurationError
+from .astutil import ImportMap
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from .diagnostics import Diagnostic, sort_diagnostics
+from .registry import CHECKERS, DEFAULT_CONFIG, LintConfig
+from .suppress import parse_suppressions
+
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may look at for one file."""
+
+    path: str                      # display path (as discovered)
+    tree: ast.Module
+    source: str
+    config: LintConfig
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap(self.tree)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run (before rendering)."""
+
+    findings: List[Diagnostic]          # actionable: not suppressed/baselined
+    grandfathered: List[Diagnostic]     # matched a baseline entry
+    suppressed: int                     # dropped by inline allows
+    files_scanned: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self.findings:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "findings": [d.to_dict() for d in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "by_code": dict(sorted(counts.items())),
+                "grandfathered": len(self.grandfathered),
+                "suppressed": self.suppressed,
+                "files_scanned": self.files_scanned,
+            },
+        }
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """``.py`` files under ``paths`` (files kept as-is, dirs walked sorted)."""
+    found: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(
+                str(p) for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            found.append(str(path))
+        elif not path.exists():
+            raise ConfigurationError(f"lint path does not exist: {raw}")
+    return found
+
+
+def _selected_codes(select: Optional[Sequence[str]]) -> List[str]:
+    if select is None:
+        return list(CHECKERS.names())
+    codes = []
+    for entry in select:
+        for code in str(entry).split(","):
+            code = code.strip().upper()
+            if not code:
+                continue
+            if code not in CHECKERS:
+                raise ConfigurationError(
+                    f"unknown checker {code!r}; registered: "
+                    f"{', '.join(CHECKERS.names())}"
+                )
+            codes.append(code)
+    return codes
+
+
+def lint_file(
+    path: str,
+    config: Optional[LintConfig] = None,
+    select: Optional[Sequence[str]] = None,
+    source: Optional[str] = None,
+):
+    """Run the (selected) checkers over one file.
+
+    Returns ``(kept, suppressed_count)``: diagnostics surviving inline
+    suppressions, plus how many an allow comment dropped.
+    """
+    config = config or DEFAULT_CONFIG
+    display = str(path).replace("\\", "/")
+    if source is None:
+        source = Path(path).read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            code="RPR000",
+            path=display,
+            line=exc.lineno or 1,
+            message=f"file does not parse: {exc.msg}",
+            suggestion="fix the syntax error so the invariants can be checked",
+        )], 0
+    context = FileContext(path=display, tree=tree, source=source, config=config)
+    diagnostics: List[Diagnostic] = []
+    for code in _selected_codes(select):
+        diagnostics.extend(CHECKERS.get(code)(context))
+    by_line, malformed = parse_suppressions(source, display)
+    kept: List[Diagnostic] = list(malformed)
+    suppressed = 0
+    for diagnostic in diagnostics:
+        entry = by_line.get(diagnostic.line)
+        if entry is not None and entry.covers(diagnostic.code):
+            suppressed += 1
+        else:
+            kept.append(diagnostic)
+    return sort_diagnostics(kept), suppressed
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    select: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and fold in the baseline."""
+    files = iter_python_files(paths)
+    all_diagnostics: List[Diagnostic] = []
+    suppressed = 0
+    for file_path in files:
+        kept, dropped = lint_file(file_path, config=config, select=select)
+        all_diagnostics.extend(kept)
+        suppressed += dropped
+    baseline: Set = (
+        load_baseline(baseline_path) if baseline_path is not None else set()
+    )
+    fresh, grandfathered = split_baselined(all_diagnostics, baseline)
+    return LintReport(
+        findings=sort_diagnostics(fresh),
+        grandfathered=sort_diagnostics(grandfathered),
+        suppressed=suppressed,
+        files_scanned=len(files),
+    )
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one finding per line plus a summary tail."""
+    lines: List[str] = []
+    for diagnostic in report.findings:
+        lines.append(diagnostic.render())
+        if diagnostic.suggestion:
+            lines.append(f"    fix: {diagnostic.suggestion}")
+    summary = (
+        f"{len(report.findings)} finding"
+        f"{'s' if len(report.findings) != 1 else ''} "
+        f"across {report.files_scanned} files"
+    )
+    extras = []
+    if report.grandfathered:
+        extras.append(f"{len(report.grandfathered)} baselined")
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed inline")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def run_lint(
+    paths: Sequence[str],
+    fmt: str = "text",
+    baseline: Optional[str] = None,
+    update_baseline: bool = False,
+    select: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+    stdout=None,
+) -> int:
+    """CLI entry point backing ``repro lint``; returns the exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    if update_baseline and baseline is None:
+        baseline = DEFAULT_BASELINE_PATH
+    if update_baseline:
+        # Re-baseline from a clean slate: everything currently firing (after
+        # inline suppressions) becomes grandfathered.
+        report = lint_paths(paths, config=config, select=select)
+        write_baseline(baseline, report.findings)
+        print(
+            f"baseline {baseline} updated with "
+            f"{len({d.baseline_key for d in report.findings})} entr"
+            f"{'y' if len(report.findings) == 1 else 'ies'}",
+            file=out,
+        )
+        return 0
+    report = lint_paths(
+        paths, config=config, select=select, baseline_path=baseline
+    )
+    rendered = render_json(report) if fmt == "json" else render_text(report)
+    print(rendered, file=out)
+    return report.exit_code

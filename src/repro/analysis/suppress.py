@@ -1,0 +1,107 @@
+"""Inline suppression comments: ``# repro: allow[CODE] reason``.
+
+A finding is intentionally kept — not fixed and not silently baselined — by
+annotating the offending line (or the standalone comment line directly above
+it) with::
+
+    self._started_at = time.time()  # repro: allow[RPR001] telemetry timestamp
+
+Several codes may be listed (``allow[RPR001,RPR003]``). The reason is
+**mandatory**: a reasonless allow suppresses nothing and is itself reported
+as ``RPR000`` — the whole point of the syntax is that every exception to an
+invariant carries its justification in the diff.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from typing import Dict, List, Tuple
+
+from .diagnostics import Diagnostic
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[A-Za-z0-9*,\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed allow comment."""
+
+    line: int                  # line the comment physically sits on
+    codes: Tuple[str, ...]     # upper-cased codes, "*" allowed
+    reason: str
+
+    def covers(self, code: str) -> bool:
+        return bool(self.reason) and ("*" in self.codes or code in self.codes)
+
+
+def parse_suppressions(source: str, path: str):
+    """Extract allow comments from ``source``.
+
+    Returns ``(by_line, malformed)`` where ``by_line`` maps every line a
+    suppression applies to — the comment's own line, plus the next code line
+    when the comment stands alone — to its :class:`Suppression`, and
+    ``malformed`` holds ``RPR000`` diagnostics for reasonless allows.
+    """
+    suppressions: List[Suppression] = []
+    standalone: List[Suppression] = []
+    malformed: List[Diagnostic] = []
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, []
+    code_lines = set()
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            match = _ALLOW_RE.search(token.string)
+            if not match:
+                continue
+            codes = tuple(
+                part.strip().upper()
+                for part in match.group("codes").split(",")
+                if part.strip()
+            )
+            reason = match.group("reason").strip()
+            entry = Suppression(line=token.start[0], codes=codes, reason=reason)
+            if not reason:
+                malformed.append(Diagnostic(
+                    code="RPR000",
+                    path=path,
+                    line=entry.line,
+                    message=(
+                        "suppression comment has no reason — "
+                        "`# repro: allow[CODE] <why>` is required for it "
+                        "to take effect"
+                    ),
+                    suggestion="state why this violation is intentional",
+                ))
+                continue
+            # A comment sharing its line with code applies to that line; a
+            # standalone comment applies to the next code line below it.
+            line_text = source.splitlines()[token.start[0] - 1]
+            if line_text.lstrip().startswith("#"):
+                standalone.append(entry)
+            else:
+                suppressions.append(entry)
+        elif token.type not in (
+            tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+            tokenize.DEDENT, tokenize.ENDMARKER, tokenize.COMMENT,
+        ):
+            code_lines.add(token.start[0])
+
+    by_line: Dict[int, Suppression] = {s.line: s for s in suppressions}
+    for entry in standalone:
+        by_line.setdefault(entry.line, entry)
+        target = entry.line + 1
+        # Skip over any further comment-only lines between the allow and the
+        # code it annotates.
+        limit = entry.line + 10
+        while target not in code_lines and target <= limit:
+            target += 1
+        if target in code_lines:
+            by_line.setdefault(target, entry)
+    return by_line, malformed

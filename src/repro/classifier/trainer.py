@@ -199,6 +199,13 @@ class ClassifierTrainer:
         if classifier_state is None:
             self.classifier = None
         else:
+            recorded_model = classifier_state.get("model")
+            if recorded_model is not None and recorded_model != self.config.model:
+                raise ClassifierError(
+                    f"checkpoint holds {recorded_model!r} classifier weights "
+                    f"but this trainer is configured for "
+                    f"{self.config.model!r}"
+                )
             self.classifier = make_classifier(self.config)
             self.classifier.load_state_arrays(
                 {

@@ -17,7 +17,9 @@ writing Python:
   (``run --checkpoint ... --checkpoint-every N`` writes the checkpoints),
 * ``python -m repro export-state`` — inspect a checkpoint's manifest,
 * ``python -m repro stats`` — inspect the telemetry of a ``--metrics-out``
-  snapshot or a checkpoint (summary, raw JSON, or Prometheus exposition).
+  snapshot or a checkpoint (summary, raw JSON, or Prometheus exposition),
+* ``python -m repro lint`` — run the :mod:`repro.analysis` invariant
+  checkers (RPR001–RPR005) over the source tree; exits 1 on findings.
 
 ``run``, ``resume`` and ``serve`` accept ``--metrics-out PATH``: this enables
 the :mod:`repro.obs` telemetry layer for the process (metrics stay off
@@ -33,6 +35,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from . import __version__, obs
+from .analysis.baseline import DEFAULT_BASELINE_PATH as LINT_BASELINE_PATH
 from .baselines.snuba import SnubaBaseline
 from .config import ClassifierConfig, CrowdConfig, DarwinConfig, IndexConfig
 from .core.darwin import Darwin, DarwinResult
@@ -220,6 +223,31 @@ def build_parser() -> argparse.ArgumentParser:
                               default="summary",
                               help="summary digest, the raw snapshot JSON, or "
                                    "Prometheus text exposition")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="check codebase invariants (determinism, state "
+                     "protocol, sealed arrays, lock discipline, obs cost)"
+    )
+    lint_parser.add_argument("paths", nargs="*", default=["src"],
+                             metavar="PATH",
+                             help="files or directories to lint "
+                                  "(default: src)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text",
+                             help="report format (json includes a summary "
+                                  "block with per-code counts)")
+    lint_parser.add_argument("--baseline", nargs="?", default=None,
+                             const=LINT_BASELINE_PATH, metavar="FILE",
+                             help="subtract grandfathered findings from this "
+                                  "baseline file (FILE omitted: the default "
+                                  "committed baseline)")
+    lint_parser.add_argument("--update-baseline", action="store_true",
+                             help="rewrite the baseline so every current "
+                                  "finding is grandfathered, then exit 0")
+    lint_parser.add_argument("--select", action="append", default=None,
+                             metavar="CODES",
+                             help="comma-separated checker codes to run "
+                                  "(default: all registered)")
     return parser
 
 
@@ -544,6 +572,19 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Deferred import: the checkers only load when linting is requested.
+    from .analysis import run_lint
+
+    return run_lint(
+        args.paths,
+        fmt=args.format,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+        select=args.select,
+    )
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "run": _command_run,
@@ -553,6 +594,7 @@ _COMMANDS = {
     "crowd": _command_crowd,
     "serve": _command_serve,
     "stats": _command_stats,
+    "lint": _command_lint,
 }
 
 

@@ -710,6 +710,9 @@ class Darwin:
                 "state": self.traversal.state_dict(),
             },
             "queried": sorted(queried, key=lambda ref: (ref["g"], ref["e"])),
+            # repro: allow[RPR002] in-flight rules are recorded for manifest
+            # inspection only; restore releases them (votes die with the
+            # process) so a resumed session may re-propose them
             "in_flight": sorted(
                 (rule.ref() for rule in in_flight),
                 key=lambda ref: (ref["g"], ref["e"]),

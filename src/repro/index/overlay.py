@@ -246,6 +246,12 @@ class OverlayCoverageStore(CoverageStore):
         node/slot reference in the checkpoint would otherwise be silently
         misaligned.
         """
+        recorded_backend = state.get("backend")
+        if recorded_backend is not None and recorded_backend != "overlay":
+            raise ConfigurationError(
+                f"state records backend {recorded_backend!r}, not an "
+                f"overlay coverage store"
+            )
         base_state = state.get("base")
         if not isinstance(base_state, dict):
             raise ConfigurationError(

@@ -658,6 +658,22 @@ class CorpusIndex:
             store_slots=store_slots,
             depths=depths,
         )
+        self._seal_columns()
+
+    def _seal_columns(self) -> None:
+        """Freeze the CSR/rank columns, matching the NodeTable contract.
+
+        Sealed-index columns are shared by reference (coverage kernels,
+        tenant pools, checkpoint bundles); ``write=False`` turns any stray
+        mutation into an immediate ``ValueError`` instead of silent
+        cross-reader corruption. ``_unseal`` replaces the arrays wholesale,
+        so construction never needs to flip them back.
+        """
+        for column in (
+            self._node_counts, self._inv_nodes, self._inv_starts,
+            self._node_ranks, self._rank_order,
+        ):
+            column.setflags(write=False)
 
     @property
     def node_table(self) -> Optional[NodeTable]:
@@ -1010,6 +1026,7 @@ class CorpusIndex:
             )
             index._rank_order = np.argsort(index._node_ranks, kind="stable")
             index._node_table = NodeTable.from_state(state["node_table"], bundle)
+            index._seal_columns()
         else:
             # Pre-node-table checkpoint: derive the columns from the restored
             # graph (deterministic, so resume behaviour is unchanged).

@@ -353,10 +353,13 @@ class MetricsRegistry:
         Bound methods are held via :class:`weakref.WeakMethod`; plain
         callables by strong reference. Dead callbacks are pruned silently.
         """
-        if hasattr(callback, "__self__"):
-            self._collectors.append(weakref.WeakMethod(callback))
-        else:
-            self._collectors.append(callback)
+        entry = (
+            weakref.WeakMethod(callback)
+            if hasattr(callback, "__self__")
+            else callback
+        )
+        with self._lock:
+            self._collectors.append(entry)
 
     def collect(self) -> None:
         """Run every live collector (cold path; snapshot/render call this)."""

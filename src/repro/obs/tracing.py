@@ -31,6 +31,7 @@ class Span:
     def __init__(self, name: str, attrs: Dict[str, object]) -> None:
         self.name = name
         self.attrs = attrs
+        # repro: allow[RPR001] span timestamps are telemetry, never replayed
         self.started_at = time.time()
         self.duration_s = 0.0
         self.children: List["Span"] = []

@@ -1,0 +1,20 @@
+"""RPR001 fixture: explicit seeded streams and monotonic clocks (must pass)."""
+
+import time
+
+import numpy as np
+
+
+def shuffle_candidates(candidates, rng):
+    rng.shuffle(candidates)  # caller-provided Generator: replayable
+    return candidates
+
+
+def make_stream(seed):
+    return np.random.default_rng(seed)
+
+
+def timed(fn):
+    start = time.perf_counter()  # duration clock, not wall time
+    result = fn()
+    return result, time.perf_counter() - start

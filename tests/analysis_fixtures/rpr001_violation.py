@@ -1,0 +1,24 @@
+"""RPR001 fixture: global RNG state and wall-clock reads (must fire)."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def shuffle_candidates(candidates):
+    random.shuffle(candidates)  # line 11: stdlib global stream
+    return candidates
+
+
+def sample_scores(n):
+    return np.random.rand(n)  # line 16: numpy global stream
+
+
+def make_stream():
+    return np.random.default_rng()  # line 20: unseeded
+
+
+def stamp():
+    return time.time(), datetime.now()  # line 24: wall clock, twice

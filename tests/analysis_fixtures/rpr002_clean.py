@@ -1,0 +1,21 @@
+"""RPR002 fixture: serializer/restorer in lock-step (must pass)."""
+
+
+class RoundTrips:
+    def __init__(self):
+        self.count = 0
+        self.name = ""
+
+    def to_state(self, bundle):
+        return {
+            "count": self.count,
+            "name": self.name,
+            # Nested reference blocks are informational; their keys are
+            # consumed by other layers and exempt from parity.
+            "meta": {"format": "v1", "bytes": 0},
+        }
+
+    def from_state(self, state, bundle):
+        self.count = state["count"]
+        self.name = state.get("name", "")
+        state.get("meta")  # nested block keys stay informational

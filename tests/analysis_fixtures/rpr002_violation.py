@@ -1,0 +1,24 @@
+"""RPR002 fixture: serializer drift (must fire twice)."""
+
+
+class MissingRestorer:
+    def __init__(self):
+        self.value = 0
+
+    def to_state(self, bundle):  # no from_state/load_state anywhere
+        return {"value": self.value}
+
+
+class DriftedKeys:
+    def __init__(self):
+        self.count = 0
+        self.extra = None
+
+    def to_state(self, bundle):
+        return {
+            "count": self.count,
+            "orphan": self.extra,  # never read back below
+        }
+
+    def from_state(self, state, bundle):
+        self.count = state["count"]

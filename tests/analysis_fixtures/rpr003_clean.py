@@ -1,0 +1,29 @@
+"""RPR003 fixture: sealed reads stay reads; copies may mutate (must pass)."""
+
+import numpy as np
+
+
+def copy_then_edit(view):
+    ids = view.ids.copy()  # .copy() purifies
+    ids[0] = -1
+    ids.sort()
+    return ids
+
+
+def fancy_index_copies(view, mask):
+    picked = view.ids[mask]  # fancy indexing allocates a new array
+    picked[0] = 7
+    return picked
+
+
+def fresh_output(view):
+    positions = np.searchsorted(np.arange(10), view.ids)
+    positions[0] = 0  # searchsorted output is a fresh array
+    return positions
+
+
+def rebind_is_fine(view):
+    ids = view.ids
+    ids = np.array(ids)  # np.array copies; the name is clean now
+    ids += 1
+    return ids

@@ -1,0 +1,32 @@
+"""RPR004 fixture: uniformly guarded, or no lock at all (must pass)."""
+
+import threading
+
+
+class FullyGuarded:
+    def __init__(self, lock=None):
+        self._lock = lock or threading.Lock()
+        self._entries = []
+        self._hits = 0  # read-only outside __init__: never guarded, fine
+
+    def add(self, item):
+        with self._lock:
+            self._entries.append(item)
+
+    def drain(self):
+        with self._lock:
+            drained, self._entries = self._entries, []
+        return drained
+
+    def hits(self):
+        return self._hits
+
+
+class SingleThreaded:
+    """No lock attribute: mutate freely (CoverageStore's LRU pattern)."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def put(self, key, value):
+        self._cache[key] = value

@@ -1,0 +1,23 @@
+"""RPR004 fixture: one bare mutation of lock-guarded state (must fire)."""
+
+import threading
+
+
+class PartiallyGuarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = []  # constructor writes are exempt
+        self._total = 0
+
+    def add(self, item):
+        with self._lock:
+            self._entries.append(item)
+            self._total += 1
+
+    def sneak(self, item):
+        self._entries.append(item)  # line 18: bare mutation, races add()
+
+    def drain(self):
+        with self._lock:
+            drained, self._entries = self._entries, []
+        return drained

@@ -1,0 +1,15 @@
+"""RPR005 fixture: instruments bound at construction time (must pass)."""
+
+from repro import obs
+
+
+class Component:
+    def __init__(self):
+        # Construction-time resolution: obs.enable() before build is seen.
+        self._counter = obs.get_registry().counter("fixture_total")
+        self._tracer = obs.get_tracer()
+
+    def work(self):
+        self._counter.inc()
+        with self._tracer.span("fixture.work"):
+            return 1

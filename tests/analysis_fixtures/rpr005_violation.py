@@ -1,0 +1,15 @@
+"""RPR005 fixture: telemetry wired at import time (must fire)."""
+
+from repro import obs
+from repro.obs import MetricsRegistry, get_registry
+
+_REGISTRY = get_registry()  # line 6: binds the null registry forever
+
+_PRIVATE = obs.MetricsRegistry()  # line 8: live state for every importer
+
+
+class Component:
+    tracer = obs.get_tracer()  # line 12: class body runs at import
+
+    def __init__(self):
+        self.counter = _REGISTRY.counter("fixture_total")
