@@ -1,0 +1,341 @@
+"""HTTP gateway load benchmark (traffic-grade gateway PR).
+
+Measures what the gateway design claims, over a real socket against a real
+:class:`~repro.gateway.GatewayApp` + stdlib backend:
+
+* **the knee** — a concurrency sweep (1..2xT closed-loop clients round-robin
+  over T tenants) of a fixed-service-time operation. Per-tenant work is
+  serialized by the admission queue, so throughput should scale with client
+  count until every tenant worker is busy (c = T) and flatten after —
+  ``knee.speedup`` (knee throughput over 1-client throughput) is the gated,
+  machine-relative number, and the absolute rps / p95 at the knee are the
+  informational headlines.
+* **graceful overload** — an *open-loop* burst: far more requests than the
+  bounded queues can hold, fired without waiting for completions. The
+  gateway must answer every one of them with a well-formed JSON envelope
+  (no dropped connections, no 5xx), reject the overflow with 429 +
+  ``Retry-After`` (``overload.saw_backpressure``), and still serve
+  ``/healthz`` afterwards (``overload.graceful``).
+* **end-to-end ops** — real propose→answer cycles over HTTP (informational:
+  absolute ops/sec depends on Darwin's per-question cost, which
+  ``bench_crowd.py`` already gates machine-relatively).
+
+The sweep uses the debug sleep op (a fixed 5ms service time that releases
+the GIL) rather than Darwin questions: the *gateway's* knee — routing,
+admission, queue handoff, HTTP — is the thing under test, and a fixed
+service time makes the expected shape (scale to T workers, then flatten)
+deterministic across machines.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.config import ClassifierConfig, CrowdConfig, DarwinConfig, GatewayConfig
+from repro.datasets import load_dataset
+from repro.gateway import GatewayApp, build_server
+from repro.serving import TenantPool
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_gateway.json"
+
+SEED_RULE = "best way to get to"
+SERVICE_TIME_S = 0.005
+
+
+def _post(
+    base: str, path: str, payload: Dict[str, object], timeout: float = 30.0
+) -> Tuple[int, Dict[str, object]]:
+    request = urllib.request.Request(
+        base + path,
+        method="POST",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(base: str, path: str, timeout: float = 30.0) -> Tuple[int, bytes]:
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+class _GatewayFixture:
+    """One pool + app + bound server, torn down in reverse order."""
+
+    def __init__(self, tenants: int, queue_depth: int, budget: int) -> None:
+        corpus = load_dataset(
+            "directions", num_sentences=600, seed=11, parse_trees=False
+        )
+        config = DarwinConfig(
+            budget=budget,
+            num_candidates=1000,
+            classifier=ClassifierConfig(model="logistic", epochs=10),
+        )
+        self.pool = TenantPool(corpus, config, seeds={"rule_texts": [SEED_RULE]})
+        self.pool.spawn_many(tenants)
+        self.app = GatewayApp(
+            self.pool,
+            GatewayConfig(port=0, queue_depth=queue_depth, allow_debug_ops=True),
+            CrowdConfig(
+                num_annotators=4, redundancy=1, batch_size=8, budget=budget,
+                annotator_latency=0.0,
+            ),
+        )
+        self.server = build_server(self.app)
+        self.base = self.server.url
+        self.tenant_ids = sorted(self.pool.tenants)
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self.server.stop()
+        self._thread.join(timeout=30)
+        self.pool.close()
+
+
+def _sweep_arm(
+    fixture: _GatewayFixture, concurrency: int, ops_per_client: int
+) -> Dict[str, object]:
+    """``concurrency`` closed-loop clients, round-robin over the tenants."""
+    latencies: List[float] = []
+    lock = threading.Lock()
+    errors: List[str] = []
+
+    def client(client_id: int) -> None:
+        tenant = fixture.tenant_ids[client_id % len(fixture.tenant_ids)]
+        local: List[float] = []
+        for _ in range(ops_per_client):
+            start = time.perf_counter()
+            status, _ = _post(
+                fixture.base,
+                f"/tenants/{tenant}/debug/sleep",
+                {"seconds": SERVICE_TIME_S},
+            )
+            local.append(time.perf_counter() - start)
+            if status != 200:
+                with lock:
+                    errors.append(f"client {client_id}: status {status}")
+                return
+        with lock:
+            latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(concurrency)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    total_ops = concurrency * ops_per_client
+    if errors or not latencies:
+        raise RuntimeError(f"sweep arm failed: {errors[:3]}")
+    latencies.sort()
+    return {
+        "concurrency": concurrency,
+        "ops": total_ops,
+        "rps": round(total_ops / wall, 2),
+        "p50_ms": round(1000 * statistics.median(latencies), 3),
+        "p95_ms": round(1000 * latencies[int(0.95 * (len(latencies) - 1))], 3),
+    }
+
+
+def _overload_arm(
+    fixture: _GatewayFixture, requests: int, hold_seconds: float
+) -> Dict[str, object]:
+    """Open-loop burst far past queue capacity; classify every response."""
+    status_counts: Dict[str, int] = {}
+    malformed = 0
+    lock = threading.Lock()
+
+    def fire(i: int) -> None:
+        nonlocal malformed
+        tenant = fixture.tenant_ids[i % len(fixture.tenant_ids)]
+        try:
+            status, body = _post(
+                fixture.base,
+                f"/tenants/{tenant}/debug/sleep",
+                {"seconds": hold_seconds, "deadline_ms": 60_000},
+            )
+            ok_shape = status == 200 or (
+                isinstance(body, dict) and "error" in body
+            )
+        except Exception:
+            status, ok_shape = -1, False
+        with lock:
+            status_counts[str(status)] = status_counts.get(str(status), 0) + 1
+            if not ok_shape:
+                malformed += 1
+
+    threads = [threading.Thread(target=fire, args=(i,)) for i in range(requests)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    rejected = status_counts.get("429", 0)
+    healthz_status, _ = _get(fixture.base, "/healthz")
+    graceful = (
+        malformed == 0
+        and healthz_status == 200
+        and all(code in ("200", "429", "503", "504") for code in status_counts)
+    )
+    return {
+        "requests": requests,
+        "hold_ms": round(1000 * hold_seconds, 1),
+        "status_counts": dict(sorted(status_counts.items())),
+        "rejected_429": rejected,
+        "saw_backpressure": rejected > 0,
+        "graceful": graceful,
+    }
+
+
+def _end_to_end_arm(fixture: _GatewayFixture, ops: int) -> Dict[str, object]:
+    """Real propose→answer cycles over HTTP against one tenant."""
+    tenant = fixture.tenant_ids[0]
+    latencies: List[float] = []
+    committed = 0
+    start_wall = time.perf_counter()
+    for _ in range(ops):
+        start = time.perf_counter()
+        status, body = _post(
+            fixture.base, f"/tenants/{tenant}/propose", {"annotator_id": 0}
+        )
+        assignment = body.get("assignment") if status == 200 else None
+        if assignment:
+            status, body = _post(
+                fixture.base,
+                f"/tenants/{tenant}/answer",
+                {
+                    "ticket_id": assignment["ticket_id"],
+                    "annotator_id": 0,
+                    "is_useful": False,
+                },
+            )
+            if status == 200 and body.get("committed"):
+                committed += 1
+        latencies.append(time.perf_counter() - start)
+        if body.get("done"):
+            break
+    wall = time.perf_counter() - start_wall
+    latencies.sort()
+    return {
+        "cycles": len(latencies),
+        "questions_committed": committed,
+        "ops_per_sec": round(len(latencies) / wall, 2),
+        "p95_ms": round(1000 * latencies[int(0.95 * (len(latencies) - 1))], 3),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=4,
+                        help="tenant workers behind the gateway")
+    parser.add_argument("--ops", type=int, default=50,
+                        help="sweep operations per client per arm")
+    parser.add_argument("--e2e-ops", type=int, default=15,
+                        help="real propose/answer cycles (informational arm)")
+    parser.add_argument("--overload-requests", type=int, default=48,
+                        help="open-loop burst size for the overload arm")
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    args = parser.parse_args()
+
+    obs.enable()
+    sweep_concurrency = sorted(
+        {1, 2, args.tenants, 2 * args.tenants} - {0}
+    )
+
+    print(f"== sweep: {args.tenants} tenants, fixed "
+          f"{1000 * SERVICE_TIME_S:.0f}ms service time ==")
+    fixture = _GatewayFixture(
+        tenants=args.tenants, queue_depth=64, budget=1000
+    )
+    try:
+        sweep = [
+            _sweep_arm(fixture, concurrency, args.ops)
+            for concurrency in sweep_concurrency
+        ]
+        for arm in sweep:
+            print(f"  c={arm['concurrency']:>2}: {arm['rps']:>8.1f} rps, "
+                  f"p50 {arm['p50_ms']:.1f}ms, p95 {arm['p95_ms']:.1f}ms")
+        knee_arm = max(sweep, key=lambda arm: arm["rps"])
+        serial_rps = sweep[0]["rps"]
+        knee = {
+            "concurrency": knee_arm["concurrency"],
+            "rps": knee_arm["rps"],
+            "p95_ms": knee_arm["p95_ms"],
+            "speedup": round(knee_arm["rps"] / serial_rps, 3),
+            # Queueing never pushed the knee's tail anywhere near the
+            # (default 10s) deadline; a True here means deadlines only bite
+            # under real overload.
+            "p95_bounded": knee_arm["p95_ms"] < 2000.0,
+        }
+        print(f"  knee at c={knee['concurrency']}: {knee['rps']:.1f} rps "
+              f"({knee['speedup']}x over c=1), p95 {knee['p95_ms']:.1f}ms")
+        end_to_end = _end_to_end_arm(fixture, args.e2e_ops)
+        print(f"  end-to-end: {end_to_end['ops_per_sec']:.1f} "
+              f"propose/answer cycles/s, p95 {end_to_end['p95_ms']:.1f}ms")
+    finally:
+        fixture.close()
+
+    print(f"== overload: open-loop burst of {args.overload_requests} "
+          f"against depth-2 queues ==")
+    overload_fixture = _GatewayFixture(
+        tenants=args.tenants, queue_depth=2, budget=1000
+    )
+    try:
+        overload = _overload_arm(
+            overload_fixture, args.overload_requests, hold_seconds=0.05
+        )
+    finally:
+        overload_fixture.close()
+    print(f"  statuses: {overload['status_counts']} "
+          f"(backpressure={overload['saw_backpressure']}, "
+          f"graceful={overload['graceful']})")
+
+    payload = {
+        "benchmark": "bench_gateway",
+        "dataset": "directions",
+        "tenants": args.tenants,
+        "service_time_ms": 1000 * SERVICE_TIME_S,
+        "sweep": sweep,
+        "knee": knee,
+        "end_to_end": end_to_end,
+        "overload": overload,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    acceptance_ok = (
+        knee["p95_bounded"]
+        and overload["saw_backpressure"]
+        and overload["graceful"]
+    )
+    if not acceptance_ok:
+        print("ACCEPTANCE FAIL: overload was not handled gracefully",
+              file=sys.stderr)
+    return 0 if acceptance_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,15 @@ HEADLINES: Dict[str, Dict[str, List[Headline]]] = {
         ],
         "top_level": [],
     },
+    "bench_gateway": {
+        "per_size": [],
+        "top_level": [
+            ("knee.speedup", "higher"),
+            ("knee.p95_bounded", "true"),
+            ("overload.saw_backpressure", "true"),
+            ("overload.graceful", "true"),
+        ],
+    },
 }
 
 

@@ -1,0 +1,248 @@
+"""End-to-end smoke test of the HTTP gateway (the CI ``gateway-smoke`` job).
+
+Boots ``repro serve-http`` as a real subprocess on an ephemeral port and
+drives it over the wire with nothing but ``urllib``:
+
+1. **session flow** — bearer-authenticated propose → answer → checkpoint
+   against a small built corpus, including the 401/403/404/400/409 error
+   envelopes,
+2. **deterministic backpressure** — with ``--queue-depth 1`` and the debug
+   sleep op, one request occupies the tenant worker and a second fills the
+   single queue slot, so a third *must* come back 429 with ``Retry-After``,
+3. **metrics round-trip** — ``GET /metrics`` parses with the repo's own
+   ``parse_prometheus_text`` and carries the gateway request/queue families,
+4. **graceful drain** — SIGTERM makes the process stop admitting (503),
+   finish in-flight work, write final checkpoints + a metrics snapshot, and
+   exit 0; the checkpoint is then resumed in *this* process and driven a
+   few questions further, proving the drain state is a real resume point.
+
+Run with::
+
+    PYTHONPATH=src python examples/gateway_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs import parse_prometheus_text  # noqa: E402
+
+TOKEN = "smoke-secret-token"
+WRONG_TENANT_TOKEN = "other-tenant-token"
+
+failures: List[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def request(
+    base: str,
+    method: str,
+    path: str,
+    payload: Optional[Dict[str, object]] = None,
+    token: Optional[str] = TOKEN,
+    timeout: float = 60.0,
+) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+    req = urllib.request.Request(
+        base + path,
+        method=method,
+        data=None if payload is None else json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    if token is not None:
+        req.add_header("Authorization", f"Bearer {token}")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="gateway-smoke-")
+    ready_file = os.path.join(tmp, "ready.json")
+    tokens_file = os.path.join(tmp, "tokens.json")
+    checkpoint_dir = os.path.join(tmp, "ckpts")
+    metrics_file = os.path.join(tmp, "final-metrics.json")
+    with open(tokens_file, "w", encoding="utf-8") as handle:
+        json.dump({TOKEN: "*", WRONG_TENANT_TOKEN: "tenant-does-not-exist"},
+                  handle)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve-http",
+         "--dataset", "directions", "--num-sentences", "600",
+         "--tenants", "1", "--budget", "20", "--seed", "11",
+         "--epochs", "10", "--port", "0", "--queue-depth", "1",
+         "--allow-debug-ops", "--auth-tokens", tokens_file,
+         "--ready-file", ready_file, "--checkpoint-dir", checkpoint_dir,
+         "--metrics-out", metrics_file],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        print("== boot ==")
+        for _ in range(600):
+            if os.path.exists(ready_file):
+                break
+            if proc.poll() is not None:
+                print(proc.stderr.read(), file=sys.stderr)
+                check(False, "serve-http exited before becoming ready")
+                return 1
+            time.sleep(0.2)
+        check(os.path.exists(ready_file), "ready file written")
+        ready = json.load(open(ready_file))
+        base = ready["url"]
+        tenant = ready["tenants"][0]
+        print(f"  gateway at {base}, tenant {tenant!r}")
+
+        print("== auth ==")
+        status, _, body = request(base, "POST", f"/tenants/{tenant}/propose",
+                                  {"annotator_id": 0}, token=None)
+        check(status == 401 and body["error"]["status"] == 401,
+              f"missing token -> 401 envelope (got {status})")
+        status, _, _ = request(base, "POST", f"/tenants/{tenant}/propose",
+                               {"annotator_id": 0}, token="nonsense")
+        check(status == 401, f"unknown token -> 401 (got {status})")
+        status, _, _ = request(base, "POST", f"/tenants/{tenant}/propose",
+                               {"annotator_id": 0}, token=WRONG_TENANT_TOKEN)
+        check(status == 403, f"unentitled token -> 403 (got {status})")
+
+        print("== session flow ==")
+        committed = 0
+        record = None
+        for _ in range(3):
+            status, _, body = request(base, "POST",
+                                      f"/tenants/{tenant}/propose",
+                                      {"annotator_id": 0})
+            if status != 200 or not body.get("assignment"):
+                break
+            assignment = body["assignment"]
+            status, _, body = request(
+                base, "POST", f"/tenants/{tenant}/answer",
+                {"ticket_id": assignment["ticket_id"], "annotator_id": 0,
+                 "is_useful": True})
+            if status == 200 and body.get("committed"):
+                committed = body["questions_committed"]
+                record = body["record"]
+        check(committed >= 3, f"3 propose/answer cycles committed ({committed})")
+        check(bool(record) and "rule" in record and "recall" in record,
+              "committed answer returns the query record")
+        status, _, body = request(base, "POST", f"/tenants/{tenant}/checkpoint",
+                                  {"name": "mid-session"})
+        check(status == 200 and os.path.exists(body.get("path", "")),
+              "client-requested checkpoint written")
+
+        print("== error envelopes ==")
+        status, _, body = request(base, "POST", "/tenants/nope/propose",
+                                  {"annotator_id": 0})
+        check(status == 404, f"unknown tenant -> 404 (got {status})")
+        status, _, body = request(base, "POST", f"/tenants/{tenant}/propose",
+                                  {"annotator_id": "zero"})
+        check(status == 400 and body["error"]["type"] == "BadRequestError",
+              f"malformed body -> 400 envelope (got {status})")
+        status, _, body = request(base, "POST", f"/tenants/{tenant}/answer",
+                                  {"ticket_id": 999999, "annotator_id": 0,
+                                   "is_useful": True})
+        check(status == 409 and body["error"]["type"] == "OracleError",
+              f"vote on closed ticket -> 409 OracleError (got {status})")
+
+        print("== deterministic 429 (queue depth 1) ==")
+        # One request occupies the single worker, a second fills the single
+        # queue slot; submitted in that order, a third can only be refused.
+        stalls = [
+            threading.Thread(
+                target=request,
+                args=(base, "POST", f"/tenants/{tenant}/debug/sleep",
+                      {"seconds": 1.5}),
+                daemon=True)
+            for _ in range(2)
+        ]
+        stalls[0].start()
+        time.sleep(0.3)
+        stalls[1].start()
+        time.sleep(0.3)
+        status, headers, body = request(base, "POST",
+                                        f"/tenants/{tenant}/propose",
+                                        {"annotator_id": 0})
+        check(status == 429, f"full queue -> 429 (got {status})")
+        check(headers.get("Retry-After") is not None,
+              f"429 carries Retry-After (got {headers.get('Retry-After')!r})")
+        check(body.get("error", {}).get("type") == "QueueFullError",
+              "429 body is the QueueFullError envelope")
+        for stall in stalls:
+            stall.join(timeout=30)
+
+        print("== /metrics round-trip ==")
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+            exposition = response.read().decode("utf-8")
+        families = parse_prometheus_text(exposition)
+        for family in ("gateway_requests_total", "gateway_request_seconds",
+                       "gateway_rejected_total", "gateway_queue_depth"):
+            check(family in families, f"exposition carries {family}")
+        samples = families.get("gateway_rejected_total", {}).get("samples", {})
+        rejected = sum(
+            value for (_, labels), value in samples.items()
+            if ("reason", "queue_full") in labels
+        )
+        check(rejected >= 1, f"queue_full rejections counted ({rejected})")
+
+        print("== graceful drain (SIGTERM) ==")
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        check(proc.returncode == 0,
+              f"serve-http exited 0 after SIGTERM (got {proc.returncode})")
+        if proc.returncode != 0:
+            print(err, file=sys.stderr)
+        final_ckpt = os.path.join(checkpoint_dir, f"{tenant}-final.npz")
+        check(os.path.exists(final_ckpt), "final drain checkpoint written")
+        check(os.path.exists(metrics_file), "final metrics snapshot written")
+
+        print("== resume the drain checkpoint ==")
+        from repro.engine.engine import DarwinEngine
+
+        engine = DarwinEngine.load(final_ckpt)
+        check(engine.questions_asked >= committed,
+              f"checkpoint holds the committed questions "
+              f"({engine.questions_asked} >= {committed})")
+        result = engine.run(budget=engine.questions_asked + 2)
+        check(result.queries_used == engine.questions_asked,
+              f"resumed engine answered 2 more questions "
+              f"({result.queries_used} total)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    if failures:
+        print(f"\ngateway smoke FAILED ({len(failures)} checks):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ngateway smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

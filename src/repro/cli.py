@@ -13,6 +13,10 @@ writing Python:
 * ``python -m repro serve`` — multi-tenant serving: N independent tenant
   engines over one shared read-only coverage arena + corpus index, each with
   its own crowd of annotators, multiplexed on one asyncio loop,
+* ``python -m repro serve-http`` — the HTTP/JSON gateway over the same
+  tenant pool: per-tenant propose/answer/checkpoint endpoints with bounded
+  admission queues (429 backpressure), bearer-token auth, ``/metrics``
+  Prometheus exposition, and graceful SIGTERM drain,
 * ``python -m repro resume`` — continue a checkpointed run
   (``run --checkpoint ... --checkpoint-every N`` writes the checkpoints),
 * ``python -m repro export-state`` — inspect a checkpoint's manifest,
@@ -209,6 +213,70 @@ def build_parser() -> argparse.ArgumentParser:
                               help="enable repro.obs telemetry and write a "
                                    "metrics+spans snapshot JSON here when "
                                    "the serve run finishes")
+
+    http_parser = subparsers.add_parser(
+        "serve-http",
+        help="HTTP/JSON gateway over a tenant pool (propose/answer/"
+             "checkpoint per tenant, /healthz, /metrics, SIGTERM drain)",
+    )
+    http_parser.add_argument("--dataset", choices=sorted(DATASET_NAMES),
+                             default="directions")
+    http_parser.add_argument("--num-sentences", type=int, default=600)
+    http_parser.add_argument("--tenants", type=int, default=2,
+                             help="tenant engines to spawn and expose")
+    http_parser.add_argument("--budget", type=int, default=30,
+                             help="per-tenant committed-question budget")
+    http_parser.add_argument("--annotators", type=int, default=4,
+                             help="annotator slots per tenant (annotator_id "
+                                  "range accepted by propose/answer)")
+    http_parser.add_argument("--redundancy", type=int, default=1,
+                             help="votes per question (majority commit)")
+    http_parser.add_argument("--batch-size", type=int, default=4,
+                             help="answers applied per retrain/refresh batch")
+    http_parser.add_argument("--seed-rule", default=None,
+                             help="seed rule text (dataset default when omitted)")
+    http_parser.add_argument("--seed", type=int, default=7)
+    http_parser.add_argument("--epochs", type=int, default=40,
+                             help="benefit-classifier training epochs")
+    http_parser.add_argument("--coverage-backend", choices=("memory", "arena"),
+                             default="memory",
+                             help="shared coverage backend; checkpoints over "
+                                  "the memory backend are self-contained, "
+                                  "arena needs a durable --arena-path to "
+                                  "leave resumable drain checkpoints")
+    http_parser.add_argument("--arena-path", default=None, metavar="PATH",
+                             help="shared arena file for the arena backend")
+    http_parser.add_argument("--host", default="127.0.0.1",
+                             help="interface to bind (default: loopback only)")
+    http_parser.add_argument("--port", type=int, default=8080,
+                             help="TCP port; 0 binds an ephemeral port and "
+                                  "reports it (stdout + --ready-file)")
+    http_parser.add_argument("--queue-depth", type=int, default=32,
+                             help="per-tenant admission queue bound; a full "
+                                  "queue answers 429 + Retry-After")
+    http_parser.add_argument("--deadline-ms", type=float, default=10_000.0,
+                             help="default per-request deadline; queued work "
+                                  "past it is cancelled with a 504")
+    http_parser.add_argument("--retry-after", type=int, default=1,
+                             metavar="SECONDS",
+                             help="Retry-After value sent with 429/503")
+    http_parser.add_argument("--auth-tokens", default=None, metavar="FILE",
+                             help="JSON file mapping bearer tokens to tenant "
+                                  "entitlements ('*', an id, or a list); "
+                                  "omitted = authentication disabled")
+    http_parser.add_argument("--checkpoint-dir", default="gateway-checkpoints",
+                             metavar="DIR",
+                             help="where client-requested and final drain "
+                                  "checkpoints are written")
+    http_parser.add_argument("--allow-debug-ops", action="store_true",
+                             help="expose POST /tenants/{id}/debug/sleep "
+                                  "(tests and load harnesses only)")
+    http_parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                             help="write a final metrics+spans snapshot here "
+                                  "when the drain completes")
+    http_parser.add_argument("--ready-file", default=None, metavar="PATH",
+                             help="write {url, port, pid} JSON here once the "
+                                  "listener is bound (for smoke harnesses)")
 
     stats_parser = subparsers.add_parser(
         "stats", help="inspect telemetry from a snapshot file or checkpoint"
@@ -510,6 +578,112 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_http(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from .config import GatewayConfig
+    from .errors import ReproError
+    from .gateway import GatewayApp, TokenAuthenticator, build_server
+    from .serving import TenantPool
+
+    # The gateway always runs instrumented: /metrics is part of its surface.
+    # Enable before any component exists so every instrument binds live.
+    obs.enable()
+    try:
+        gateway_config = GatewayConfig(
+            host=args.host,
+            port=args.port,
+            queue_depth=args.queue_depth,
+            deadline_ms=args.deadline_ms,
+            retry_after_s=args.retry_after,
+            auth_tokens_path=args.auth_tokens,
+            checkpoint_dir=args.checkpoint_dir,
+            allow_debug_ops=args.allow_debug_ops,
+        )
+        # Validate the token table before the (slow) corpus build so a bad
+        # --auth-tokens path fails in milliseconds, not after dataset load.
+        authenticator = TokenAuthenticator.from_file(
+            gateway_config.auth_tokens_path
+        )
+        if args.coverage_backend == "arena" and args.arena_path:
+            parent = os.path.dirname(os.path.abspath(args.arena_path))
+            if not os.path.isdir(parent):
+                raise ReproError(
+                    f"arena directory does not exist: {parent}"
+                )
+        corpus = load_dataset(args.dataset, num_sentences=args.num_sentences,
+                              seed=args.seed, parse_trees=False)
+        bank = load_bank(args.dataset)
+        seed_rule = args.seed_rule or bank.default_seed_rules[0]
+        config = DarwinConfig(
+            budget=args.budget,
+            num_candidates=1000,
+            classifier=ClassifierConfig(epochs=args.epochs),
+            index=IndexConfig(coverage_backend=args.coverage_backend,
+                              arena_path=args.arena_path),
+        )
+        crowd_config = CrowdConfig(
+            num_annotators=args.annotators,
+            redundancy=args.redundancy,
+            batch_size=args.batch_size,
+            budget=args.budget,
+            annotator_latency=0.0,
+            seed=args.seed,
+        )
+        with TenantPool(
+            corpus, config,
+            seeds={"rule_texts": [seed_rule]},
+            dataset_spec={"name": args.dataset,
+                          "options": {"num_sentences": args.num_sentences,
+                                      "seed": args.seed,
+                                      "parse_trees": False}},
+        ) as pool:
+            pool.spawn_many(args.tenants)
+            app = GatewayApp(
+                pool, gateway_config, crowd_config, authenticator=authenticator
+            )
+            server = build_server(app)
+
+            def _drain_signal(signum: int, frame: object) -> None:
+                # Stop admitting immediately; shutdown() must run on another
+                # thread — called from the serving thread it deadlocks.
+                app.begin_drain()
+                threading.Thread(
+                    target=server.stop, name="gateway-shutdown", daemon=True
+                ).start()
+
+            signal.signal(signal.SIGTERM, _drain_signal)
+            signal.signal(signal.SIGINT, _drain_signal)
+            print(f"gateway listening on {server.url} "
+                  f"({pool.num_tenants} tenants: "
+                  f"{', '.join(sorted(pool.tenants))})")
+            print(f"auth: {'bearer tokens' if app.auth.enabled else 'disabled'}"
+                  f"; queue depth {gateway_config.queue_depth}; "
+                  f"deadline {gateway_config.deadline_ms:.0f}ms")
+            sys.stdout.flush()
+            if args.ready_file:
+                with open(args.ready_file, "w", encoding="utf-8") as handle:
+                    json.dump({"url": server.url, "port": server.port,
+                               "pid": os.getpid(),
+                               "tenants": sorted(pool.tenants)}, handle)
+            server.serve_forever()
+            # serve_forever returned: the drain signal fired (or stop() was
+            # called). Finish: flush coordinators, final checkpoints,
+            # metrics snapshot.
+            paths = app.finish_drain(metrics_snapshot_path=args.metrics_out)
+            print("gateway drained; final checkpoints:")
+            for tenant_id, path in sorted(paths.items()):
+                print(f"  {tenant_id}: {path}")
+            if args.metrics_out:
+                print(f"metrics snapshot written to {args.metrics_out}")
+    except ReproError as exc:
+        print(f"serve-http: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     if bool(args.metrics) == bool(args.checkpoint):
         print("stats: pass exactly one of --metrics or --checkpoint",
@@ -556,6 +730,11 @@ def _command_stats(args: argparse.Namespace) -> int:
     if commits:
         print(f"  crowd commits: {commits['accept']:.0f} accepted / "
               f"{commits['reject']:.0f} rejected")
+    gateway = summary.get("gateway")
+    if gateway:
+        print(f"  gateway: {gateway['requests']:.0f} requests "
+              f"({gateway['rejected']:.0f} rejected, "
+              f"{gateway['errors_5xx']:.0f} 5xx)")
     phases = summary.get("phases")
     if phases:
         print(format_table(
@@ -593,6 +772,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "crowd": _command_crowd,
     "serve": _command_serve,
+    "serve-http": _command_serve_http,
     "stats": _command_stats,
     "lint": _command_lint,
 }

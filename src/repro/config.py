@@ -412,5 +412,83 @@ class CrowdConfig:
             raise ConfigurationError(f"bad crowd config: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Configuration of the HTTP gateway (``repro serve-http``).
+
+    Attributes:
+        host: Interface to bind. The default is loopback-only; bind
+            ``0.0.0.0`` explicitly to serve external traffic.
+        port: TCP port; ``0`` asks the OS for an ephemeral port (the bound
+            port is reported on stdout and in the ``--ready-file``).
+        backend: HTTP server backend registry name (``"stdlib"`` ships;
+            ``"starlette"`` is recognised and used when the package is
+            importable, without ever being a hard dependency).
+        queue_depth: Bound of each tenant's admission queue — jobs admitted
+            but not yet finished. A full queue answers 429 + ``Retry-After``.
+        deadline_ms: Default per-request deadline. Time a job may spend
+            queued before it is cancelled with a 504; requests may lower or
+            raise it per call via the ``deadline_ms`` body field.
+        retry_after_s: ``Retry-After`` value (seconds) sent with 429/503.
+        auth_tokens_path: JSON file mapping bearer tokens to tenant
+            entitlements (see :class:`repro.gateway.auth.TokenAuthenticator`);
+            ``None`` disables authentication.
+        checkpoint_dir: Directory for client-requested checkpoints and the
+            final drain checkpoints (created on demand).
+        allow_debug_ops: Expose ``POST /tenants/{id}/debug/sleep``, which
+            occupies the tenant worker for a given duration. Only for tests
+            and load harnesses that need a deterministically full queue.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    backend: str = "stdlib"
+    queue_depth: int = 32
+    deadline_ms: float = 10_000.0
+    retry_after_s: int = 1
+    auth_tokens_path: Optional[str] = None
+    checkpoint_dir: str = "gateway-checkpoints"
+    allow_debug_ops: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigurationError("host must be a non-empty string")
+        if not isinstance(self.port, int) or isinstance(self.port, bool):
+            raise ConfigurationError("port must be an integer")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(
+                f"port must be in [0, 65535] (0 = ephemeral), got {self.port}"
+            )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError("backend must be a registry name")
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue_depth must be at least 1")
+        if self.deadline_ms <= 0:
+            raise ConfigurationError("deadline_ms must be positive")
+        if self.retry_after_s < 1:
+            raise ConfigurationError("retry_after_s must be at least 1")
+        if not isinstance(self.checkpoint_dir, str) or not self.checkpoint_dir:
+            raise ConfigurationError("checkpoint_dir must be a non-empty path")
+
+    def with_overrides(self, **overrides: Any) -> "GatewayConfig":
+        """Return a copy of this config with ``overrides`` applied."""
+        try:
+            return replace(self, **overrides)
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(str(exc)) from exc
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able mapping of this config (checkpoint manifests)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "GatewayConfig":
+        """Rebuild a config from :meth:`as_dict` output / a plain JSON dict."""
+        try:
+            return cls(**dict(mapping))
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(f"bad gateway config: {exc}") from exc
+
+
 DEFAULT_CONFIG = DarwinConfig()
 """A shared default configuration used when callers do not supply one."""

@@ -1,0 +1,126 @@
+"""Bearer-token tenant authentication for the HTTP gateway.
+
+Tokens live in a JSON file the operator passes to ``repro serve-http
+--auth-tokens``::
+
+    {
+      "s3cret-admin": "*",
+      "alpha-token": "tenant-0",
+      "team-token": ["tenant-1", "tenant-2"]
+    }
+
+Each key is a bearer token; the value names the tenant(s) it may address
+(``"*"`` for all). Clients send ``Authorization: Bearer <token>``. With no
+token file the gateway runs open — the mode every test corpus and local
+bench uses. ``/healthz`` and ``/metrics`` are always unauthenticated: load
+balancers and scrapers do not carry tenant credentials.
+
+Token comparison goes through :func:`hmac.compare_digest`, so a mismatched
+token costs the same time regardless of how many prefix characters matched.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .wire import ForbiddenError, UnauthorizedError
+
+
+class TokenAuthenticator:
+    """Checks ``Authorization: Bearer`` headers against a token table.
+
+    Args:
+        tokens: Mapping of token → entitlement, where an entitlement is
+            ``"*"``, a tenant id, or a list/tuple of tenant ids. ``None``
+            disables authentication entirely (every request is allowed).
+    """
+
+    def __init__(self, tokens: Optional[Mapping[str, object]] = None) -> None:
+        self._entitlements: Optional[Dict[str, Tuple[str, ...]]] = None
+        if tokens is None:
+            return
+        entitlements: Dict[str, Tuple[str, ...]] = {}
+        for token, scope in tokens.items():
+            if not isinstance(token, str) or not token:
+                raise ConfigurationError(
+                    "auth token table keys must be non-empty strings"
+                )
+            if isinstance(scope, str):
+                scope_tuple = (scope,)
+            elif isinstance(scope, (list, tuple)) and all(
+                isinstance(item, str) and item for item in scope
+            ) and scope:
+                scope_tuple = tuple(scope)
+            else:
+                raise ConfigurationError(
+                    f"auth token entitlement for token ending "
+                    f"...{token[-4:]!r} must be '*', a tenant id, or a "
+                    f"non-empty list of tenant ids"
+                )
+            entitlements[token] = scope_tuple
+        self._entitlements = entitlements
+
+    @classmethod
+    def from_file(cls, path: Optional[str]) -> "TokenAuthenticator":
+        """Load a token table from a JSON file (``None`` → auth disabled)."""
+        if path is None:
+            return cls(None)
+        if not os.path.exists(path):
+            raise ConfigurationError(f"auth token file not found: {path}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                table = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(
+                f"auth token file {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(table, dict) or not table:
+            raise ConfigurationError(
+                f"auth token file {path} must hold a non-empty JSON object "
+                f"mapping tokens to tenant entitlements"
+            )
+        return cls(table)
+
+    @property
+    def enabled(self) -> bool:
+        """True when a token table is loaded (requests must authenticate)."""
+        return self._entitlements is not None
+
+    def _match(self, presented: str) -> Optional[Tuple[str, ...]]:
+        # Constant-time comparison against every known token: no early exit
+        # on the first prefix mismatch, no dict-lookup timing side channel.
+        matched: Optional[Tuple[str, ...]] = None
+        for token, scope in (self._entitlements or {}).items():
+            if hmac.compare_digest(token, presented):
+                matched = scope
+        return matched
+
+    def authorize(self, header: Optional[str], tenant_id: str) -> None:
+        """Validate an ``Authorization`` header value for ``tenant_id``.
+
+        Raises :class:`~repro.gateway.wire.UnauthorizedError` when the token
+        is missing/unknown and :class:`~repro.gateway.wire.ForbiddenError`
+        when a valid token is not entitled to the addressed tenant.
+        """
+        if self._entitlements is None:
+            return
+        if not header:
+            raise UnauthorizedError(
+                "missing Authorization header (expected 'Bearer <token>')"
+            )
+        scheme, _, token = header.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            raise UnauthorizedError(
+                "malformed Authorization header (expected 'Bearer <token>')"
+            )
+        scope = self._match(token.strip())
+        if scope is None:
+            raise UnauthorizedError("unrecognized bearer token")
+        if "*" not in scope and tenant_id not in scope:
+            raise ForbiddenError(
+                f"token is not entitled to tenant {tenant_id!r}"
+            )

@@ -1,0 +1,344 @@
+"""Framework-free request handling: routes, tenant ops, and the drain path.
+
+:class:`GatewayApp` is the whole HTTP surface expressed as one pure-ish
+function, ``handle(method, path, headers, body) -> (status, headers, body)``.
+Server backends (:mod:`repro.gateway.server`) only move bytes; everything a
+request *means* — routing, auth, admission, deadline bookkeeping, error
+envelopes, metrics — happens here, which is what makes the app testable
+without ever opening a socket and keeps alternate backends (starlette) thin.
+
+Routes::
+
+    GET  /healthz                      liveness + drain state (no auth)
+    GET  /metrics                      Prometheus exposition     (no auth)
+    POST /tenants/{id}/propose        -> assignment or null
+    POST /tenants/{id}/answer         -> vote, maybe a committed record
+    POST /tenants/{id}/checkpoint     -> engine checkpoint on disk
+    POST /tenants/{id}/debug/sleep     worker stall (allow_debug_ops only)
+
+Tenant operations are closures submitted to the tenant's
+:class:`~repro.gateway.queues.TenantQueue`, so the non-thread-safe
+coordinator only ever runs on its single worker thread; the HTTP thread
+blocks on the job (bounded by the request deadline).
+
+Graceful drain (SIGTERM): :meth:`GatewayApp.begin_drain` flips every queue
+to rejecting (503 + ``Retry-After``) while queued work keeps running;
+:meth:`GatewayApp.finish_drain` then joins the workers, flushes every
+coordinator's deferred batch, writes one final checkpoint per started
+tenant, and snapshots the metrics registry — the state a replacement
+process needs to resume exactly where this one stopped.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from .. import obs
+from ..config import CrowdConfig, GatewayConfig
+from ..errors import ReproError
+from ..obs import get_registry
+from ..serving.pool import Tenant, TenantPool
+from . import wire
+from .auth import TokenAuthenticator
+from .queues import TenantQueue
+from .wire import (
+    BadRequestError,
+    DrainingError,
+    MethodNotAllowedError,
+    NotFoundError,
+)
+
+Response = Tuple[int, Dict[str, str], bytes]
+
+_TENANT_ROUTE = re.compile(
+    r"^/tenants/(?P<tenant_id>[A-Za-z0-9._-]+)/(?P<op>[a-z/]+)$"
+)
+
+
+class GatewayApp:
+    """The gateway's request handler and drain controller.
+
+    Args:
+        pool: The tenant pool to serve. Tenants must be spawned before the
+            app sees traffic; unknown ids answer 404.
+        config: Gateway parameters (:class:`~repro.config.GatewayConfig`).
+        crowd_config: Crowd parameters for each tenant's coordinator.
+        authenticator: Bearer-token table; defaults to one built from
+            ``config.auth_tokens_path``.
+    """
+
+    def __init__(
+        self,
+        pool: TenantPool,
+        config: Optional[GatewayConfig] = None,
+        crowd_config: Optional[CrowdConfig] = None,
+        authenticator: Optional[TokenAuthenticator] = None,
+    ) -> None:
+        self.pool = pool
+        self.config = config or GatewayConfig()
+        self.crowd_config = crowd_config or CrowdConfig()
+        self.auth = (
+            authenticator
+            if authenticator is not None
+            else TokenAuthenticator.from_file(self.config.auth_tokens_path)
+        )
+        self._queues: Dict[str, TenantQueue] = {}
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._drain_paths: Dict[str, str] = {}
+        for tenant_id, tenant in self.pool.tenants.items():
+            if not tenant.started:
+                tenant.start()
+            # Bind the long-lived coordinator now, on the construction
+            # thread, so the worker threads only ever *use* it.
+            tenant.coordinator(self.crowd_config)
+            self._queues[tenant_id] = TenantQueue(
+                tenant_id,
+                depth=self.config.queue_depth,
+                retry_after=self.config.retry_after_s,
+            )
+        # Telemetry (repro.obs): families resolved once; children per
+        # (route, status) resolve lazily on first use and are cached by the
+        # registry, no-ops under the NullRegistry.
+        registry = get_registry()
+        self._obs_requests = registry.counter(
+            "gateway_requests_total",
+            "HTTP requests by route and status code",
+            labels=("route", "status"),
+        )
+        self._obs_latency = registry.histogram(
+            "gateway_request_seconds",
+            "End-to-end request latency by route",
+            labels=("route",),
+        )
+        self._obs_rejected = registry.counter(
+            "gateway_rejected_total",
+            "Requests refused at admission, by reason",
+            labels=("reason",),
+        )
+
+    # ------------------------------------------------------------------ routing
+    def handle(
+        self, method: str, path: str, headers: Mapping[str, str], body: bytes
+    ) -> Response:
+        """Serve one request; never raises — errors become JSON envelopes."""
+        start = time.perf_counter()
+        route = "unknown"
+        try:
+            route, response = self._dispatch(method, path, headers, body)
+        except Exception as exc:  # noqa: BLE001 - boundary: everything maps
+            status, extra, payload = wire.error_envelope(exc)
+            if status in (429, 503, 504):
+                reason = {429: "queue_full", 503: "draining", 504: "deadline"}
+                self._obs_rejected.labels(reason=reason[status]).inc()
+            headers_out = {"Content-Type": wire.JSON_CONTENT_TYPE}
+            headers_out.update(extra)
+            response = (status, headers_out, payload)
+        self._obs_requests.labels(route=route, status=str(response[0])).inc()
+        self._obs_latency.labels(route=route).observe(
+            time.perf_counter() - start
+        )
+        return response
+
+    def _dispatch(
+        self, method: str, path: str, headers: Mapping[str, str], body: bytes
+    ) -> Tuple[str, Response]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise MethodNotAllowedError("/healthz supports GET only")
+            return "healthz", self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                raise MethodNotAllowedError("/metrics supports GET only")
+            return "metrics", self._metrics()
+        match = _TENANT_ROUTE.match(path)
+        if match is None:
+            raise NotFoundError(f"no route for {path!r}")
+        op = match.group("op")
+        ops: Dict[str, Callable[[Tenant, Mapping[str, object]], Dict[str, object]]] = {
+            "propose": self._op_propose,
+            "answer": self._op_answer,
+            "checkpoint": self._op_checkpoint,
+        }
+        if self.config.allow_debug_ops:
+            ops["debug/sleep"] = self._op_debug_sleep
+        handler = ops.get(op)
+        if handler is None:
+            raise NotFoundError(f"no tenant operation {op!r}")
+        route = f"tenants/{op}"
+        if method != "POST":
+            raise MethodNotAllowedError(f"{path} supports POST only")
+        tenant_id = match.group("tenant_id")
+        self.auth.authorize(_header(headers, "authorization"), tenant_id)
+        if self._draining.is_set():
+            raise DrainingError(
+                "gateway is draining; not admitting work",
+                retry_after=self.config.retry_after_s,
+            )
+        tenant = self.pool.tenants.get(tenant_id)
+        queue = self._queues.get(tenant_id)
+        if tenant is None or queue is None:
+            raise NotFoundError(
+                f"no tenant {tenant_id!r}; live tenants: "
+                f"{', '.join(sorted(self._queues)) or '(none)'}"
+            )
+        payload = wire.parse_json_body(body)
+        deadline_ms = wire.deadline_ms(payload) or self.config.deadline_ms
+        deadline = time.monotonic() + deadline_ms / 1000.0
+        result = queue.submit(lambda: handler(tenant, payload), deadline).result()
+        return route, _json_response(200, result)
+
+    # ------------------------------------------------------------ plain routes
+    def _healthz(self) -> Response:
+        status = "draining" if self._draining.is_set() else "ok"
+        return _json_response(
+            200 if status == "ok" else 503,
+            {
+                "status": status,
+                "tenants": sorted(self._queues),
+                "auth": self.auth.enabled,
+            },
+            extra_headers=(
+                {"Retry-After": str(self.config.retry_after_s)}
+                if status == "draining"
+                else None
+            ),
+        )
+
+    def _metrics(self) -> Response:
+        text = get_registry().render_prometheus()
+        return (
+            200,
+            {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+            text.encode("utf-8"),
+        )
+
+    # -------------------------------------------------- tenant ops (worker thread)
+    def _op_propose(
+        self, tenant: Tenant, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        request = wire.propose_request(payload)
+        coordinator = tenant.coordinator(self.crowd_config)
+        assignment = coordinator.request_question(request["annotator_id"])
+        return {
+            "tenant": tenant.tenant_id,
+            "assignment": (
+                wire.assignment_to_wire(assignment) if assignment else None
+            ),
+            "done": coordinator.is_done,
+        }
+
+    def _op_answer(
+        self, tenant: Tenant, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        request = wire.answer_request(payload)
+        coordinator = tenant.coordinator(self.crowd_config)
+        record = coordinator.submit_vote(
+            request["ticket_id"], request["annotator_id"], request["is_useful"]
+        )
+        return {
+            "tenant": tenant.tenant_id,
+            "committed": record is not None,
+            "record": wire.record_to_wire(record) if record else None,
+            "questions_committed": coordinator.questions_committed,
+            "done": coordinator.is_done,
+        }
+
+    def _op_checkpoint(
+        self, tenant: Tenant, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        request = wire.checkpoint_request(payload)
+        stem = request["name"] or f"{tenant.tenant_id}"
+        path = self._checkpoint_path(f"{stem}.npz")
+        tenant.flush()
+        saved = tenant.save(str(path))
+        coordinator = tenant.coordinator(self.crowd_config)
+        return {
+            "tenant": tenant.tenant_id,
+            "path": saved,
+            "questions_committed": coordinator.questions_committed,
+        }
+
+    def _op_debug_sleep(
+        self, tenant: Tenant, payload: Mapping[str, object]
+    ) -> Dict[str, object]:
+        seconds = payload.get("seconds", 0.1)
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+            raise BadRequestError("field 'seconds' must be a number")
+        if not 0 <= float(seconds) <= 30:
+            raise BadRequestError("field 'seconds' must be in [0, 30]")
+        time.sleep(float(seconds))
+        return {"tenant": tenant.tenant_id, "slept": float(seconds)}
+
+    def _checkpoint_path(self, filename: str) -> Path:
+        directory = Path(self.config.checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory / filename
+
+    # -------------------------------------------------------------------- drain
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` ran."""
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting work everywhere; queued jobs keep running."""
+        self._draining.set()
+        for queue in self._queues.values():
+            queue.begin_drain()
+
+    def finish_drain(
+        self, metrics_snapshot_path: Optional[str] = None
+    ) -> Dict[str, str]:
+        """Complete the drain: join workers, flush, checkpoint, snapshot.
+
+        Returns the final checkpoint paths keyed by tenant id. Idempotent —
+        a second call returns the already-written paths without re-saving.
+        """
+        self.begin_drain()
+        if self._drained.is_set():
+            return dict(self._drain_paths)
+        for queue in self._queues.values():
+            queue.close(timeout=60.0)
+        paths: Dict[str, str] = {}
+        for tenant_id in sorted(self._queues):
+            tenant = self.pool.tenants.get(tenant_id)
+            if tenant is None or not tenant.started:
+                continue
+            try:
+                tenant.flush()
+                path = self._checkpoint_path(f"{tenant_id}-final.npz")
+                paths[tenant_id] = tenant.save(str(path))
+            except ReproError:
+                # A tenant that cannot checkpoint must not block the others'
+                # drain; its absence from the returned map is the signal.
+                continue
+        if metrics_snapshot_path is not None:
+            obs.write_snapshot(metrics_snapshot_path)
+        self._drain_paths = paths
+        self._drained.set()
+        return dict(paths)
+
+
+def _header(headers: Mapping[str, str], name: str) -> Optional[str]:
+    """Case-insensitive header lookup over a plain mapping."""
+    for key, value in headers.items():
+        if key.lower() == name:
+            return value
+    return None
+
+
+def _json_response(
+    status: int,
+    payload: Mapping[str, object],
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> Response:
+    headers = {"Content-Type": wire.JSON_CONTENT_TYPE}
+    if extra_headers:
+        headers.update(extra_headers)
+    return status, headers, wire.encode_json(payload)

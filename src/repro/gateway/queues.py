@@ -1,0 +1,230 @@
+"""Bounded per-tenant admission queues over the crowd coordinator.
+
+:class:`~repro.crowd.CrowdCoordinator` is a synchronous state machine and is
+deliberately *not* thread-safe, while the gateway's HTTP server handles each
+connection on its own thread. This module bridges the two: every tenant gets
+one :class:`TenantQueue` — a bounded FIFO drained by a single worker thread
+that owns all access to that tenant's coordinator. Request threads submit a
+closure and block on its :class:`GatewayJob`; the worker runs jobs strictly
+in admission order, so the coordinator sees exactly the serial call sequence
+it was built for.
+
+The queue bound is the backpressure mechanism: when a tenant's queue is full,
+:meth:`TenantQueue.submit` raises
+:class:`~repro.gateway.wire.QueueFullError` immediately (mapped to 429 +
+``Retry-After``) instead of letting latency grow without bound. Per-request
+deadlines use :func:`time.monotonic`; a job whose deadline passes while still
+queued is *cancelled* — the waiting request thread expires it and returns
+504, and the worker skips it when it surfaces. A job that began running is
+never interrupted (the coordinator has no safe preemption point), so the
+deadline bounds queueing delay, which under load is where all the latency
+lives.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from ..obs import get_registry
+from .wire import DeadlineExceededError, DrainingError, GatewayError, QueueFullError
+
+_PENDING = "pending"
+_RUNNING = "running"
+_DONE = "done"
+_FAILED = "failed"
+_EXPIRED = "expired"
+
+
+class GatewayJob:
+    """One admitted unit of work and its completion state.
+
+    State machine: ``pending`` → ``running`` → ``done``/``failed``, or
+    ``pending`` → ``expired`` when the deadline passes first. Transitions are
+    guarded by a lock because two threads race over them: the tenant worker
+    (begin/finish/fail) and the waiting request thread (expire).
+    """
+
+    def __init__(
+        self, fn: Callable[[], Any], deadline: Optional[float]
+    ) -> None:
+        self._fn = fn
+        self.deadline = deadline
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._state = _PENDING
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def state(self) -> str:
+        """The job's current lifecycle state (one of the module constants)."""
+        with self._lock:
+            return self._state
+
+    def _try_begin(self) -> bool:
+        """Claim the job for execution; False when expired or already taken."""
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            if self.deadline is not None and time.monotonic() >= self.deadline:
+                self._state = _EXPIRED
+                self._error = DeadlineExceededError(
+                    "request deadline expired while queued"
+                )
+                self._finished.set()
+                return False
+            self._state = _RUNNING
+            return True
+
+    def execute(self) -> None:
+        """Run the job's closure (worker thread only); no-op if not pending."""
+        if not self._try_begin():
+            return
+        try:
+            value = self._fn()
+        except Exception as exc:
+            with self._lock:
+                self._state = _FAILED
+                self._error = exc
+            self._finished.set()
+        else:
+            with self._lock:
+                self._state = _DONE
+                self._value = value
+            self._finished.set()
+
+    def expire(self) -> bool:
+        """Cancel a still-pending job (request thread, on deadline).
+
+        Returns True when this call performed the cancellation; False when
+        the worker already claimed the job (it will run to completion).
+        """
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _EXPIRED
+            self._error = DeadlineExceededError(
+                "request deadline expired while queued"
+            )
+            self._finished.set()
+            return True
+
+    def result(self) -> Any:
+        """Block until the job settles; the closure's value, or its error.
+
+        Waits until the deadline, then attempts cancellation; a job the
+        worker already started is waited out (no preemption), so the value is
+        still returned if it completes.
+        """
+        while not self._finished.is_set():
+            if self.deadline is None:
+                self._finished.wait()
+                break
+            remaining = self.deadline - time.monotonic()
+            if remaining > 0:
+                self._finished.wait(remaining)
+            elif not self.expire():
+                # Worker owns it now: wait for the real completion.
+                self._finished.wait()
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            return self._value
+
+
+class TenantQueue:
+    """One tenant's bounded admission queue and its single worker thread.
+
+    Args:
+        tenant_id: Label for thread names and the queue-depth gauge.
+        depth: Maximum admitted-but-unfinished jobs; beyond it
+            :meth:`submit` raises :class:`QueueFullError`.
+        retry_after: Seconds clients are told to back off on 429/503.
+    """
+
+    def __init__(
+        self, tenant_id: str, depth: int, retry_after: int = 1
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.depth = depth
+        self.retry_after = retry_after
+        self._jobs: "queue.Queue[GatewayJob]" = queue.Queue(maxsize=depth)
+        self._draining = threading.Event()
+        self._stopping = threading.Event()
+        self._obs_depth = get_registry().gauge(
+            "gateway_queue_depth",
+            "Jobs admitted and not yet finished, per tenant",
+            labels=("tenant",),
+        ).labels(tenant=tenant_id)
+        self._worker = threading.Thread(
+            target=self._run, name=f"gateway-{tenant_id}", daemon=True
+        )
+        self._worker.start()
+
+    @property
+    def draining(self) -> bool:
+        """True once the queue stopped admitting new work."""
+        return self._draining.is_set()
+
+    def submit(
+        self, fn: Callable[[], Any], deadline: Optional[float]
+    ) -> GatewayJob:
+        """Admit a job, or raise the appropriate backpressure error.
+
+        Raises :class:`DrainingError` (503) once draining began and
+        :class:`QueueFullError` (429) when the bounded queue is full; both
+        carry ``Retry-After``.
+        """
+        if self._draining.is_set():
+            raise DrainingError(
+                f"tenant {self.tenant_id!r} is draining; not admitting work",
+                retry_after=self.retry_after,
+            )
+        job = GatewayJob(fn, deadline)
+        try:
+            self._jobs.put_nowait(job)
+        except queue.Full:
+            raise QueueFullError(
+                f"tenant {self.tenant_id!r} admission queue is full "
+                f"(depth {self.depth}); retry later",
+                retry_after=self.retry_after,
+            ) from None
+        self._obs_depth.set(self._jobs.qsize())
+        return job
+
+    def run_now(self, fn: Callable[[], Any], deadline: Optional[float]) -> Any:
+        """Submit ``fn`` and block for its result (the handler fast path)."""
+        return self.submit(fn, deadline).result()
+
+    def _run(self) -> None:
+        while True:
+            try:
+                job = self._jobs.get(timeout=0.05)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            try:
+                job.execute()
+            finally:
+                self._jobs.task_done()
+                self._obs_depth.set(self._jobs.qsize())
+
+    def begin_drain(self) -> None:
+        """Stop admitting; already-queued jobs still run to completion."""
+        self._draining.set()
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain queued jobs, stop the worker, and join it. Idempotent."""
+        self._draining.set()
+        self._stopping.set()
+        if self._worker.is_alive():
+            self._worker.join(timeout)
+            if self._worker.is_alive():  # pragma: no cover - stuck job guard
+                raise GatewayError(
+                    f"tenant {self.tenant_id!r} worker did not stop within "
+                    f"{timeout}s; a job is stuck"
+                )

@@ -1,0 +1,249 @@
+"""Wire schemas: JSON request parsing, response shapes, and error envelopes.
+
+Everything that crosses the HTTP boundary is defined here, framework-free:
+the handlers (:mod:`repro.gateway.handlers`) and any server backend
+(:mod:`repro.gateway.server`) exchange plain dicts, and this module owns the
+translation to and from bytes plus the single place where Python exceptions
+become structured JSON error envelopes.
+
+Every error response has the same shape::
+
+    {"error": {"type": "QueueFullError", "message": "...", "status": 429}}
+
+mapped from the library's exception hierarchy: gateway admission errors carry
+their own HTTP status (429 with ``Retry-After`` when a tenant queue is full,
+503 while draining, 504 past a deadline), domain errors map by type
+(:class:`~repro.errors.ConfigurationError` → 400,
+:class:`~repro.errors.OracleError` → 409 — a vote on a closed ticket is a
+conflict, not a malformed request), and anything unrecognized is a 500 so
+bugs never masquerade as client mistakes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..crowd.coordinator import Assignment
+from ..core.darwin import QueryRecord
+from ..errors import ConfigurationError, OracleError, ReproError
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Bodies above this size are rejected before parsing (64 KiB is orders of
+#: magnitude above any legitimate propose/answer/checkpoint payload).
+MAX_BODY_BYTES = 64 * 1024
+
+
+class GatewayError(ReproError):
+    """Base class for errors minted at the HTTP boundary.
+
+    Attributes:
+        status: The HTTP status code the error maps to.
+        retry_after: Optional ``Retry-After`` header value in seconds.
+    """
+
+    status = 500
+
+    def __init__(self, message: str, retry_after: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class BadRequestError(GatewayError):
+    """Malformed body, unknown field, or out-of-range value (400)."""
+
+    status = 400
+
+
+class UnauthorizedError(GatewayError):
+    """Missing or unrecognized bearer token (401)."""
+
+    status = 401
+
+
+class ForbiddenError(GatewayError):
+    """A valid token that is not entitled to the addressed tenant (403)."""
+
+    status = 403
+
+
+class NotFoundError(GatewayError):
+    """Unknown route or unknown tenant id (404)."""
+
+    status = 404
+
+
+class MethodNotAllowedError(GatewayError):
+    """A known route hit with the wrong HTTP method (405)."""
+
+    status = 405
+
+
+class QueueFullError(GatewayError):
+    """The tenant's bounded admission queue is full — back off (429)."""
+
+    status = 429
+
+
+class DrainingError(GatewayError):
+    """The gateway stopped admitting work (SIGTERM drain in progress, 503)."""
+
+    status = 503
+
+
+class DeadlineExceededError(GatewayError):
+    """The request's deadline expired before its turn on the tenant (504)."""
+
+    status = 504
+
+
+def parse_json_body(raw: bytes) -> Dict[str, Any]:
+    """Decode a request body into a dict; empty bodies parse as ``{}``."""
+    if len(raw) > MAX_BODY_BYTES:
+        raise BadRequestError(
+            f"request body of {len(raw)} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit"
+        )
+    if not raw.strip():
+        return {}
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequestError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BadRequestError("request body must be a JSON object")
+    return payload
+
+
+def _require_int(payload: Mapping[str, Any], key: str) -> int:
+    value = payload.get(key)
+    # bool is an int subclass; reject it explicitly so {"ticket_id": true}
+    # fails loudly instead of becoming ticket 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(f"field {key!r} must be an integer")
+    return value
+
+
+def _require_bool(payload: Mapping[str, Any], key: str) -> bool:
+    value = payload.get(key)
+    if not isinstance(value, bool):
+        raise BadRequestError(f"field {key!r} must be a boolean")
+    return value
+
+
+def _check_fields(payload: Mapping[str, Any], allowed: Tuple[str, ...]) -> None:
+    unknown = set(payload) - set(allowed)
+    if unknown:
+        raise BadRequestError(
+            f"unknown field(s): {', '.join(sorted(map(str, unknown)))} "
+            f"(allowed: {', '.join(allowed)})"
+        )
+
+
+def propose_request(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a ``POST .../propose`` body: ``{"annotator_id": K}``."""
+    _check_fields(payload, ("annotator_id", "deadline_ms"))
+    return {"annotator_id": _require_int(payload, "annotator_id")}
+
+
+def answer_request(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a ``POST .../answer`` body: ticket, annotator, and vote."""
+    _check_fields(payload, ("ticket_id", "annotator_id", "is_useful", "deadline_ms"))
+    return {
+        "ticket_id": _require_int(payload, "ticket_id"),
+        "annotator_id": _require_int(payload, "annotator_id"),
+        "is_useful": _require_bool(payload, "is_useful"),
+    }
+
+
+def checkpoint_request(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a ``POST .../checkpoint`` body: an optional file stem.
+
+    The name is a single path component — separators and traversal are
+    rejected so a client can never write outside the configured checkpoint
+    directory.
+    """
+    _check_fields(payload, ("name", "deadline_ms"))
+    name = payload.get("name")
+    if name is None:
+        return {"name": None}
+    if not isinstance(name, str) or not name:
+        raise BadRequestError("field 'name' must be a non-empty string")
+    if any(sep in name for sep in ("/", "\\", "..")) or name.startswith("."):
+        raise BadRequestError(
+            f"checkpoint name {name!r} must be a plain file stem "
+            f"(no path separators or leading dots)"
+        )
+    return {"name": name}
+
+
+def deadline_ms(payload: Mapping[str, Any]) -> Optional[float]:
+    """The optional per-request ``deadline_ms`` override, validated."""
+    value = payload.get("deadline_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError("field 'deadline_ms' must be a number")
+    if value <= 0:
+        raise BadRequestError("field 'deadline_ms' must be positive")
+    return float(value)
+
+
+def assignment_to_wire(assignment: Assignment) -> Dict[str, Any]:
+    """Serialize an :class:`~repro.crowd.coordinator.Assignment` for clients."""
+    return {
+        "ticket_id": assignment.ticket_id,
+        "annotator_id": assignment.annotator_id,
+        "rule": assignment.rendered,
+        "grammar": assignment.rule.grammar.name,
+        "sample_ids": list(assignment.sample_ids),
+        "examples": list(assignment.example_texts),
+    }
+
+
+def record_to_wire(record: QueryRecord) -> Dict[str, Any]:
+    """Serialize a committed :class:`~repro.core.darwin.QueryRecord`."""
+    return {
+        "question_number": record.question_number,
+        "rule": record.rule,
+        "grammar": record.grammar,
+        "answer": record.answer,
+        "rule_coverage": record.rule_coverage,
+        "covered": record.covered,
+        "recall": record.recall,
+    }
+
+
+def error_envelope(exc: BaseException) -> Tuple[int, Dict[str, str], bytes]:
+    """Map an exception to ``(status, extra_headers, body_bytes)``.
+
+    The mapping is intentionally a closed list: gateway errors carry their
+    status, the two domain families clients can cause are 4xx, and every
+    other :class:`~repro.errors.ReproError` or unexpected exception is a 500
+    — an internal invariant violation must never be blamed on the caller.
+    """
+    headers: Dict[str, str] = {}
+    if isinstance(exc, GatewayError):
+        status = exc.status
+        if exc.retry_after is not None:
+            headers["Retry-After"] = str(max(1, int(exc.retry_after)))
+    elif isinstance(exc, ConfigurationError):
+        status = 400
+    elif isinstance(exc, OracleError):
+        status = 409
+    else:
+        status = 500
+    body = {
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "status": status,
+        }
+    }
+    return status, headers, encode_json(body)
+
+
+def encode_json(payload: Mapping[str, Any]) -> bytes:
+    """Render a response payload as UTF-8 JSON bytes (stable key order)."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

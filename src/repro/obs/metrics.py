@@ -497,4 +497,31 @@ def summarize_snapshot(snapshot: Optional[Dict[str, object]]) -> Dict[str, objec
             "accept": _total("crowd_commits_total", outcome="accept"),
             "reject": _total("crowd_commits_total", outcome="reject"),
         }
+    requests = _series("gateway_requests_total")
+    if requests:
+        total = _total("gateway_requests_total")
+        rejected = sum(
+            float(entry.get("value", 0.0))
+            for entry in _series("gateway_rejected_total")
+        )
+        errors = sum(
+            float(entry.get("value", 0.0))
+            for entry in requests
+            if str(entry.get("labels", {}).get("status", "")).startswith("5")
+        )
+        summary["gateway"] = {
+            "requests": total,
+            "rejected": rejected,
+            "errors_5xx": errors,
+            "by_route": _label_totals(requests, "route"),
+        }
     return summary
+
+
+def _label_totals(series, label: str) -> Dict[str, float]:
+    """Series values summed per value of one label (snapshot digests)."""
+    totals: Dict[str, float] = {}
+    for entry in series:
+        key = str(entry.get("labels", {}).get(label, ""))
+        totals[key] = totals.get(key, 0.0) + float(entry.get("value", 0.0))
+    return totals

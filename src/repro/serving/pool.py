@@ -95,6 +95,7 @@ class Tenant:
         self.tenant_id = tenant_id
         self.engine = engine
         self.store = store
+        self._coordinator = None
 
     @property
     def darwin(self):
@@ -123,6 +124,31 @@ class Tenant:
         """A crowd coordinator over this tenant's engine (started tenants)."""
         return self.engine.crowd(crowd_config)
 
+    def coordinator(
+        self, crowd_config: Optional[CrowdConfig] = None, fresh: bool = False
+    ):
+        """This tenant's long-lived crowd coordinator, created on first use.
+
+        Unlike :meth:`crowd` (a new coordinator per call), the handle is
+        cached so stateless frontends — the HTTP gateway above all — route
+        every request for this tenant to the same ticket/vote state. Pass
+        ``fresh=True`` to drop the cached coordinator and build a new one
+        (after a checkpoint restore, or per serve run). The coordinator's
+        metric series carry this tenant's id.
+        """
+        from ..crowd.coordinator import CrowdCoordinator
+
+        if self._coordinator is None or fresh:
+            self._coordinator = CrowdCoordinator(
+                self.darwin, crowd_config, obs_tenant=self.tenant_id
+            )
+        return self._coordinator
+
+    def flush(self) -> None:
+        """Apply any deferred coordinator batch work (drain hook)."""
+        if self._coordinator is not None:
+            self._coordinator.flush()
+
     def save(self, path: str) -> str:
         """Checkpoint this tenant. The shared columns are stored as an arena
         *reference* (path + digest), tenant-local overlay columns inline."""
@@ -136,6 +162,7 @@ class Tenant:
         """Release the tenant's overlay caches and drop its engine."""
         self.store.close()
         self.engine = None
+        self._coordinator = None
 
 
 class TenantPool:

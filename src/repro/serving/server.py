@@ -93,9 +93,9 @@ async def serve_tenants(
     for tenant in chosen:
         if not tenant.started:
             tenant.start()
-        coordinators.append(
-            CrowdCoordinator(tenant.darwin, config, obs_tenant=tenant.tenant_id)
-        )
+        # fresh=True: each serve run is its own crowd session; the cached
+        # coordinator handle is for stateless frontends (the HTTP gateway).
+        coordinators.append(tenant.coordinator(config, fresh=True))
         crew = (annotators_for or {}).get(tenant.tenant_id)
         if crew is None:
             crew = simulated_annotators(pool.corpus, config)
