@@ -80,6 +80,15 @@ HEADLINES: Dict[str, Dict[str, List[Headline]]] = {
             ("overload.graceful", "true"),
         ],
     },
+    "bench_fleet": {
+        "per_size": [],
+        "top_level": [
+            ("headline.history_match", "true"),
+            ("headline.rss_beats_isolated", "true"),
+            ("headline.speedup_ok", "true"),
+            ("headline.rss_vs_isolated_ratio", "lower"),
+        ],
+    },
 }
 
 

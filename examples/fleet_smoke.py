@@ -1,0 +1,218 @@
+"""End-to-end smoke test of the serving fleet (the CI ``fleet-smoke`` job).
+
+Boots ``repro serve-http --workers 2`` as a real subprocess on an ephemeral
+port — a supervisor with two worker processes behind the HTTP gateway —
+and drives it over the wire with nothing but ``urllib``:
+
+1. **topology** — ``/healthz`` reports the fleet backend with both workers
+   alive and every tenant placed on exactly one of them,
+2. **session flow** — propose → answer cycles commit against workers
+   reached over the supervisor's pipe RPC,
+3. **migration** — ``POST /tenants/{id}/migrate`` moves a tenant to the
+   other worker mid-session and the tenant keeps answering afterwards,
+4. **crash recovery** — SIGKILL the worker now hosting the migrated
+   tenant; the supervisor respawns it (new pid in ``/healthz``) and the
+   tenant's next propose/answer round succeeds,
+5. **merged metrics** — ``GET /metrics`` is one valid exposition carrying
+   series from both workers, distinguished by the ``worker`` label,
+6. **graceful drain** — SIGTERM writes a final checkpoint per tenant and
+   exits 0.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs import parse_prometheus_text  # noqa: E402
+
+failures: List[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def request(
+    base: str,
+    method: str,
+    path: str,
+    payload: Optional[Dict[str, object]] = None,
+    timeout: float = 120.0,
+) -> Tuple[int, Dict[str, object]]:
+    req = urllib.request.Request(
+        base + path,
+        method=method,
+        data=None if payload is None else json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def placement(base: str) -> Dict[str, Dict[str, object]]:
+    """tenant id -> its worker's status row, from /healthz."""
+    _, body = request(base, "GET", "/healthz")
+    return {
+        tenant: worker
+        for worker in body["workers"]
+        for tenant in worker["tenants"]
+    }
+
+
+def commit_round(base: str, tenant: str) -> bool:
+    """One propose → answer(is_useful=True) cycle; True when it committed."""
+    status, body = request(
+        base, "POST", f"/tenants/{tenant}/propose", {"annotator_id": 0}
+    )
+    if status != 200 or not body.get("assignment"):
+        return False
+    status, body = request(
+        base, "POST", f"/tenants/{tenant}/answer",
+        {"ticket_id": body["assignment"]["ticket_id"], "annotator_id": 0,
+         "is_useful": True},
+    )
+    return status == 200 and bool(body.get("committed"))
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="fleet-smoke-")
+    ready_file = os.path.join(tmp, "ready.json")
+    checkpoint_dir = os.path.join(tmp, "ckpts")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve-http",
+         "--dataset", "directions", "--num-sentences", "600",
+         "--seed", "11", "--workers", "2", "--tenants", "2",
+         "--budget", "20", "--epochs", "10", "--port", "0",
+         "--allow-debug-ops", "--ready-file", ready_file,
+         "--checkpoint-dir", checkpoint_dir],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        print("== boot ==")
+        for _ in range(900):
+            if os.path.exists(ready_file):
+                break
+            if proc.poll() is not None:
+                print(proc.stderr.read(), file=sys.stderr)
+                check(False, "serve-http exited before becoming ready")
+                return 1
+            time.sleep(0.2)
+        check(os.path.exists(ready_file), "ready file written")
+        ready = json.load(open(ready_file))
+        base = ready["url"]
+        tenants = ready["tenants"]
+        check(ready.get("workers") == 2, "ready file reports 2 workers")
+        check(len(tenants) == 2, f"2 tenants spawned ({tenants})")
+
+        print("== topology ==")
+        status, body = request(base, "GET", "/healthz")
+        check(status == 200 and body.get("backend") == "fleet",
+              f"healthz reports the fleet backend (got {body.get('backend')})")
+        workers = body.get("workers", [])
+        check(len(workers) == 2 and all(w["alive"] for w in workers),
+              "both workers alive")
+        placed = placement(base)
+        check(sorted(placed) == sorted(tenants),
+              "every tenant placed on exactly one worker")
+
+        print("== session flow ==")
+        committed = sum(commit_round(base, tenants[0]) for _ in range(3))
+        check(committed >= 3,
+              f"3 propose/answer cycles committed over RPC ({committed})")
+
+        print("== migration ==")
+        source = placed[tenants[0]]["worker"]
+        status, body = request(
+            base, "POST", f"/tenants/{tenants[0]}/migrate", {}
+        )
+        check(status == 200, f"migrate returns 200 (got {status}: {body})")
+        check(body.get("from") == source and body.get("to") is not None
+              and body["to"] != source,
+              f"tenant moved off worker {source} (got {body})")
+        placed = placement(base)
+        check(placed[tenants[0]]["worker"] == body.get("to"),
+              "healthz shows the new placement")
+        check(commit_round(base, tenants[0]),
+              "migrated tenant commits its next answer")
+
+        print("== crash recovery ==")
+        victim = placed[tenants[0]]
+        old_pid = victim["pid"]
+        os.kill(int(old_pid), signal.SIGKILL)
+        check(commit_round(base, tenants[0]),
+              "next propose/answer round succeeds after SIGKILL "
+              "(supervisor respawned the worker)")
+        placed = placement(base)
+        survivor = placed[tenants[0]]
+        check(survivor["alive"] and survivor["pid"] != old_pid,
+              f"worker {victim['worker']} respawned with a new pid "
+              f"({old_pid} -> {survivor['pid']})")
+
+        print("== merged metrics ==")
+        with urllib.request.urlopen(base + "/metrics", timeout=60) as resp:
+            exposition = resp.read().decode("utf-8")
+        families = parse_prometheus_text(exposition)
+        worker_labels = {
+            dict(labels).get("worker")
+            for family in families.values()
+            for (_, labels) in family["samples"]
+        }
+        check({"0", "1"} <= worker_labels,
+              f"metrics carry series from both workers "
+              f"(worker labels {sorted(label for label in worker_labels if label)})")
+
+        print("== graceful drain (SIGTERM) ==")
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=180)
+        check(proc.returncode == 0,
+              f"serve-http exited 0 after SIGTERM (got {proc.returncode})")
+        if proc.returncode != 0:
+            print(err, file=sys.stderr)
+        for tenant in tenants:
+            final = os.path.join(checkpoint_dir, f"{tenant}-final.npz")
+            check(os.path.exists(final),
+                  f"final drain checkpoint written for {tenant}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    if failures:
+        print(f"\nfleet smoke FAILED ({len(failures)} checks):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nfleet smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

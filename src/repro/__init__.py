@@ -34,7 +34,14 @@ The pre-engine entry points remain available::
     result = darwin.run(oracle, seed_rule_texts=["best way to get to"])
 """
 
-from .config import ClassifierConfig, CrowdConfig, DarwinConfig, IndexConfig, DEFAULT_CONFIG
+from .config import (
+    ClassifierConfig,
+    CrowdConfig,
+    DarwinConfig,
+    FleetConfig,
+    IndexConfig,
+    DEFAULT_CONFIG,
+)
 from .errors import (
     BudgetExhaustedError,
     ClassifierError,
@@ -101,6 +108,7 @@ __all__ = [
     "ClassifierConfig",
     "CrowdConfig",
     "DarwinConfig",
+    "FleetConfig",
     "IndexConfig",
     "DEFAULT_CONFIG",
     "ReproError",

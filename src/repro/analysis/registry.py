@@ -43,7 +43,8 @@ class LintConfig:
     # RPR002 — serializer method → accepted counterpart methods.
     state_pairs: Mapping[str, Tuple[str, ...]] = field(
         default_factory=lambda: {
-            "to_state": ("from_state", "load_state", "restore_state"),
+            "to_state": ("from_state", "from_state_over", "load_state",
+                         "restore_state"),
             "state_dict": ("load_state", "from_state", "restore_state"),
         }
     )

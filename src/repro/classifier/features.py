@@ -27,6 +27,122 @@ from ..utils.rng import stable_hash
 
 _SURFACE_FEATURES = 4
 
+_SLAB_DTYPE = np.dtype(np.float64)
+
+
+class SharedMemorySlab:
+    """A cross-process sentence→feature-vector slab in shared memory.
+
+    One ``multiprocessing.shared_memory`` segment holds a dense
+    ``(num_vectors, dim)`` float64 block plus one ``uint8`` ready flag per
+    row. Worker processes of a :class:`repro.fleet` deployment attach the
+    same segment, so each sentence's feature vector is computed once per
+    *machine* instead of once per process.
+
+    Concurrency contract: feature vectors are pure functions of the shared
+    immutable corpus and the shared fitted embeddings, so two processes
+    racing on the same row write byte-identical data. Writers store the row
+    first and set the flag last; readers trust a row only once its flag is
+    set — a torn read is therefore impossible and no cross-process lock is
+    needed.
+    """
+
+    def __init__(self, shm, num_vectors: int, dim: int, owner: bool) -> None:
+        self._shm = shm
+        self.num_vectors = int(num_vectors)
+        self.dim = int(dim)
+        self._owner = owner
+        data_bytes = self.num_vectors * self.dim * _SLAB_DTYPE.itemsize
+        self._data = np.ndarray(
+            (self.num_vectors, self.dim), dtype=_SLAB_DTYPE, buffer=shm.buf
+        )
+        self._flags = np.ndarray(
+            (self.num_vectors,), dtype=np.uint8, buffer=shm.buf, offset=data_bytes
+        )
+
+    # -------------------------------------------------------------- lifecycle
+    @classmethod
+    def create(cls, num_vectors: int, dim: int) -> "SharedMemorySlab":
+        """Allocate a fresh zeroed slab (the supervisor side; owns unlink)."""
+        from multiprocessing import shared_memory
+
+        if num_vectors <= 0 or dim <= 0:
+            raise ValueError("num_vectors and dim must be positive")
+        size = num_vectors * dim * _SLAB_DTYPE.itemsize + num_vectors
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        slab = cls(shm, num_vectors, dim, owner=True)
+        slab._flags[:] = 0
+        return slab
+
+    @classmethod
+    def attach(cls, spec: Dict[str, int]) -> "SharedMemorySlab":
+        """Attach an existing slab by its :meth:`spec` (the worker side)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=str(spec["name"]), create=False)
+        # Pre-3.13 SharedMemory registers attaches with the resource tracker
+        # too. That is safe here — fleet children share the supervisor's
+        # tracker process, whose cache is a set (duplicate registrations
+        # collapse), and only the creator ever unlinks — while explicitly
+        # unregistering would race the creator's unlink into tracker
+        # KeyErrors. The tracker reclaiming the segment on abnormal
+        # whole-program exit is leak prevention, not a hazard.
+        return cls(shm, int(spec["num_vectors"]), int(spec["dim"]), owner=False)
+
+    def spec(self) -> Dict[str, object]:
+        """JSON-able attach handle: segment name plus slab geometry."""
+        return {
+            "name": self._shm.name,
+            "num_vectors": self.num_vectors,
+            "dim": self.dim,
+        }
+
+    def close(self) -> None:
+        """Detach this process's mapping (does not free the segment)."""
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live row views still reference the buffer; leave the mapping
+            # to be reclaimed when they die.
+            pass
+
+    def unlink(self) -> None:
+        """Free the segment machine-wide (creator only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ----------------------------------------------------------------- access
+    def get(self, row: int) -> Optional[np.ndarray]:
+        """Read-only view of ``row``'s vector, or None when not yet computed."""
+        if not 0 <= row < self.num_vectors or not self._flags[row]:
+            return None
+        view = self._data[row].view()
+        view.setflags(write=False)
+        return view
+
+    def put(self, row: int, vector: np.ndarray) -> Optional[np.ndarray]:
+        """Store ``row``'s vector (idempotent); None when it does not fit."""
+        if not 0 <= row < self.num_vectors or vector.shape != (self.dim,):
+            return None
+        self._data[row, :] = vector
+        self._flags[row] = 1  # commit point: readers trust the row only now
+        return self.get(row)
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def ready_count(self) -> int:
+        """Rows computed so far (machine-wide)."""
+        return int(np.count_nonzero(self._flags))
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared segment (exists once per machine)."""
+        return self._shm.size
+
 
 class SharedFeatureCache:
     """Sentence-id keyed feature cache shareable between featurizer handles.
@@ -39,15 +155,42 @@ class SharedFeatureCache:
     no-double-compute property testable, and a lock keeps get-then-put safe
     if engines ever featurize from worker threads (the asyncio serve loop is
     single-threaded, but the cache does not rely on that).
+
+    With a :class:`SharedMemorySlab` attached, vector storage moves into the
+    cross-process shared segment: a vector any fleet worker computed is a hit
+    for every other worker on the machine. Vectors that do not fit the slab
+    (out-of-range sentence id, mismatched dimensionality) and all matrices
+    fall back to the process-local dicts.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, slab: Optional["SharedMemorySlab"] = None) -> None:
         self._vectors: Dict[int, np.ndarray] = {}
         self._matrices: Dict[int, np.ndarray] = {}
+        self._slab = slab
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._fingerprint: Optional[tuple] = None
+
+    @property
+    def slab(self) -> Optional["SharedMemorySlab"]:
+        """The shared-memory vector slab, when this cache is fleet-backed."""
+        return self._slab
+
+    def attach_slab(self, slab: "SharedMemorySlab") -> None:
+        """Move vector storage into ``slab`` (fleet setup, post-fit).
+
+        The slab is sized by the fitted vector dimensionality, which only
+        exists after :meth:`SentenceFeaturizer.fit` — so the supervisor fits
+        first, then attaches. Already-cached heap vectors stay valid (the
+        heap dict is consulted before the slab); re-attaching raises.
+        """
+        with self._lock:
+            if self._slab is not None:
+                raise ValueError(
+                    "SharedFeatureCache already has a shared-memory slab"
+                )
+            self._slab = slab
 
     def bind(self, embeddings, max_len: int, bow_dim: int) -> None:
         """Pin the cache to one feature space; re-binding differently raises.
@@ -82,6 +225,8 @@ class SharedFeatureCache:
     def get_vector(self, sentence_id: int) -> Optional[np.ndarray]:
         with self._lock:
             cached = self._vectors.get(sentence_id)
+            if cached is None and self._slab is not None:
+                cached = self._slab.get(sentence_id)
             if cached is None:
                 self._misses += 1
             else:
@@ -90,6 +235,10 @@ class SharedFeatureCache:
 
     def put_vector(self, sentence_id: int, features: np.ndarray) -> np.ndarray:
         with self._lock:
+            if self._slab is not None:
+                stored = self._slab.put(sentence_id, features)
+                if stored is not None:
+                    return stored
             # First writer wins, so every handle sees one canonical array per
             # sentence even under racing computes. Frozen, because that one
             # array is shared by every tenant: an in-place mutation would
@@ -140,15 +289,25 @@ class SharedFeatureCache:
                 sum(a.nbytes for a in self._vectors.values())
                 + sum(a.nbytes for a in self._matrices.values())
             )
-            return {
-                "cached_vectors": float(len(self._vectors)),
+            slab_vectors = (
+                float(self._slab.ready_count) if self._slab is not None else 0.0
+            )
+            stats = {
+                "cached_vectors": float(len(self._vectors)) + slab_vectors,
                 "cached_matrices": float(len(self._matrices)),
-                "entries": float(len(self._vectors) + len(self._matrices)),
+                "entries": float(len(self._vectors) + len(self._matrices))
+                + slab_vectors,
                 "hits": float(self._hits),
                 "misses": float(self._misses),
                 "nbytes": nbytes,
                 "bytes": nbytes,
             }
+            if self._slab is not None:
+                # The slab exists once per machine; report it separately so
+                # per-process residency sums stay honest.
+                stats["slab_vectors"] = slab_vectors
+                stats["slab_nbytes"] = float(self._slab.nbytes)
+            return stats
 
     def invalidate(self, sentence_ids: Optional[Sequence[int]] = None) -> None:
         """Drop cached features (all of them when ``sentence_ids`` is None)."""
@@ -156,10 +315,17 @@ class SharedFeatureCache:
             if sentence_ids is None:
                 self._vectors.clear()
                 self._matrices.clear()
+                if self._slab is not None:
+                    self._slab._flags[:] = 0
                 return
             for sentence_id in sentence_ids:
                 self._vectors.pop(sentence_id, None)
                 self._matrices.pop(sentence_id, None)
+                if (
+                    self._slab is not None
+                    and 0 <= sentence_id < self._slab.num_vectors
+                ):
+                    self._slab._flags[sentence_id] = 0
 
 
 class SentenceFeaturizer:

@@ -224,6 +224,22 @@ def build_parser() -> argparse.ArgumentParser:
     http_parser.add_argument("--num-sentences", type=int, default=600)
     http_parser.add_argument("--tenants", type=int, default=2,
                              help="tenant engines to spawn and expose")
+    http_parser.add_argument("--workers", type=int, default=1,
+                             help="serving processes; 1 hosts every tenant "
+                                  "in this process, N>1 runs a repro.fleet "
+                                  "of N workers sharing one read-only arena "
+                                  "and partitioning the tenants")
+    http_parser.add_argument("--fleet-workdir", default=None, metavar="DIR",
+                             help="fleet scratch directory (arena file, "
+                                  "autosaves, migration checkpoints); "
+                                  "default: a temporary directory owned by "
+                                  "this run")
+    http_parser.add_argument("--start-method", default="fork",
+                             choices=("fork", "spawn", "forkserver"),
+                             help="multiprocessing start method for fleet "
+                                  "workers (fork shares the substrate "
+                                  "copy-on-write; spawn rebuilds it from a "
+                                  "substrate checkpoint)")
     http_parser.add_argument("--budget", type=int, default=30,
                              help="per-tenant committed-question budget")
     http_parser.add_argument("--annotators", type=int, default=4,
@@ -632,18 +648,13 @@ def _command_serve_http(args: argparse.Namespace) -> int:
             annotator_latency=0.0,
             seed=args.seed,
         )
-        with TenantPool(
-            corpus, config,
-            seeds={"rule_texts": [seed_rule]},
-            dataset_spec={"name": args.dataset,
-                          "options": {"num_sentences": args.num_sentences,
-                                      "seed": args.seed,
-                                      "parse_trees": False}},
-        ) as pool:
-            pool.spawn_many(args.tenants)
-            app = GatewayApp(
-                pool, gateway_config, crowd_config, authenticator=authenticator
-            )
+        seeds = {"rule_texts": [seed_rule]}
+        dataset_spec = {"name": args.dataset,
+                        "options": {"num_sentences": args.num_sentences,
+                                    "seed": args.seed,
+                                    "parse_trees": False}}
+
+        def _run_gateway(app: GatewayApp, topology: str) -> None:
             server = build_server(app)
 
             def _drain_signal(signum: int, frame: object) -> None:
@@ -656,9 +667,10 @@ def _command_serve_http(args: argparse.Namespace) -> int:
 
             signal.signal(signal.SIGTERM, _drain_signal)
             signal.signal(signal.SIGINT, _drain_signal)
+            tenants = app.backend.tenant_ids()
             print(f"gateway listening on {server.url} "
-                  f"({pool.num_tenants} tenants: "
-                  f"{', '.join(sorted(pool.tenants))})")
+                  f"({topology}; {len(tenants)} tenants: "
+                  f"{', '.join(tenants)})")
             print(f"auth: {'bearer tokens' if app.auth.enabled else 'disabled'}"
                   f"; queue depth {gateway_config.queue_depth}; "
                   f"deadline {gateway_config.deadline_ms:.0f}ms")
@@ -666,8 +678,8 @@ def _command_serve_http(args: argparse.Namespace) -> int:
             if args.ready_file:
                 with open(args.ready_file, "w", encoding="utf-8") as handle:
                     json.dump({"url": server.url, "port": server.port,
-                               "pid": os.getpid(),
-                               "tenants": sorted(pool.tenants)}, handle)
+                               "pid": os.getpid(), "tenants": tenants,
+                               "workers": max(args.workers, 1)}, handle)
             server.serve_forever()
             # serve_forever returned: the drain signal fired (or stop() was
             # called). Finish: flush coordinators, final checkpoints,
@@ -678,6 +690,45 @@ def _command_serve_http(args: argparse.Namespace) -> int:
                 print(f"  {tenant_id}: {path}")
             if args.metrics_out:
                 print(f"metrics snapshot written to {args.metrics_out}")
+
+        if args.workers > 1:
+            from .config import FleetConfig
+            from .fleet import FleetSupervisor
+            from .gateway import FleetBackend
+
+            supervisor = FleetSupervisor(
+                corpus, config,
+                fleet=FleetConfig(workers=args.workers,
+                                  start_method=args.start_method,
+                                  workdir=args.fleet_workdir),
+                crowd_config=crowd_config,
+                seeds=seeds,
+                dataset_spec=dataset_spec,
+                allow_debug_ops=args.allow_debug_ops,
+            )
+            with supervisor:
+                supervisor.spawn_tenants(args.tenants)
+                app = GatewayApp(
+                    config=gateway_config,
+                    crowd_config=crowd_config,
+                    authenticator=authenticator,
+                    backend=FleetBackend(
+                        supervisor, gateway_config.checkpoint_dir
+                    ),
+                )
+                _run_gateway(app, f"fleet of {args.workers} workers")
+            return 0
+
+        with TenantPool(
+            corpus, config,
+            seeds=seeds,
+            dataset_spec=dataset_spec,
+        ) as pool:
+            pool.spawn_many(args.tenants)
+            app = GatewayApp(
+                pool, gateway_config, crowd_config, authenticator=authenticator
+            )
+            _run_gateway(app, "in-process pool")
     except ReproError as exc:
         print(f"serve-http: {exc}", file=sys.stderr)
         return 2

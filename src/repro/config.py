@@ -490,5 +490,83 @@ class GatewayConfig:
             raise ConfigurationError(f"bad gateway config: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class FleetConfig:
+    """Configuration of the cross-process serving fleet (``repro.fleet``).
+
+    Attributes:
+        workers: Number of worker processes. Each worker reopens the shared
+            :class:`~repro.index.arena.CoverageArena` file read-only by path
+            after spawn and hosts a partition of the tenants.
+        start_method: ``multiprocessing`` start method. ``"fork"`` (default)
+            lets workers inherit the built index/corpus substrate
+            copy-on-write — only per-tenant state is private per process;
+            ``"spawn"`` gives fully independent interpreters that rebuild
+            the substrate from the supervisor's substrate checkpoint (more
+            memory, maximal isolation).
+        workdir: Directory for the arena file, the substrate checkpoint, and
+            worker auto-checkpoints. ``None`` uses a temporary directory
+            removed when the supervisor closes.
+        checkpoint_every_commits: Auto-checkpoint a tenant's overlay state
+            after this many committed answers — the resume point after a
+            worker crash. ``0`` disables auto-checkpoints (crashed workers
+            respawn their tenants from the initial seeds).
+        heartbeat_s: Liveness-monitor poll interval; a dead worker is
+            respawned and its tenants restored from their last checkpoints.
+        call_timeout_s: Upper bound one supervisor→worker RPC may take
+            before the worker is declared wedged (kill + respawn).
+        shared_feature_slab: Back the workers' shared feature cache with one
+            ``multiprocessing.shared_memory`` vector slab, so each sentence's
+            feature vector is computed once per *machine* rather than once
+            per process.
+    """
+
+    workers: int = 4
+    start_method: str = "fork"
+    workdir: Optional[str] = None
+    checkpoint_every_commits: int = 8
+    heartbeat_s: float = 1.0
+    call_timeout_s: float = 120.0
+    shared_feature_slab: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ConfigurationError("workers must be an integer")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        if self.start_method not in ("fork", "spawn", "forkserver"):
+            raise ConfigurationError(
+                f"start_method must be one of fork/spawn/forkserver, got "
+                f"{self.start_method!r}"
+            )
+        if self.checkpoint_every_commits < 0:
+            raise ConfigurationError(
+                "checkpoint_every_commits must be non-negative (0 disables)"
+            )
+        if self.heartbeat_s <= 0:
+            raise ConfigurationError("heartbeat_s must be positive")
+        if self.call_timeout_s <= 0:
+            raise ConfigurationError("call_timeout_s must be positive")
+
+    def with_overrides(self, **overrides: Any) -> "FleetConfig":
+        """Return a copy of this config with ``overrides`` applied."""
+        try:
+            return replace(self, **overrides)
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(str(exc)) from exc
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able mapping of this config (checkpoint manifests)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "FleetConfig":
+        """Rebuild a config from :meth:`as_dict` output / a plain JSON dict."""
+        try:
+            return cls(**dict(mapping))
+        except TypeError as exc:  # unknown field name
+            raise ConfigurationError(f"bad fleet config: {exc}") from exc
+
+
 DEFAULT_CONFIG = DarwinConfig()
 """A shared default configuration used when callers do not supply one."""

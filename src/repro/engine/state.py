@@ -122,7 +122,9 @@ def write_checkpoint(
     return path
 
 
-def read_checkpoint(path: str) -> Tuple[Dict[str, Any], ArrayBundle]:
+def read_checkpoint(
+    path: str, expected_kind: str = CHECKPOINT_KIND
+) -> Tuple[Dict[str, Any], ArrayBundle]:
     """Load and validate a checkpoint written by :func:`write_checkpoint`.
 
     Returns ``(manifest, bundle)``. The file is read eagerly and closed
@@ -130,8 +132,9 @@ def read_checkpoint(path: str) -> Tuple[Dict[str, Any], ArrayBundle]:
     so long-lived services can load repeatedly and the file can be rewritten
     (``resume --checkpoint-every``) on platforms that forbid writing an open
     file. Raises :class:`~repro.errors.ConfigurationError` when the file is
-    unreadable, is not a Darwin engine checkpoint, or carries a different
-    schema version.
+    unreadable, does not carry ``expected_kind`` (other checkpoint families
+    — e.g. the fleet's substrate snapshot — share the container format under
+    their own kind stamp), or carries a different schema version.
     """
     try:
         with np.load(path, allow_pickle=False) as data:
@@ -146,11 +149,15 @@ def read_checkpoint(path: str) -> Tuple[Dict[str, Any], ArrayBundle]:
         raise ConfigurationError(
             f"{path} is not a Darwin engine checkpoint (no manifest entry)"
         )
-    manifest = _decode_manifest(arrays.pop(MANIFEST_KEY).tobytes(), path)
+    manifest = _decode_manifest(
+        arrays.pop(MANIFEST_KEY).tobytes(), path, expected_kind
+    )
     return manifest, ArrayBundle(source=arrays)
 
 
-def _decode_manifest(encoded: bytes, path: str) -> Dict[str, Any]:
+def _decode_manifest(
+    encoded: bytes, path: str, expected_kind: str = CHECKPOINT_KIND
+) -> Dict[str, Any]:
     """Parse and validate a manifest payload (kind + schema version)."""
     try:
         manifest = json.loads(encoded.decode("utf-8"))
@@ -158,9 +165,9 @@ def _decode_manifest(encoded: bytes, path: str) -> Dict[str, Any]:
         raise ConfigurationError(
             f"checkpoint manifest in {path} is corrupted: {exc}"
         ) from exc
-    if not isinstance(manifest, dict) or manifest.get("kind") != CHECKPOINT_KIND:
+    if not isinstance(manifest, dict) or manifest.get("kind") != expected_kind:
         raise ConfigurationError(
-            f"{path} is not a Darwin engine checkpoint "
+            f"{path} is not a {expected_kind} checkpoint "
             f"(kind={manifest.get('kind') if isinstance(manifest, dict) else manifest!r})"
         )
     version = manifest.get("schema_version")

@@ -1,0 +1,176 @@
+"""Pipe RPC between the fleet supervisor and its worker processes.
+
+One duplex :func:`multiprocessing.Pipe` per worker, strict request/response:
+the supervisor sends ``{"op": ..., "payload": {...}}`` and blocks (under a
+per-worker lock, so concurrent gateway threads serialize) until the worker
+answers ``{"ok": True, "value": ...}`` or ``{"ok": False, "error": {...}}``.
+Workers are single-threaded — one recv/dispatch/send loop — which is the
+whole concurrency story on their side: a worker's tenants are serialized by
+construction, exactly like the in-process gateway's per-tenant queues.
+
+Errors cross the pipe *by name*: the worker encodes ``type``/``message`` (+
+``retry_after`` for gateway admission errors), and the supervisor re-raises
+a real instance looked up in a registry built from :mod:`repro.errors` and
+:mod:`repro.gateway.wire` — so a worker-side ``OracleError`` still maps to
+HTTP 409 at the gateway, process boundary or not. A broken or timed-out pipe
+raises :class:`WorkerDiedError`, the supervisor's signal to respawn.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from .. import errors as _errors
+from ..errors import ReproError
+from ..gateway import wire as _wire
+from ..gateway.wire import GatewayError
+
+
+class WorkerDiedError(ReproError):
+    """The worker's pipe broke or a call timed out; the process is presumed
+    dead (or wedged, which the supervisor treats the same way: respawn)."""
+
+
+def _error_registry() -> Dict[str, type]:
+    registry: Dict[str, type] = {}
+    for module in (_errors, _wire):
+        for name in dir(module):
+            obj = getattr(module, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not Exception
+            ):
+                registry[obj.__name__] = obj
+    return registry
+
+
+_ERROR_REGISTRY = _error_registry()
+
+
+def encode_error(exc: BaseException) -> Dict[str, Any]:
+    """Flatten an exception for the pipe (type name, message, retry hint)."""
+    payload: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return payload
+
+
+def decode_error(spec: Mapping[str, Any]) -> Exception:
+    """Rebuild a raisable exception from :func:`encode_error` output.
+
+    Unknown types degrade to :class:`~repro.errors.ReproError` with the
+    original type name prefixed, so nothing is ever silently swallowed.
+    """
+    name = str(spec.get("type", "ReproError"))
+    message = str(spec.get("message", ""))
+    cls = _ERROR_REGISTRY.get(name)
+    if cls is None:
+        return ReproError(f"{name}: {message}")
+    try:
+        if issubclass(cls, GatewayError):
+            return cls(message, retry_after=spec.get("retry_after"))
+        return cls(message)
+    except Exception:  # pragma: no cover - exotic constructor signature
+        return ReproError(f"{name}: {message}")
+
+
+class WorkerClient:
+    """The supervisor's handle to one worker: process + pipe + call lock."""
+
+    def __init__(self, worker_id: int, process, connection) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.connection = connection
+        self._lock = threading.Lock()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def call(
+        self, op: str, timeout: float, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        """One request/response round-trip; raises the worker's exception.
+
+        The lock serializes callers (gateway threads, the monitor, the
+        bench driver) onto the single pipe; ``timeout`` bounds the wait for
+        the *response*, not the queueing behind other callers.
+        """
+        with self._lock:
+            try:
+                self.connection.send({"op": op, "payload": payload or {}})
+                if not self.connection.poll(timeout):
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} (pid {self.pid}) did not "
+                        f"answer op {op!r} within {timeout:.0f}s"
+                    )
+                response = self.connection.recv()
+            except WorkerDiedError:
+                raise
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise WorkerDiedError(
+                    f"worker {self.worker_id} (pid {self.pid}) pipe broke "
+                    f"during op {op!r}: {exc}"
+                ) from exc
+        if not isinstance(response, dict):
+            raise WorkerDiedError(
+                f"worker {self.worker_id} sent a malformed response for "
+                f"op {op!r}"
+            )
+        if response.get("ok"):
+            return response.get("value")
+        raise decode_error(response.get("error") or {})
+
+    def close(self) -> None:
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+def serve_connection(
+    connection, dispatch: Callable[[str, Dict[str, Any]], Any]
+) -> None:
+    """The worker's request loop: recv, dispatch, send, until EOF/shutdown.
+
+    ``dispatch`` raising is an *answer* (encoded and sent back), not a crash;
+    the loop only exits when the supervisor closes its end (EOFError) or the
+    dispatcher raises :class:`_ShutdownRequested`.
+    """
+    while True:
+        try:
+            request = connection.recv()
+        except (EOFError, OSError):
+            return
+        op = str(request.get("op", "")) if isinstance(request, dict) else ""
+        payload = (
+            dict(request.get("payload") or {})
+            if isinstance(request, dict)
+            else {}
+        )
+        try:
+            value = dispatch(op, payload)
+        except _ShutdownRequested as final:
+            connection.send({"ok": True, "value": final.value})
+            return
+        except Exception as exc:  # noqa: BLE001 - boundary: errors are data
+            connection.send({"ok": False, "error": encode_error(exc)})
+        else:
+            connection.send({"ok": True, "value": value})
+
+
+class _ShutdownRequested(Exception):
+    """Raised by a worker's shutdown op to end the serve loop after replying."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__("shutdown")
+        self.value = value

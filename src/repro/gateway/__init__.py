@@ -9,8 +9,12 @@ Layering, innermost out:
   drained by the single worker thread that owns that tenant's (not
   thread-safe) :class:`~repro.crowd.CrowdCoordinator`. Backpressure (429)
   and deadline cancellation (504) live here.
+* :mod:`~repro.gateway.ops` — the tenant operation bodies, shared between
+  the in-process backend and the fleet's worker processes.
 * :mod:`~repro.gateway.handlers` — :class:`GatewayApp`, the full HTTP
-  surface as one ``handle()`` function plus the SIGTERM drain path.
+  surface as one ``handle()`` function plus the SIGTERM drain path, over a
+  pluggable serving backend (:class:`LocalPoolBackend` in-process,
+  :class:`FleetBackend` routing to :mod:`repro.fleet` workers).
 * :mod:`~repro.gateway.server` — byte-moving backends behind a string
   registry (``stdlib`` ships; ``starlette`` is optional, never required).
 
@@ -29,7 +33,7 @@ Typical embedding (the ``repro serve-http`` CLI does exactly this)::
 
 from ..config import GatewayConfig
 from .auth import TokenAuthenticator
-from .handlers import GatewayApp
+from .handlers import FleetBackend, GatewayApp, LocalPoolBackend
 from .queues import GatewayJob, TenantQueue
 from .server import BACKENDS, GatewayServer, build_server
 from .wire import (
@@ -50,12 +54,14 @@ __all__ = [
     "BadRequestError",
     "DeadlineExceededError",
     "DrainingError",
+    "FleetBackend",
     "ForbiddenError",
     "GatewayApp",
     "GatewayConfig",
     "GatewayError",
     "GatewayJob",
     "GatewayServer",
+    "LocalPoolBackend",
     "MethodNotAllowedError",
     "NotFoundError",
     "QueueFullError",

@@ -1,4 +1,4 @@
-"""Framework-free request handling: routes, tenant ops, and the drain path.
+"""Framework-free request handling: routes, backends, and the drain path.
 
 :class:`GatewayApp` is the whole HTTP surface expressed as one pure-ish
 function, ``handle(method, path, headers, body) -> (status, headers, body)``.
@@ -7,6 +7,15 @@ request *means* — routing, auth, admission, deadline bookkeeping, error
 envelopes, metrics — happens here, which is what makes the app testable
 without ever opening a socket and keeps alternate backends (starlette) thin.
 
+Where the tenants *live* is a second, orthogonal axis — the serving
+backend. :class:`LocalPoolBackend` hosts them in-process on a
+:class:`~repro.serving.pool.TenantPool` (the classic single-process
+gateway); :class:`FleetBackend` routes every operation over pipe RPC to a
+:class:`~repro.fleet.supervisor.FleetSupervisor`'s worker processes. Both
+run the same operation bodies (:mod:`repro.gateway.ops`), so the wire shape
+is identical and the choice is pure deployment (``repro serve-http
+--workers N``).
+
 Routes::
 
     GET  /healthz                      liveness + drain state (no auth)
@@ -14,19 +23,20 @@ Routes::
     POST /tenants/{id}/propose        -> assignment or null
     POST /tenants/{id}/answer         -> vote, maybe a committed record
     POST /tenants/{id}/checkpoint     -> engine checkpoint on disk
+    POST /tenants/{id}/migrate         move tenant between workers (fleet)
     POST /tenants/{id}/debug/sleep     worker stall (allow_debug_ops only)
 
 Tenant operations are closures submitted to the tenant's
-:class:`~repro.gateway.queues.TenantQueue`, so the non-thread-safe
-coordinator only ever runs on its single worker thread; the HTTP thread
-blocks on the job (bounded by the request deadline).
+:class:`~repro.gateway.queues.TenantQueue`, so each tenant's work is
+serialized on its single queue-worker thread whichever backend runs the
+body; the HTTP thread blocks on the job (bounded by the request deadline).
 
 Graceful drain (SIGTERM): :meth:`GatewayApp.begin_drain` flips every queue
 to rejecting (503 + ``Retry-After``) while queued work keeps running;
-:meth:`GatewayApp.finish_drain` then joins the workers, flushes every
-coordinator's deferred batch, writes one final checkpoint per started
-tenant, and snapshots the metrics registry — the state a replacement
-process needs to resume exactly where this one stopped.
+:meth:`GatewayApp.finish_drain` then joins the workers, writes one final
+checkpoint per tenant through the backend, and snapshots the metrics
+registry — the state a replacement process needs to resume exactly where
+this one stopped.
 """
 
 from __future__ import annotations
@@ -35,13 +45,15 @@ import re
 import threading
 import time
 from pathlib import Path
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .. import obs
 from ..config import CrowdConfig, GatewayConfig
 from ..errors import ReproError
 from ..obs import get_registry
-from ..serving.pool import Tenant, TenantPool
+from ..obs.prometheus import render_snapshot
+from ..serving.pool import TenantPool
+from . import ops as gateway_ops
 from . import wire
 from .auth import TokenAuthenticator
 from .queues import TenantQueue
@@ -59,28 +71,214 @@ _TENANT_ROUTE = re.compile(
 )
 
 
-class GatewayApp:
-    """The gateway's request handler and drain controller.
+class LocalPoolBackend:
+    """Tenants hosted in this process on a :class:`TenantPool`.
 
-    Args:
-        pool: The tenant pool to serve. Tenants must be spawned before the
-            app sees traffic; unknown ids answer 404.
-        config: Gateway parameters (:class:`~repro.config.GatewayConfig`).
-        crowd_config: Crowd parameters for each tenant's coordinator.
-        authenticator: Bearer-token table; defaults to one built from
-            ``config.auth_tokens_path``.
+    Starting each tenant and binding its long-lived coordinator happens
+    here, on the construction thread, so the queue-worker threads only
+    ever *use* the coordinator.
     """
+
+    kind = "local"
+    supports_migration = False
 
     def __init__(
         self,
         pool: TenantPool,
+        crowd_config: CrowdConfig,
+        checkpoint_dir: str,
+    ) -> None:
+        self.pool = pool
+        self.crowd_config = crowd_config
+        self.checkpoint_dir = checkpoint_dir
+        for tenant in self.pool.tenants.values():
+            if not tenant.started:
+                tenant.start()
+            tenant.coordinator(self.crowd_config)
+
+    def tenant_ids(self) -> List[str]:
+        return sorted(self.pool.tenants)
+
+    def call(
+        self, tenant_id: str, op: str, payload: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        tenant = self.pool.tenants.get(tenant_id)
+        if tenant is None:
+            raise NotFoundError(
+                f"no tenant {tenant_id!r}; live tenants: "
+                f"{', '.join(self.tenant_ids()) or '(none)'}"
+            )
+        if op == "propose":
+            return gateway_ops.op_propose(tenant, self.crowd_config, payload)
+        if op == "answer":
+            return gateway_ops.op_answer(tenant, self.crowd_config, payload)
+        if op == "checkpoint":
+            return gateway_ops.op_checkpoint(
+                tenant, self.crowd_config, payload, self.checkpoint_dir
+            )
+        if op == "debug/sleep":
+            return gateway_ops.op_debug_sleep(tenant, payload)
+        raise NotFoundError(f"no tenant operation {op!r}")
+
+    def describe(self) -> Dict[str, Any]:
+        return {"backend": self.kind}
+
+    def merge_metrics(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        return snapshot
+
+    def drain(self, checkpoint_dir: str) -> Dict[str, str]:
+        directory = Path(checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: Dict[str, str] = {}
+        for tenant_id in self.tenant_ids():
+            tenant = self.pool.tenants[tenant_id]
+            if not tenant.started:
+                continue
+            try:
+                tenant.flush()
+                paths[tenant_id] = tenant.save(
+                    str(directory / f"{tenant_id}-final.npz")
+                )
+            except ReproError:
+                # A tenant that cannot checkpoint must not block the others'
+                # drain; its absence from the returned map is the signal.
+                continue
+        return paths
+
+    def close(self) -> None:
+        if not self.pool.closed:
+            self.pool.close()
+
+
+class FleetBackend:
+    """Tenants hosted across a :class:`FleetSupervisor`'s worker processes.
+
+    Every operation crosses the pipe RPC to the tenant's worker; the
+    supervisor transparently respawns a crashed worker (restoring its
+    tenants from their autosaves) and retries once, so a worker crash
+    costs the caller latency, not a 5xx. ``migrate`` is the extra verb
+    this backend adds: checkpoint-and-evict on the source worker, adopt on
+    the target, reroute.
+    """
+
+    kind = "fleet"
+    supports_migration = True
+
+    def __init__(self, supervisor, checkpoint_dir: str) -> None:
+        self.supervisor = supervisor
+        self.checkpoint_dir = checkpoint_dir
+        # The queues (and /healthz) enumerate tenants at construction; the
+        # fleet spawns them before the app sees traffic, like the pool.
+        self.pool = None
+
+    def tenant_ids(self) -> List[str]:
+        return self.supervisor.tenant_ids()
+
+    def call(
+        self, tenant_id: str, op: str, payload: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        if op == "migrate":
+            target = payload.get("worker")
+            if target is not None and (
+                isinstance(target, bool) or not isinstance(target, int)
+            ):
+                raise BadRequestError("field 'worker' must be an integer")
+            return self.supervisor.migrate(tenant_id, target=target)
+        return self.supervisor.call_tenant(
+            tenant_id,
+            op,
+            body=payload,
+            checkpoint_dir=self.checkpoint_dir if op == "checkpoint" else None,
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {"backend": self.kind, "workers": self.supervisor.status()}
+
+    def merge_metrics(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        """Fold every worker's registry into the gateway's snapshot.
+
+        Worker series get an injected ``worker`` label; families are merged
+        by name so the exposition declares each ``# TYPE`` exactly once (a
+        family re-declaration resets samples in strict parsers, including
+        the repo's own).
+        """
+        merged: Dict[str, Any] = {
+            name: {**family, "series": list(family.get("series", []))}
+            for name, family in (snapshot.get("metrics") or {}).items()
+        }
+        enabled = bool(snapshot.get("enabled"))
+        for worker, metrics in sorted(
+            self.supervisor.metrics_snapshots().items()
+        ):
+            labeled = _label_snapshot(metrics, worker=worker)
+            enabled = enabled or bool(labeled["metrics"])
+            for name, family in labeled["metrics"].items():
+                if name in merged:
+                    merged[name]["series"].extend(family["series"])
+                else:
+                    merged[name] = family
+        return {"enabled": enabled, "metrics": merged}
+
+    def drain(self, checkpoint_dir: str) -> Dict[str, str]:
+        return self.supervisor.drain(checkpoint_dir)
+
+    def close(self) -> None:
+        self.supervisor.close()
+
+
+def _label_snapshot(
+    snapshot: Mapping[str, Any], **extra_labels: str
+) -> Dict[str, Any]:
+    """A copy of a registry snapshot with ``extra_labels`` on every series.
+
+    The gateway's merged ``/metrics`` uses this to keep worker samples
+    distinguishable from the supervisor's own (and from each other) without
+    the workers knowing their fleet position.
+    """
+    metrics: Dict[str, Any] = {}
+    for name, family in (snapshot.get("metrics") or {}).items():
+        series = [
+            {**entry, "labels": {**extra_labels, **entry.get("labels", {})}}
+            for entry in family.get("series", [])
+        ]
+        metrics[name] = {**family, "series": series}
+    return {"enabled": snapshot.get("enabled", True), "metrics": metrics}
+
+
+class GatewayApp:
+    """The gateway's request handler and drain controller.
+
+    Args:
+        pool: The tenant pool to serve in-process. Tenants must be spawned
+            before the app sees traffic; unknown ids answer 404. Mutually
+            exclusive with ``backend``.
+        config: Gateway parameters (:class:`~repro.config.GatewayConfig`).
+        crowd_config: Crowd parameters for each tenant's coordinator.
+        authenticator: Bearer-token table; defaults to one built from
+            ``config.auth_tokens_path``.
+        backend: A pre-built serving backend (:class:`FleetBackend` for the
+            multi-process fleet); when omitted, ``pool`` is wrapped in a
+            :class:`LocalPoolBackend`.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[TenantPool] = None,
         config: Optional[GatewayConfig] = None,
         crowd_config: Optional[CrowdConfig] = None,
         authenticator: Optional[TokenAuthenticator] = None,
+        backend=None,
     ) -> None:
-        self.pool = pool
         self.config = config or GatewayConfig()
         self.crowd_config = crowd_config or CrowdConfig()
+        if (backend is None) == (pool is None):
+            raise BadRequestError(
+                "GatewayApp needs exactly one of pool= or backend="
+            )
+        self.backend = backend or LocalPoolBackend(
+            pool, self.crowd_config, self.config.checkpoint_dir
+        )
+        self.pool = getattr(self.backend, "pool", None)
         self.auth = (
             authenticator
             if authenticator is not None
@@ -90,12 +288,7 @@ class GatewayApp:
         self._draining = threading.Event()
         self._drained = threading.Event()
         self._drain_paths: Dict[str, str] = {}
-        for tenant_id, tenant in self.pool.tenants.items():
-            if not tenant.started:
-                tenant.start()
-            # Bind the long-lived coordinator now, on the construction
-            # thread, so the worker threads only ever *use* it.
-            tenant.coordinator(self.crowd_config)
+        for tenant_id in self.backend.tenant_ids():
             self._queues[tenant_id] = TenantQueue(
                 tenant_id,
                 depth=self.config.queue_depth,
@@ -160,15 +353,12 @@ class GatewayApp:
         if match is None:
             raise NotFoundError(f"no route for {path!r}")
         op = match.group("op")
-        ops: Dict[str, Callable[[Tenant, Mapping[str, object]], Dict[str, object]]] = {
-            "propose": self._op_propose,
-            "answer": self._op_answer,
-            "checkpoint": self._op_checkpoint,
-        }
+        ops = {"propose", "answer", "checkpoint"}
         if self.config.allow_debug_ops:
-            ops["debug/sleep"] = self._op_debug_sleep
-        handler = ops.get(op)
-        if handler is None:
+            ops.add("debug/sleep")
+        if self.backend.supports_migration:
+            ops.add("migrate")
+        if op not in ops:
             raise NotFoundError(f"no tenant operation {op!r}")
         route = f"tenants/{op}"
         if method != "POST":
@@ -180,9 +370,8 @@ class GatewayApp:
                 "gateway is draining; not admitting work",
                 retry_after=self.config.retry_after_s,
             )
-        tenant = self.pool.tenants.get(tenant_id)
         queue = self._queues.get(tenant_id)
-        if tenant is None or queue is None:
+        if queue is None:
             raise NotFoundError(
                 f"no tenant {tenant_id!r}; live tenants: "
                 f"{', '.join(sorted(self._queues)) or '(none)'}"
@@ -190,19 +379,23 @@ class GatewayApp:
         payload = wire.parse_json_body(body)
         deadline_ms = wire.deadline_ms(payload) or self.config.deadline_ms
         deadline = time.monotonic() + deadline_ms / 1000.0
-        result = queue.submit(lambda: handler(tenant, payload), deadline).result()
+        result = queue.submit(
+            lambda: self.backend.call(tenant_id, op, payload), deadline
+        ).result()
         return route, _json_response(200, result)
 
     # ------------------------------------------------------------ plain routes
     def _healthz(self) -> Response:
         status = "draining" if self._draining.is_set() else "ok"
+        body: Dict[str, Any] = {
+            "status": status,
+            "tenants": sorted(self._queues),
+            "auth": self.auth.enabled,
+        }
+        body.update(self.backend.describe())
         return _json_response(
             200 if status == "ok" else 503,
-            {
-                "status": status,
-                "tenants": sorted(self._queues),
-                "auth": self.auth.enabled,
-            },
+            body,
             extra_headers=(
                 {"Retry-After": str(self.config.retry_after_s)}
                 if status == "draining"
@@ -211,74 +404,13 @@ class GatewayApp:
         )
 
     def _metrics(self) -> Response:
-        text = get_registry().render_prometheus()
+        merged = self.backend.merge_metrics(get_registry().snapshot())
+        text = render_snapshot(merged)
         return (
             200,
             {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
             text.encode("utf-8"),
         )
-
-    # -------------------------------------------------- tenant ops (worker thread)
-    def _op_propose(
-        self, tenant: Tenant, payload: Mapping[str, object]
-    ) -> Dict[str, object]:
-        request = wire.propose_request(payload)
-        coordinator = tenant.coordinator(self.crowd_config)
-        assignment = coordinator.request_question(request["annotator_id"])
-        return {
-            "tenant": tenant.tenant_id,
-            "assignment": (
-                wire.assignment_to_wire(assignment) if assignment else None
-            ),
-            "done": coordinator.is_done,
-        }
-
-    def _op_answer(
-        self, tenant: Tenant, payload: Mapping[str, object]
-    ) -> Dict[str, object]:
-        request = wire.answer_request(payload)
-        coordinator = tenant.coordinator(self.crowd_config)
-        record = coordinator.submit_vote(
-            request["ticket_id"], request["annotator_id"], request["is_useful"]
-        )
-        return {
-            "tenant": tenant.tenant_id,
-            "committed": record is not None,
-            "record": wire.record_to_wire(record) if record else None,
-            "questions_committed": coordinator.questions_committed,
-            "done": coordinator.is_done,
-        }
-
-    def _op_checkpoint(
-        self, tenant: Tenant, payload: Mapping[str, object]
-    ) -> Dict[str, object]:
-        request = wire.checkpoint_request(payload)
-        stem = request["name"] or f"{tenant.tenant_id}"
-        path = self._checkpoint_path(f"{stem}.npz")
-        tenant.flush()
-        saved = tenant.save(str(path))
-        coordinator = tenant.coordinator(self.crowd_config)
-        return {
-            "tenant": tenant.tenant_id,
-            "path": saved,
-            "questions_committed": coordinator.questions_committed,
-        }
-
-    def _op_debug_sleep(
-        self, tenant: Tenant, payload: Mapping[str, object]
-    ) -> Dict[str, object]:
-        seconds = payload.get("seconds", 0.1)
-        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
-            raise BadRequestError("field 'seconds' must be a number")
-        if not 0 <= float(seconds) <= 30:
-            raise BadRequestError("field 'seconds' must be in [0, 30]")
-        time.sleep(float(seconds))
-        return {"tenant": tenant.tenant_id, "slept": float(seconds)}
-
-    def _checkpoint_path(self, filename: str) -> Path:
-        directory = Path(self.config.checkpoint_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        return directory / filename
 
     # -------------------------------------------------------------------- drain
     @property
@@ -305,22 +437,10 @@ class GatewayApp:
             return dict(self._drain_paths)
         for queue in self._queues.values():
             queue.close(timeout=60.0)
-        paths: Dict[str, str] = {}
-        for tenant_id in sorted(self._queues):
-            tenant = self.pool.tenants.get(tenant_id)
-            if tenant is None or not tenant.started:
-                continue
-            try:
-                tenant.flush()
-                path = self._checkpoint_path(f"{tenant_id}-final.npz")
-                paths[tenant_id] = tenant.save(str(path))
-            except ReproError:
-                # A tenant that cannot checkpoint must not block the others'
-                # drain; its absence from the returned map is the signal.
-                continue
+        paths = self.backend.drain(self.config.checkpoint_dir)
         if metrics_snapshot_path is not None:
             obs.write_snapshot(metrics_snapshot_path)
-        self._drain_paths = paths
+        self._drain_paths = dict(paths)
         self._drained.set()
         return dict(paths)
 

@@ -1,0 +1,102 @@
+"""Tenant operation bodies, shared between serving backends.
+
+The gateway exposes four per-tenant operations (propose / answer /
+checkpoint / debug-sleep). Their *bodies* — validate the payload, drive the
+tenant's coordinator, shape the response dict — are identical whether the
+tenant lives in the gateway process (:class:`~repro.gateway.handlers.
+LocalPoolBackend`) or in a fleet worker process reached over RPC
+(:mod:`repro.fleet.worker`). This module is that single definition; both
+callers pass a live :class:`~repro.serving.pool.Tenant` and get back a
+JSON-able dict, so the wire shape cannot drift between the single-process
+and fleet deployments.
+
+Every body runs on whatever thread serializes that tenant's work — the
+gateway's per-tenant queue worker locally, the worker process's RPC loop in
+the fleet — so none of them lock.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from ..config import CrowdConfig
+from ..serving.pool import Tenant
+from . import wire
+from .wire import BadRequestError
+
+
+def op_propose(
+    tenant: Tenant, crowd_config: CrowdConfig, payload: Mapping[str, object]
+) -> Dict[str, object]:
+    """``POST .../propose`` — hand the annotator a question (or null)."""
+    request = wire.propose_request(payload)
+    coordinator = tenant.coordinator(crowd_config)
+    assignment = coordinator.request_question(request["annotator_id"])
+    return {
+        "tenant": tenant.tenant_id,
+        "assignment": (
+            wire.assignment_to_wire(assignment) if assignment else None
+        ),
+        "done": coordinator.is_done,
+    }
+
+
+def op_answer(
+    tenant: Tenant, crowd_config: CrowdConfig, payload: Mapping[str, object]
+) -> Dict[str, object]:
+    """``POST .../answer`` — record a vote; maybe commit the question."""
+    request = wire.answer_request(payload)
+    coordinator = tenant.coordinator(crowd_config)
+    record = coordinator.submit_vote(
+        request["ticket_id"], request["annotator_id"], request["is_useful"]
+    )
+    return {
+        "tenant": tenant.tenant_id,
+        "committed": record is not None,
+        "record": wire.record_to_wire(record) if record else None,
+        "questions_committed": coordinator.questions_committed,
+        "done": coordinator.is_done,
+    }
+
+
+def op_checkpoint(
+    tenant: Tenant,
+    crowd_config: CrowdConfig,
+    payload: Mapping[str, object],
+    checkpoint_dir: str,
+) -> Dict[str, object]:
+    """``POST .../checkpoint`` — flush and save the tenant's engine."""
+    request = wire.checkpoint_request(payload)
+    stem = request["name"] or f"{tenant.tenant_id}"
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    tenant.flush()
+    saved = tenant.save(str(directory / f"{stem}.npz"))
+    coordinator = tenant.coordinator(crowd_config)
+    return {
+        "tenant": tenant.tenant_id,
+        "path": saved,
+        "questions_committed": coordinator.questions_committed,
+    }
+
+
+def op_debug_sleep(
+    tenant: Tenant, payload: Mapping[str, object]
+) -> Dict[str, object]:
+    """``POST .../debug/sleep`` — occupy the tenant's worker (tests only)."""
+    seconds = payload.get("seconds", 0.1)
+    if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+        raise BadRequestError("field 'seconds' must be a number")
+    if not 0 <= float(seconds) <= 30:
+        raise BadRequestError("field 'seconds' must be in [0, 30]")
+    time.sleep(float(seconds))
+    return {"tenant": tenant.tenant_id, "slept": float(seconds)}
+
+
+def questions_committed(
+    tenant: Tenant, crowd_config: Optional[CrowdConfig] = None
+) -> int:
+    """The tenant's committed-question count via its cached coordinator."""
+    return tenant.coordinator(crowd_config).questions_committed

@@ -14,19 +14,22 @@ The queue bound is the backpressure mechanism: when a tenant's queue is full,
 :class:`~repro.gateway.wire.QueueFullError` immediately (mapped to 429 +
 ``Retry-After``) instead of letting latency grow without bound. Per-request
 deadlines use :func:`time.monotonic`; a job whose deadline passes while still
-queued is *cancelled* — the waiting request thread expires it and returns
-504, and the worker skips it when it surfaces. A job that began running is
-never interrupted (the coordinator has no safe preemption point), so the
-deadline bounds queueing delay, which under load is where all the latency
-lives.
+queued is *cancelled* — the waiting request thread expires it, returns 504,
+and the expiry **reclaims the admission slot immediately** (the job is
+removed from the queue, not left for the worker to skip), so a burst of
+timed-out requests can never hold the queue full against live traffic. A job
+that began running is never interrupted (the coordinator has no safe
+preemption point), so the deadline bounds queueing delay, which under load is
+where all the latency lives.
 """
 
 from __future__ import annotations
 
-import queue
+import copy
 import threading
 import time
-from typing import Any, Callable, Optional
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
 
 from ..obs import get_registry
 from .wire import DeadlineExceededError, DrainingError, GatewayError, QueueFullError
@@ -42,16 +45,22 @@ class GatewayJob:
     """One admitted unit of work and its completion state.
 
     State machine: ``pending`` → ``running`` → ``done``/``failed``, or
-    ``pending`` → ``expired`` when the deadline passes first. Transitions are
-    guarded by a lock because two threads race over them: the tenant worker
-    (begin/finish/fail) and the waiting request thread (expire).
+    ``pending`` → ``expired`` when the deadline passes first (and
+    ``pending`` → ``failed`` when the queue settles it during drain).
+    Transitions are guarded by a lock because two threads race over them:
+    the tenant worker (begin/finish/fail) and the waiting request thread
+    (expire).
     """
 
     def __init__(
-        self, fn: Callable[[], Any], deadline: Optional[float]
+        self,
+        fn: Callable[[], Any],
+        deadline: Optional[float],
+        on_expire: Optional[Callable[["GatewayJob"], None]] = None,
     ) -> None:
         self._fn = fn
         self.deadline = deadline
+        self._on_expire = on_expire
         self._lock = threading.Lock()
         self._finished = threading.Event()
         self._state = _PENDING
@@ -100,7 +109,11 @@ class GatewayJob:
         """Cancel a still-pending job (request thread, on deadline).
 
         Returns True when this call performed the cancellation; False when
-        the worker already claimed the job (it will run to completion).
+        the worker already claimed the job (it will run to completion). On
+        cancellation the owning queue's slot is reclaimed immediately via
+        the ``on_expire`` callback — invoked *outside* the job lock, because
+        the queue takes its own lock to remove the job (worker threads
+        acquire queue-then-job, so expire must never hold job-then-queue).
         """
         with self._lock:
             if self._state != _PENDING:
@@ -109,6 +122,24 @@ class GatewayJob:
             self._error = DeadlineExceededError(
                 "request deadline expired while queued"
             )
+            self._finished.set()
+        callback = self._on_expire
+        if callback is not None:
+            callback(self)
+        return True
+
+    def settle(self, error: BaseException) -> bool:
+        """Fail a still-pending job without running it (queue drain path).
+
+        Returns True when this call settled the job; False when it already
+        ran, failed, or expired. Unlike :meth:`expire` this does not notify
+        the queue — the queue itself calls it while emptying.
+        """
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _FAILED
+            self._error = error
             self._finished.set()
             return True
 
@@ -130,9 +161,21 @@ class GatewayJob:
                 # Worker owns it now: wait for the real completion.
                 self._finished.wait()
         with self._lock:
-            if self._error is not None:
-                raise self._error
-            return self._value
+            error = self._error
+            if error is None:
+                return self._value
+        # Re-raise a shallow copy chained to the worker's instance: raising
+        # the instance itself would graft this request thread's traceback
+        # onto it, clobbering what every other waiter (and the worker-side
+        # log) observes. The copy carries args and __dict__ (retry_after,
+        # status) and gets a fresh traceback; __cause__ points back at the
+        # original with the worker-side traceback intact.
+        try:
+            rethrown = copy.copy(error)
+            rethrown.__traceback__ = None
+        except Exception:  # pragma: no cover - exotic uncopyable exception
+            raise error from None
+        raise rethrown from error
 
 
 class TenantQueue:
@@ -140,8 +183,9 @@ class TenantQueue:
 
     Args:
         tenant_id: Label for thread names and the queue-depth gauge.
-        depth: Maximum admitted-but-unfinished jobs; beyond it
-            :meth:`submit` raises :class:`QueueFullError`.
+        depth: Maximum admitted-but-unstarted jobs; beyond it
+            :meth:`submit` raises :class:`QueueFullError`. Expired jobs do
+            not count — their slots are reclaimed the moment they expire.
         retry_after: Seconds clients are told to back off on 429/503.
     """
 
@@ -151,12 +195,14 @@ class TenantQueue:
         self.tenant_id = tenant_id
         self.depth = depth
         self.retry_after = retry_after
-        self._jobs: "queue.Queue[GatewayJob]" = queue.Queue(maxsize=depth)
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._pending: Deque[GatewayJob] = deque()
         self._draining = threading.Event()
         self._stopping = threading.Event()
         self._obs_depth = get_registry().gauge(
             "gateway_queue_depth",
-            "Jobs admitted and not yet finished, per tenant",
+            "Jobs admitted and not yet started or expired, per tenant",
             labels=("tenant",),
         ).labels(tenant=tenant_id)
         self._worker = threading.Thread(
@@ -176,55 +222,98 @@ class TenantQueue:
 
         Raises :class:`DrainingError` (503) once draining began and
         :class:`QueueFullError` (429) when the bounded queue is full; both
-        carry ``Retry-After``.
+        carry ``Retry-After``. Only live (unexpired, unstarted) jobs occupy
+        slots, so a storm of already-expired requests cannot starve fresh
+        traffic.
         """
         if self._draining.is_set():
             raise DrainingError(
                 f"tenant {self.tenant_id!r} is draining; not admitting work",
                 retry_after=self.retry_after,
             )
-        job = GatewayJob(fn, deadline)
-        try:
-            self._jobs.put_nowait(job)
-        except queue.Full:
-            raise QueueFullError(
-                f"tenant {self.tenant_id!r} admission queue is full "
-                f"(depth {self.depth}); retry later",
-                retry_after=self.retry_after,
-            ) from None
-        self._obs_depth.set(self._jobs.qsize())
+        job = GatewayJob(fn, deadline, on_expire=self._reclaim)
+        with self._not_empty:
+            if self._draining.is_set() or self._stopping.is_set():
+                # Re-checked under the lock: a drain that began after the
+                # unlocked check above must not admit a job the (possibly
+                # already exited) worker will never run.
+                raise DrainingError(
+                    f"tenant {self.tenant_id!r} is draining; not admitting "
+                    f"work",
+                    retry_after=self.retry_after,
+                )
+            if len(self._pending) >= self.depth:
+                raise QueueFullError(
+                    f"tenant {self.tenant_id!r} admission queue is full "
+                    f"(depth {self.depth}); retry later",
+                    retry_after=self.retry_after,
+                )
+            self._pending.append(job)
+            self._obs_depth.set(len(self._pending))
+            self._not_empty.notify()
         return job
 
     def run_now(self, fn: Callable[[], Any], deadline: Optional[float]) -> Any:
         """Submit ``fn`` and block for its result (the handler fast path)."""
         return self.submit(fn, deadline).result()
 
+    def _reclaim(self, job: GatewayJob) -> None:
+        """Drop an expired job from the queue, freeing its slot (expire path)."""
+        with self._not_empty:
+            try:
+                self._pending.remove(job)
+            except ValueError:
+                return  # the worker claimed it first; nothing to reclaim
+            self._obs_depth.set(len(self._pending))
+
     def _run(self) -> None:
         while True:
-            try:
-                job = self._jobs.get(timeout=0.05)
-            except queue.Empty:
-                if self._stopping.is_set():
-                    return
-                continue
-            try:
-                job.execute()
-            finally:
-                self._jobs.task_done()
-                self._obs_depth.set(self._jobs.qsize())
+            with self._not_empty:
+                while not self._pending:
+                    if self._stopping.is_set():
+                        return
+                    self._not_empty.wait(timeout=0.05)
+                job = self._pending.popleft()
+                self._obs_depth.set(len(self._pending))
+            job.execute()
 
     def begin_drain(self) -> None:
         """Stop admitting; already-queued jobs still run to completion."""
         self._draining.set()
 
     def close(self, timeout: Optional[float] = None) -> None:
-        """Drain queued jobs, stop the worker, and join it. Idempotent."""
+        """Drain queued jobs, stop the worker, and join it. Idempotent.
+
+        Raises :class:`GatewayError` when the worker is wedged on a running
+        job past ``timeout`` — but only *after* settling every still-pending
+        job with a :class:`DrainingError`, so request threads blocked in
+        :meth:`GatewayJob.result` (including ``deadline=None`` waiters)
+        always unblock instead of hanging on a queue nobody will ever drain.
+        """
         self._draining.set()
-        self._stopping.set()
+        with self._not_empty:
+            self._stopping.set()
+            self._not_empty.notify_all()
+        stuck = False
         if self._worker.is_alive():
             self._worker.join(timeout)
-            if self._worker.is_alive():  # pragma: no cover - stuck job guard
-                raise GatewayError(
-                    f"tenant {self.tenant_id!r} worker did not stop within "
-                    f"{timeout}s; a job is stuck"
+            stuck = self._worker.is_alive()
+        leftovers: List[GatewayJob] = []
+        with self._not_empty:
+            if self._pending:
+                leftovers = list(self._pending)
+                self._pending.clear()
+                self._obs_depth.set(0)
+        for job in leftovers:
+            job.settle(
+                DrainingError(
+                    f"tenant {self.tenant_id!r} queue closed before this job "
+                    f"could run",
+                    retry_after=self.retry_after,
                 )
+            )
+        if stuck:
+            raise GatewayError(
+                f"tenant {self.tenant_id!r} worker did not stop within "
+                f"{timeout}s; a job is stuck"
+            )

@@ -339,6 +339,69 @@ class CoverageArena:
         self._dirty = False
         return self
 
+    def detach(self) -> None:
+        """Release the file descriptor and mapping, keeping slot metadata.
+
+        The pre-fork half of the cross-process handoff: a supervisor that
+        built and sealed the arena detaches before spawning workers, so no
+        child ever inherits the parent's mapping — each worker calls
+        :meth:`reattach` (a fresh ``open`` of the same path) in its own
+        process. Only a read-only arena may detach; offsets, digest state,
+        and the path survive, so :meth:`reattach` can verify it is looking
+        at the same contents. Idempotent.
+        """
+        if self.closed:
+            return
+        if not self._read_only:
+            raise ConfigurationError(
+                f"coverage arena {self.path} is writable; seal it with "
+                f"reopen_read_only() before detaching"
+            )
+        self._file.close()
+        self._values_map = None
+        self._mapped_values = 0
+
+    def reattach(self) -> "CoverageArena":
+        """Reopen the arena file by path with a fresh descriptor and mapping.
+
+        The post-spawn half of the handoff: verifies the on-disk header still
+        records the digest this arena object carries (a swapped or truncated
+        file raises :class:`~repro.errors.ConfigurationError` instead of
+        serving wrong coverage bytes), then attaches read-only. A no-op when
+        already attached. Returns ``self``.
+        """
+        if not self.closed:
+            return self
+        try:
+            file = open(self.path, "rb")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot reattach coverage arena {self.path}: {exc}"
+            ) from exc
+        try:
+            header = self._read_header(file, self.path)
+            recorded = header.get("digest")
+            if recorded is not None and recorded != self.digest:
+                raise ConfigurationError(
+                    f"coverage arena {self.path} changed on disk since detach: "
+                    f"digest {recorded} != expected {self.digest}"
+                )
+            if int(header.get("num_interned", -1)) != self.num_interned:
+                raise ConfigurationError(
+                    f"coverage arena {self.path} records "
+                    f"{header.get('num_interned')} slots on disk but this "
+                    f"handle expects {self.num_interned}"
+                )
+        except BaseException:
+            file.close()
+            raise
+        self._file = file
+        self._read_only = True
+        self._dirty = False
+        self._values_map = None
+        self._mapped_values = 0
+        return self
+
     # -------------------------------------------------------------- accessors
     @property
     def num_interned(self) -> int:

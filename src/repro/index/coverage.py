@@ -641,6 +641,42 @@ class CoverageStore:
         self._bitset_cache.clear()
         self._bitset_cache_bytes = 0
 
+    def detach_arena(self) -> None:
+        """Release the arena mapping for a cross-process handoff (pre-fork).
+
+        Closes the arena's descriptor and mapping and rebinds every interned
+        view to a dormant state, so nothing in this process — and nothing a
+        forked child inherits — pins the parent's mmap. Coverage reads raise
+        until :meth:`reattach_arena` runs (in the child, against a fresh
+        mapping of the same file). No-op for the memory backend.
+        """
+        if self._arena is None or self._arena.closed:
+            return
+        self._arena.detach()
+        for view in self._views:
+            # Dormant marker: any accidental read fails loudly (`None` has
+            # no `.size`) instead of serving stale mapped bytes.
+            view._ids = None
+            view._bits = None
+            view._bits_universe = -1
+        self._bitset_cache.clear()
+        self._bitset_cache_bytes = 0
+
+    def reattach_arena(self) -> None:
+        """Re-map the arena by path and rebind every view (post-spawn half).
+
+        Each view's id array becomes a zero-copy slice of the *fresh*
+        mapping, digest-verified by :meth:`CoverageArena.reattach` — the
+        worker-process counterpart of :meth:`detach_arena`. Idempotent; a
+        no-op for the memory backend.
+        """
+        if self._arena is None:
+            return
+        self._arena.reattach()
+        for slot, view in enumerate(self._views):
+            if view._ids is None:
+                view._ids = self._arena.values_slice(slot)
+
     def find(self, ids: IdsLike) -> Optional[CoverageView]:
         """The interned view for ``ids`` if one exists, else None (no intern).
 

@@ -260,13 +260,48 @@ class OverlayCoverageStore(CoverageStore):
         base = CoverageStore.from_state(
             base_state, bundle, arena_config=arena_config
         )
+        return cls.from_state_over(base, state, bundle)
+
+    @classmethod
+    def from_state_over(
+        cls, base: CoverageStore, state: Dict[str, object], bundle
+    ) -> "OverlayCoverageStore":
+        """Rebuild an overlay from :meth:`to_state` output over an
+        **already-attached** base store.
+
+        The tenant-migration path: a fleet worker adopting a checkpointed
+        tenant already holds the shared base (same arena every worker maps),
+        so the checkpoint's base *reference* is validated against it — slot
+        partition point, and arena content digest when both sides record one
+        — instead of reattaching a second copy from disk. Local columns are
+        re-interned in slot order, so every coverage id the checkpointed
+        Darwin state references stays aligned.
+        """
+        recorded_backend = state.get("backend")
+        if recorded_backend is not None and recorded_backend != "overlay":
+            raise ConfigurationError(
+                f"state records backend {recorded_backend!r}, not an "
+                f"overlay coverage store"
+            )
         recorded_base = state.get("base_count")
         if recorded_base is not None and int(recorded_base) != base.num_interned:
             raise ConfigurationError(
                 f"overlay state partitions the id space at base_count="
-                f"{recorded_base} but the restored base holds "
+                f"{recorded_base} but the supplied base holds "
                 f"{base.num_interned} slots"
             )
+        base_state = state.get("base")
+        if isinstance(base_state, dict) and base.arena is not None:
+            reference = base_state.get("arena")
+            if isinstance(reference, dict):
+                digest = reference.get("digest")
+                if digest is not None and digest != base.arena.digest:
+                    raise ConfigurationError(
+                        f"overlay checkpoint references arena digest "
+                        f"{digest} but the attached base arena has "
+                        f"{base.arena.digest}; this tenant belongs to a "
+                        f"different substrate"
+                    )
         store = cls(base, universe_size=int(state.get("universe_size", 0)))
         values = np.asarray(bundle.get(state["values"]), dtype=np.int32)
         offsets = np.asarray(bundle.get(state["offsets"]), dtype=np.int64)

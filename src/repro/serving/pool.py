@@ -366,6 +366,76 @@ class TenantPool:
         self.tenant(tenant_id).close()
         del self._tenants[tenant_id]
 
+    def adopt(self, tenant_id: str, checkpoint_path: str) -> Tenant:
+        """Rebuild a checkpointed tenant over *this* pool's shared substrate.
+
+        The migration receive path: a tenant saved by :meth:`Tenant.save` in
+        one pool (possibly in another process) is re-homed here without
+        reloading the shared columns — its checkpoint's base reference is
+        validated against the pool's own store (slot partition point, arena
+        content digest), its overlay columns are re-interned in slot order
+        over the pool's base, and its Darwin/oracle state is restored exactly
+        as :meth:`DarwinEngine.load` would. The adopted tenant then answers
+        question-for-question identically to one that never moved.
+        """
+        if self._closed:
+            raise ConfigurationError("cannot adopt tenants on a closed pool")
+        if tenant_id in self._tenants:
+            raise ConfigurationError(f"tenant id {tenant_id!r} already exists")
+        from ..engine.state import read_checkpoint
+
+        manifest, bundle = read_checkpoint(checkpoint_path)
+        config = DarwinConfig.from_dict(manifest["config"])
+        index_state = manifest.get("index") or {}
+        recorded_sentences = index_state.get("num_sentences")
+        if recorded_sentences is not None and len(self.corpus) != int(
+            recorded_sentences
+        ):
+            raise ConfigurationError(
+                f"tenant checkpoint was taken over a corpus of "
+                f"{recorded_sentences} sentences, but this pool serves "
+                f"{len(self.corpus)}"
+            )
+        recorded_name = manifest.get("corpus_name")
+        if recorded_name is not None and self.corpus.name != recorded_name:
+            raise ConfigurationError(
+                f"tenant checkpoint was taken over corpus {recorded_name!r}, "
+                f"but this pool serves {self.corpus.name!r}"
+            )
+        if manifest.get("grammars_explicit"):
+            raise ConfigurationError(
+                "cannot adopt a tenant built with explicit grammar instances; "
+                "only config-built grammars can be rebuilt in the new pool"
+            )
+        store_state = index_state.get("store") or {}
+        if store_state.get("backend") != "overlay":
+            raise ConfigurationError(
+                f"tenant checkpoints layer an overlay over the shared store, "
+                f"but this checkpoint records backend "
+                f"{store_state.get('backend')!r}; it is not a pool tenant"
+            )
+        overlay = OverlayCoverageStore.from_state_over(
+            self.index.store, store_state, bundle
+        )
+        tenant_index = SharedIndexView.over(self.index, overlay)
+        engine = DarwinEngine(
+            self.corpus,
+            config=config,
+            index=tenant_index,
+            featurizer=self.featurizer.sharing_cache(),
+            dataset_spec=manifest.get("dataset") or self.dataset_spec,
+            grammar_options=manifest.get("grammar_options"),
+            oracle_options=manifest.get("oracle_options"),
+            seeds=manifest.get("seeds"),
+        )
+        engine.darwin.restore_state(manifest["darwin"], bundle)
+        engine._restore_oracle(manifest.get("oracle_state"), None)
+        tenant = Tenant(self, tenant_id, engine, overlay)
+        engine.darwin.obs_label = tenant_id
+        self._tenants[tenant_id] = tenant
+        self._spawned += 1
+        return tenant
+
     # ------------------------------------------------------------- accounting
     def shared_resident_bytes(self) -> int:
         """Heap bytes pinned by the substrate every tenant shares: the base

@@ -282,6 +282,93 @@ class TestTenantQueue:
         q.close(timeout=10)
         q.close(timeout=10)
 
+    def test_expired_jobs_release_their_slots(self):
+        """Regression: a storm of timed-out requests must not hold the queue
+        full — expiry reclaims the admission slot immediately, so fresh
+        traffic is admitted instead of bouncing with 429."""
+        q = TenantQueue("t", depth=2, retry_after=1)
+        started = threading.Event()
+        release = threading.Event()
+
+        def occupy():
+            started.set()
+            release.wait()
+
+        try:
+            q.submit(occupy, deadline=None)
+            assert started.wait(5)  # worker busy: submissions stay queued
+            storm = [
+                q.submit(lambda: None, deadline=time.monotonic() + 0.01)
+                for _ in range(2)
+            ]
+            for job in storm:
+                with pytest.raises(DeadlineExceededError):
+                    job.result()  # expires the job, reclaiming its slot
+            # Before the fix the two expired jobs still occupied both
+            # slots and this fresh request was rejected with 429.
+            fresh = q.submit(lambda: "served", deadline=None)
+            release.set()
+            assert fresh.result() == "served"
+        finally:
+            release.set()
+            q.close(timeout=10)
+
+    def test_close_settles_pending_jobs_of_wedged_worker(self):
+        """Regression: close(timeout) on a queue whose worker is stuck used
+        to leave pending jobs' waiters blocked forever; they must all be
+        settled with DrainingError before close reports the wedge."""
+        from repro.gateway import GatewayError
+
+        q = TenantQueue("t", depth=4)
+        started = threading.Event()
+        release = threading.Event()
+        q.submit(lambda: (started.set(), release.wait()), deadline=None)
+        assert started.wait(5)
+        stuck = q.submit(lambda: "never runs", deadline=None)
+        outcome = []
+
+        def wait_on_stuck():
+            try:
+                stuck.result()
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                outcome.append(exc)
+
+        waiter = threading.Thread(target=wait_on_stuck, daemon=True)
+        waiter.start()
+        with pytest.raises(GatewayError, match="did not stop"):
+            q.close(timeout=0.2)
+        waiter.join(timeout=5)
+        assert not waiter.is_alive(), "waiter still blocked after close()"
+        assert len(outcome) == 1 and isinstance(outcome[0], DrainingError)
+        release.set()
+
+    def test_result_rethrows_copy_and_preserves_worker_traceback(self):
+        """Regression: result() used to raise the worker's exception object
+        itself, grafting each request thread's traceback onto it; it must
+        raise a chained copy and leave the original's traceback intact."""
+        def boom():
+            raise OracleError("no such ticket")
+
+        job = GatewayJob(boom, deadline=None)
+        job.execute()
+        with job._lock:
+            original = job._error
+        worker_tb = original.__traceback__
+        assert worker_tb is not None
+        raised = []
+        for _ in range(2):  # every waiter gets its own copy
+            try:
+                job.result()
+            except OracleError as exc:
+                raised.append(exc)
+        assert len(raised) == 2
+        for exc in raised:
+            assert exc is not original
+            assert exc.__cause__ is original
+            assert str(exc) == str(original)
+        assert raised[0] is not raised[1]
+        assert original.__traceback__ is worker_tb
+
 
 # ------------------------------------------------------------ app (no socket)
 @pytest.fixture(scope="module")
